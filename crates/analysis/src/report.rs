@@ -1,0 +1,109 @@
+//! Markdown and CSV rendering of experiment results.
+
+/// Renders a markdown table from a header row and data rows.
+///
+/// # Panics
+///
+/// Panics if any row has a different number of cells than the header.
+///
+/// ```rust
+/// # use analysis::report::render_markdown_table;
+/// let table = render_markdown_table(
+///     &["η", "accuracy"],
+///     &[vec!["10".to_string(), "0.96".to_string()]],
+/// );
+/// assert!(table.contains("| η | accuracy |"));
+/// ```
+pub fn render_markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            header.len(),
+            "every row must have exactly one cell per header column"
+        );
+    }
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Renders a CSV document (comma-separated, newline-terminated rows, simple quoting of cells
+/// containing commas or quotes).
+pub fn render_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    fn escape(cell: &str) -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_structure() {
+        let table = render_markdown_table(
+            &["a", "b"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["3".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert!(lines[3].contains('3'));
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell per header column")]
+    fn mismatched_row_width_panics() {
+        let _ = render_markdown_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let csv = render_csv(
+            &["name", "value"],
+            &[
+                vec!["plain".into(), "1".into()],
+                vec!["with,comma".into(), "say \"hi\"".into()],
+            ],
+        );
+        assert!(csv.starts_with("name,value\n"));
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        let md = render_markdown_table(&["x"], &[]);
+        assert_eq!(md.lines().count(), 2);
+        let csv = render_csv(&["x"], &[]);
+        assert_eq!(csv.lines().count(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-data row types for every experiment in the evaluation.
+//!
+//! Keeping one serialisable struct per experiment keeps the bench binaries small: they run the
+//! protocol, fill rows, and hand them to [`crate::report`] for rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// One bar group of Fig. 2: Bob's measurement counts for a given encoded message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramRow {
+    /// The 2-bit message Alice encoded (`"00"`, `"01"`, `"10"`, `"11"`).
+    pub encoded: String,
+    /// Counts of Bob's decoded outcomes in the order `00, 01, 10, 11`.
+    pub counts: [u64; 4],
+    /// Number of shots.
+    pub shots: u64,
+    /// Classical fidelity of the observed distribution against the ideal (point-mass) one.
+    pub fidelity: f64,
+}
+
+impl HistogramRow {
+    /// The fraction of shots that decoded to the encoded message.
+    pub fn accuracy(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let index = match self.encoded.as_str() {
+            "00" => 0,
+            "01" => 1,
+            "10" => 2,
+            _ => 3,
+        };
+        self.counts[index] as f64 / self.shots as f64
+    }
+}
+
+/// One point of Fig. 3: message accuracy at a given channel length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyPoint {
+    /// Channel length η (number of identity gates).
+    pub eta: usize,
+    /// Channel duration in microseconds (η × 60 ns on `ibm_brisbane`).
+    pub duration_us: f64,
+    /// Fraction of shots whose decoded 2-bit message matched the encoded one.
+    pub accuracy: f64,
+    /// Shots used for the estimate.
+    pub shots: u64,
+}
+
+/// One row of the Table I comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Protocol name.
+    pub protocol: String,
+    /// Resource type column.
+    pub resource: String,
+    /// Decoding-measurement column.
+    pub measurement: String,
+    /// Qubits per message bit column.
+    pub qubits_per_bit: f64,
+    /// User-authentication column.
+    pub user_authentication: bool,
+}
+
+/// One point of the impersonation-detection experiment: measured vs analytic detection
+/// probability as a function of the identity length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionPoint {
+    /// Identity length `l` in qubits.
+    pub identity_qubits: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Measured detection rate.
+    pub measured: f64,
+    /// Analytic probability `1 − (1/4)^l`.
+    pub analytic: f64,
+}
+
+impl DetectionPoint {
+    /// Absolute deviation between measurement and theory.
+    pub fn deviation(&self) -> f64 {
+        (self.measured - self.analytic).abs()
+    }
+}
+
+/// One row of a channel-attack experiment (intercept-resend, MITM, entangle-and-measure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackRow {
+    /// Attack name.
+    pub attack: String,
+    /// Sessions attempted.
+    pub trials: usize,
+    /// Sessions in which the message still got through.
+    pub delivered: usize,
+    /// Overall detection rate.
+    pub detection_rate: f64,
+    /// Mean CHSH of the first DI check.
+    pub mean_chsh_round1: Option<f64>,
+    /// Mean CHSH of the second DI check.
+    pub mean_chsh_round2: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_row_accuracy_uses_the_encoded_column() {
+        let row = HistogramRow {
+            encoded: "10".into(),
+            counts: [15, 1, 967, 41],
+            shots: 1024,
+            fidelity: 0.94,
+        };
+        assert!((row.accuracy() - 967.0 / 1024.0).abs() < 1e-12);
+        let empty = HistogramRow {
+            encoded: "00".into(),
+            counts: [0; 4],
+            shots: 0,
+            fidelity: 0.0,
+        };
+        assert_eq!(empty.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn detection_point_deviation() {
+        let p = DetectionPoint {
+            identity_qubits: 2,
+            trials: 100,
+            measured: 0.92,
+            analytic: 0.9375,
+        };
+        assert!((p.deviation() - 0.0175).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_serialize_to_json_like_debug() {
+        let row = Table1Row {
+            protocol: "Proposed UA-DI-QSDC".into(),
+            resource: "Entanglement".into(),
+            measurement: "BSM".into(),
+            qubits_per_bit: 1.0,
+            user_authentication: true,
+        };
+        let text = format!("{row:?}");
+        assert!(text.contains("Proposed"));
+        let attack = AttackRow {
+            attack: "mitm".into(),
+            trials: 10,
+            delivered: 0,
+            detection_rate: 1.0,
+            mean_chsh_round1: Some(2.8),
+            mean_chsh_round2: Some(0.1),
+        };
+        assert!(format!("{attack:?}").contains("mitm"));
+        let point = AccuracyPoint {
+            eta: 700,
+            duration_us: 42.0,
+            accuracy: 0.57,
+            shots: 1024,
+        };
+        assert!(format!("{point:?}").contains("700"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Small statistics toolkit.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `None` for an empty slice.
+///
+/// ```rust
+/// # use analysis::stats::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn population_std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let variance = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    Some(variance.sqrt())
+}
+
+/// Normal-approximation (Wald) confidence interval for a binomial proportion.
+///
+/// Returns `(lower, upper)`, both clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `successes > trials` or `trials == 0`.
+pub fn binomial_confidence_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "confidence interval needs at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let p = successes as f64 / trials as f64;
+    let half_width = z * (p * (1.0 - p) / trials as f64).sqrt();
+    ((p - half_width).max(0.0), (p + half_width).min(1.0))
+}
+
+/// Least-squares linear trend `y ≈ slope·x + intercept` over paired samples.
+///
+/// Returns `None` when fewer than two distinct x values are supplied.
+pub fn linear_trend(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    Some((slope, intercept))
+}
+
+/// A mean ± standard-deviation summary of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub samples: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a slice of samples; `None` when empty.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        let mean_value = mean(values)?;
+        let std_dev = population_std_dev(values)?;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Self {
+            samples: values.len(),
+            mean: mean_value,
+            std_dev,
+            min,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert!((population_std_dev(&xs).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(population_std_dev(&[]), None);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_the_proportion() {
+        let (lo, hi) = binomial_confidence_interval(75, 100, 1.96);
+        assert!(lo < 0.75 && 0.75 < hi);
+        assert!(lo > 0.6 && hi < 0.9);
+        let (lo, hi) = binomial_confidence_interval(0, 10, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi < 0.35);
+        let (lo, hi) = binomial_confidence_interval(10, 10, 1.96);
+        assert_eq!(hi, 1.0);
+        assert!(lo > 0.65);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn confidence_interval_rejects_zero_trials() {
+        let _ = binomial_confidence_interval(0, 0, 1.96);
+    }
+
+    #[test]
+    fn linear_trend_recovers_slope() {
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 - 0.5 * i as f64)).collect();
+        let (slope, intercept) = linear_trend(&points).unwrap();
+        assert!((slope + 0.5).abs() < 1e-9);
+        assert!((intercept - 3.0).abs() < 1e-9);
+        assert_eq!(linear_trend(&[(1.0, 1.0)]), None);
+        assert_eq!(linear_trend(&[(1.0, 1.0), (1.0, 2.0)]), None);
+    }
+
+    #[test]
+    fn summary_of_samples() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.samples, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+}

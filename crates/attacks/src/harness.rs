@@ -1,0 +1,263 @@
+//! Attack harness: run any channel-tap attack against the full protocol, many times, and
+//! summarise what happened.
+
+use protocol::config::SessionConfig;
+use protocol::error::ProtocolError;
+use protocol::identity::IdentityPair;
+use protocol::message::SecretMessage;
+use protocol::session::{run_session_full, AbortStage, Impersonation, SessionOutcome};
+use qchannel::quantum::ChannelTap;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregated statistics of repeated attacked sessions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackSummary {
+    /// Name of the attack (from [`ChannelTap::name`]).
+    pub attack: String,
+    /// Number of sessions attempted.
+    pub trials: usize,
+    /// Sessions in which the message was delivered despite the attack.
+    pub delivered: usize,
+    /// Aborts at the first DI check.
+    pub aborted_di_check1: usize,
+    /// Aborts at Bob authentication.
+    pub aborted_bob_auth: usize,
+    /// Aborts at Alice authentication.
+    pub aborted_alice_auth: usize,
+    /// Aborts at the second DI check.
+    pub aborted_di_check2: usize,
+    /// Aborts at the final integrity check.
+    pub aborted_integrity: usize,
+    /// Mean CHSH value of the first check (over sessions where it was estimated).
+    pub mean_chsh_round1: Option<f64>,
+    /// Mean CHSH value of the second check (over sessions where it was estimated).
+    pub mean_chsh_round2: Option<f64>,
+}
+
+impl AttackSummary {
+    /// Total aborts across all stages.
+    pub fn total_aborts(&self) -> usize {
+        self.aborted_di_check1
+            + self.aborted_bob_auth
+            + self.aborted_alice_auth
+            + self.aborted_di_check2
+            + self.aborted_integrity
+    }
+
+    /// Fraction of sessions in which the attack was detected (any abort).
+    pub fn detection_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / self.trials as f64
+        }
+    }
+}
+
+impl fmt::Display for AttackSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} trials, {} delivered, detection rate {:.3} (S1 {:?}, S2 {:?})",
+            self.attack,
+            self.trials,
+            self.delivered,
+            self.detection_rate(),
+            self.mean_chsh_round1,
+            self.mean_chsh_round2
+        )
+    }
+}
+
+/// Runs `trials` full-protocol sessions, each against a fresh attack instance produced by
+/// `make_attack`, and aggregates the outcomes.
+///
+/// A fresh attack per session keeps per-session state (captured bits, counters) independent,
+/// matching how an adversary would attack separate protocol runs.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the underlying sessions.
+pub fn run_attack_trials<R, T, F>(
+    config: &SessionConfig,
+    identities: &IdentityPair,
+    mut make_attack: F,
+    trials: usize,
+    rng: &mut R,
+) -> Result<AttackSummary, ProtocolError>
+where
+    R: Rng,
+    T: ChannelTap,
+    F: FnMut() -> T,
+{
+    let mut summary = AttackSummary {
+        attack: String::new(),
+        trials,
+        delivered: 0,
+        aborted_di_check1: 0,
+        aborted_bob_auth: 0,
+        aborted_alice_auth: 0,
+        aborted_di_check2: 0,
+        aborted_integrity: 0,
+        mean_chsh_round1: None,
+        mean_chsh_round2: None,
+    };
+    let mut chsh1 = Vec::new();
+    let mut chsh2 = Vec::new();
+    for _ in 0..trials {
+        let mut attack = make_attack();
+        if summary.attack.is_empty() {
+            summary.attack = attack.name().to_string();
+        }
+        let message = SecretMessage::random(config.message_bits(), rng);
+        let outcome: SessionOutcome = run_session_full(
+            config,
+            identities,
+            &message,
+            Impersonation::None,
+            &mut attack,
+            rng,
+        )?;
+        if outcome.is_delivered() {
+            summary.delivered += 1;
+        }
+        if outcome.aborted_at(AbortStage::DiCheck1) {
+            summary.aborted_di_check1 += 1;
+        }
+        if outcome.aborted_at(AbortStage::BobAuthentication) {
+            summary.aborted_bob_auth += 1;
+        }
+        if outcome.aborted_at(AbortStage::AliceAuthentication) {
+            summary.aborted_alice_auth += 1;
+        }
+        if outcome.aborted_at(AbortStage::DiCheck2) {
+            summary.aborted_di_check2 += 1;
+        }
+        if outcome.aborted_at(AbortStage::IntegrityCheck) {
+            summary.aborted_integrity += 1;
+        }
+        if let Some(report) = &outcome.di_check_round1 {
+            if let Some(s) = report.chsh {
+                chsh1.push(s);
+            }
+        }
+        if let Some(report) = &outcome.di_check_round2 {
+            if let Some(s) = report.chsh {
+                chsh2.push(s);
+            }
+        }
+    }
+    summary.mean_chsh_round1 = mean(&chsh1);
+    summary.mean_chsh_round2 = mean(&chsh2);
+    Ok(summary)
+}
+
+fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entangle_measure::EntangleMeasureAttack;
+    use crate::intercept_resend::InterceptResendAttack;
+    use crate::mitm::ManInTheMiddleAttack;
+    use qchannel::quantum::NoTap;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn config() -> SessionConfig {
+        SessionConfig::builder()
+            .message_bits(8)
+            .check_bits(2)
+            .di_check_pairs(200)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn honest_channel_delivers_every_time() {
+        let mut r = rng(1);
+        let identities = IdentityPair::generate(3, &mut r);
+        let summary =
+            run_attack_trials(&config(), &identities, || NoTap, 6, &mut r).unwrap();
+        assert_eq!(summary.delivered, 6, "{summary}");
+        assert_eq!(summary.total_aborts(), 0);
+        assert!(summary.mean_chsh_round1.unwrap() > 2.3);
+        assert!(summary.mean_chsh_round2.unwrap() > 2.3);
+    }
+
+    #[test]
+    fn intercept_resend_is_always_detected() {
+        let mut r = rng(2);
+        let identities = IdentityPair::generate(3, &mut r);
+        let summary = run_attack_trials(
+            &config(),
+            &identities,
+            InterceptResendAttack::computational,
+            6,
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(summary.delivered, 0, "{summary}");
+        assert!((summary.detection_rate() - 1.0).abs() < 1e-9);
+        // Round 1 happens before transmission, so it still looks quantum…
+        assert!(summary.mean_chsh_round1.unwrap() > 2.3);
+        // …but once the qubits have flown through Eve the violation is gone.
+        if let Some(s2) = summary.mean_chsh_round2 {
+            assert!(s2 <= 2.1, "S2 must collapse under interception, got {s2}");
+        }
+        assert_eq!(summary.attack, "intercept-and-resend");
+    }
+
+    #[test]
+    fn mitm_is_always_detected() {
+        let mut r = rng(3);
+        let identities = IdentityPair::generate(3, &mut r);
+        let summary = run_attack_trials(
+            &config(),
+            &identities,
+            ManInTheMiddleAttack::random_computational,
+            6,
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(summary.delivered, 0, "{summary}");
+        assert!(summary.detection_rate() > 0.99);
+    }
+
+    #[test]
+    fn entangle_measure_is_always_detected() {
+        let mut r = rng(4);
+        let identities = IdentityPair::generate(3, &mut r);
+        let summary = run_attack_trials(
+            &config(),
+            &identities,
+            EntangleMeasureAttack::full,
+            6,
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(summary.delivered, 0, "{summary}");
+        assert!(summary.detection_rate() > 0.99);
+    }
+
+    #[test]
+    fn summary_display_and_empty_mean() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+        let mut r = rng(5);
+        let identities = IdentityPair::generate(2, &mut r);
+        let summary = run_attack_trials(&config(), &identities, || NoTap, 1, &mut r).unwrap();
+        assert!(summary.to_string().contains("trials"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Ablation: statevector vs density-matrix execution of the message-transfer circuit.
+//!
+//! The statevector back-end cannot represent the noise channels, so the production path uses
+//! the density-matrix executor; this ablation quantifies the cost of that choice on the exact
+//! circuit the Fig. 2/3 experiments run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noise::{DeviceModel, NoisyExecutor};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_backend");
+    group.sample_size(10);
+    for eta in [10usize, 200] {
+        let circuit = bench::message_transfer_circuit("10", eta);
+        group.bench_with_input(
+            BenchmarkId::new("statevector_ideal", eta),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                    black_box(circuit.sample(32, &mut rng).unwrap())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("density_matrix_noisy", eta),
+            &circuit,
+            |b, circuit| {
+                let executor = NoisyExecutor::new(DeviceModel::ibm_brisbane_like());
+                b.iter(|| {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                    black_box(executor.sample(circuit, 32, &mut rng).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

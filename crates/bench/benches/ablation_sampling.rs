@@ -1,0 +1,39 @@
+//! Ablation: per-shot re-measurement vs prefix-evolution sampling.
+//!
+//! The noisy executor evolves the deterministic gate/noise prefix of a circuit once and only
+//! re-samples the measurement suffix per shot. This ablation compares that against the naive
+//! strategy of re-running the whole circuit for every shot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noise::{DeviceModel, NoisyExecutor};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let circuit = bench::message_transfer_circuit("11", 100);
+    let executor = NoisyExecutor::new(DeviceModel::ibm_brisbane_like());
+    let mut group = c.benchmark_group("ablation_sampling");
+    group.sample_size(10);
+    group.bench_function("prefix_evolution/64shots", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            black_box(executor.sample(&circuit, 64, &mut rng).unwrap())
+        });
+    });
+    group.bench_function("full_rerun/64shots", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let mut counts = qsim::Counts::new();
+            for _ in 0..64 {
+                let (_, bits) = executor.run(&circuit, &mut rng).unwrap();
+                let label: String = bits.iter().map(|b| if *b == 1 { '1' } else { '0' }).collect();
+                counts.record(label);
+            }
+            black_box(counts)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

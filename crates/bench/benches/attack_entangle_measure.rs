@@ -1,0 +1,22 @@
+//! Criterion bench for the entangle-and-measure attack experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_entangle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_entangle_measure");
+    group.sample_size(10);
+    group.bench_function("2trials", |b| {
+        b.iter(|| {
+            black_box(bench::channel_attack_experiment(
+                bench::ChannelAttackKind::EntangleMeasure,
+                2,
+                6,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_entangle);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for the impersonation-attack experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protocol::session::Impersonation;
+use std::hint::black_box;
+
+fn bench_impersonation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_impersonation");
+    group.sample_size(10);
+    group.bench_function("l4/5trials", |b| {
+        b.iter(|| black_box(bench::impersonation_experiment(&[4], Impersonation::OfBob, 5, 3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_impersonation);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for the intercept-and-resend attack experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_intercept(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_intercept_resend");
+    group.sample_size(10);
+    group.bench_function("2trials", |b| {
+        b.iter(|| {
+            black_box(bench::channel_attack_experiment(
+                bench::ChannelAttackKind::InterceptResend,
+                2,
+                4,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_intercept);
+criterion_main!(benches);

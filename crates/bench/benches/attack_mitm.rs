@@ -1,0 +1,22 @@
+//! Criterion bench for the man-in-the-middle attack experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_mitm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_mitm");
+    group.sample_size(10);
+    group.bench_function("2trials", |b| {
+        b.iter(|| {
+            black_box(bench::channel_attack_experiment(
+                bench::ChannelAttackKind::ManInTheMiddle,
+                2,
+                5,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mitm);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for the CHSH-estimation experiment (check-pair budget sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_chsh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chsh_estimation");
+    group.sample_size(10);
+    for d in [100usize, 400] {
+        group.bench_with_input(BenchmarkId::new("pairs", d), &d, |b, &d| {
+            b.iter(|| black_box(bench::chsh_baseline_experiment(&[d], &[0.05], 2, 7)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chsh);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for the Fig. 2 experiment (message histograms at η = 10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noise::DeviceModel;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let device = DeviceModel::ibm_brisbane_like();
+    let ideal = DeviceModel::ideal();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("noisy/eta10/64shots", |b| {
+        b.iter(|| black_box(bench::fig2_experiment(&device, 10, 64, 1)));
+    });
+    group.bench_function("ideal/eta10/64shots", |b| {
+        b.iter(|| black_box(bench::fig2_experiment(&ideal, 10, 64, 1)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for the Fig. 3 sweep (accuracy vs channel length).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noise::DeviceModel;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let device = DeviceModel::ibm_brisbane_like();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for eta in [10usize, 100, 700] {
+        group.bench_with_input(BenchmarkId::new("single_point", eta), &eta, |b, &eta| {
+            b.iter(|| black_box(bench::fig3_experiment(&device, &[eta], 32, 2)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion bench for Table I generation (protocol descriptors → comparison rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/rows", |b| {
+        b.iter(|| black_box(bench::table1_rows()));
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! # noise — Kraus channels and NISQ device models
+//!
+//! The paper runs its protocol on IBM's `ibm_brisbane` (127-qubit Eagle r3) and reports the
+//! hardware's calibration data: 60 ns identity gates with error 2.41 × 10⁻⁴, median
+//! T1 = 233.04 µs, median T2 = 145.75 µs, 4.5 % error per layered gate on a 100-qubit chain.
+//! This crate turns those numbers into a simulable noise model:
+//!
+//! - [`kraus::KrausChannel`] — CPTP maps (depolarizing, bit/phase flip, amplitude damping,
+//!   phase damping, thermal relaxation) expressed as Kraus operators and validated for
+//!   completeness.
+//! - [`readout::ReadoutError`] — classical assignment errors applied to measured bits.
+//! - [`device::DeviceModel`] — a named bundle of gate times, gate errors, T1/T2 and readout
+//!   error, with the `ibm_brisbane_like` and `ideal` presets.
+//! - [`executor::NoisyExecutor`] — runs a [`qsim::Circuit`] on the density-matrix back-end,
+//!   inserting the device's noise after every gate and corrupting measured bits with the
+//!   readout error.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use noise::prelude::*;
+//! use qsim::circuit::CircuitBuilder;
+//! use rand::SeedableRng;
+//!
+//! let device = DeviceModel::ibm_brisbane_like();
+//! let circuit = CircuitBuilder::new(2, 2)
+//!     .h(0)
+//!     .cnot(0, 1)
+//!     .identity_chain(0, 10)
+//!     .measure(0, 0)
+//!     .measure(1, 1)
+//!     .build();
+//! let executor = NoisyExecutor::new(device);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let counts = executor.sample(&circuit, 256, &mut rng).unwrap();
+//! assert_eq!(counts.total(), 256);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod executor;
+pub mod kraus;
+pub mod readout;
+
+pub use device::DeviceModel;
+pub use executor::NoisyExecutor;
+pub use kraus::KrausChannel;
+pub use readout::ReadoutError;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::device::DeviceModel;
+    pub use crate::executor::NoisyExecutor;
+    pub use crate::kraus::KrausChannel;
+    pub use crate::readout::ReadoutError;
+}

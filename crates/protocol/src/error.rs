@@ -1,0 +1,88 @@
+//! Protocol error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while configuring or running a UA-DI-QSDC session.
+///
+/// Note that a protocol *abort* (detected eavesdropper, failed authentication, …) is **not**
+/// an error: aborting is the protocol working as designed, and is reported through
+/// [`crate::session::SessionStatus`]. `ProtocolError` covers misuse of the API and simulator
+/// failures only.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The session configuration is internally inconsistent.
+    InvalidConfig(
+        /// Human-readable description of the inconsistency.
+        String,
+    ),
+    /// An identity string had an odd number of bits (each qubit encodes exactly two).
+    OddIdentityLength(
+        /// The offending bit length.
+        usize,
+    ),
+    /// The supplied message does not match the configured length.
+    MessageLengthMismatch {
+        /// Bits expected by the configuration.
+        expected: usize,
+        /// Bits supplied.
+        actual: usize,
+    },
+    /// The underlying quantum simulator reported an error.
+    Simulation(
+        /// The simulator error message.
+        String,
+    ),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::InvalidConfig(msg) => write!(f, "invalid session configuration: {msg}"),
+            ProtocolError::OddIdentityLength(len) => {
+                write!(f, "identity strings must have an even number of bits, got {len}")
+            }
+            ProtocolError::MessageLengthMismatch { expected, actual } => write!(
+                f,
+                "message length mismatch: configuration expects {expected} bits, got {actual}"
+            ),
+            ProtocolError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+impl From<qsim::QsimError> for ProtocolError {
+    fn from(err: qsim::QsimError) -> Self {
+        ProtocolError::Simulation(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ProtocolError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(ProtocolError::OddIdentityLength(3).to_string().contains('3'));
+        assert!(ProtocolError::MessageLengthMismatch {
+            expected: 8,
+            actual: 6
+        }
+        .to_string()
+        .contains('8'));
+        let sim: ProtocolError = qsim::QsimError::NotNormalized.into();
+        assert!(sim.to_string().contains("normalised"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProtocolError>();
+    }
+}

@@ -1,0 +1,451 @@
+//! Secret messages and check-bit padding.
+//!
+//! Alice's `n`-bit secret message `m` is padded with `c` random check bits at random positions
+//! to form `m'` of length `n + c = 2N`; the check bits are later revealed publicly so Bob can
+//! estimate the transmission error rate without exposing any message bit.
+
+use crate::error::ProtocolError;
+use qsim::pauli::Pauli;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The secret `n`-bit message Alice wants to deliver.
+///
+/// # Examples
+///
+/// ```rust
+/// use protocol::message::SecretMessage;
+///
+/// let m = SecretMessage::from_bits(vec![true, false, true, true]);
+/// assert_eq!(m.len(), 4);
+/// assert_eq!(m.to_bitstring(), "1011");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SecretMessage {
+    bits: Vec<bool>,
+}
+
+impl SecretMessage {
+    /// Creates a message from raw bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Self { bits }
+    }
+
+    /// Creates a message from an ASCII `0`/`1` string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if the string contains other characters.
+    pub fn from_bitstring(s: &str) -> Result<Self, ProtocolError> {
+        let mut bits = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            match ch {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                other => {
+                    return Err(ProtocolError::InvalidConfig(format!(
+                        "message bitstring contains non-binary character {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Self { bits })
+    }
+
+    /// Generates a uniformly random message of `n` bits.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        Self {
+            bits: (0..n).map(|_| rng.gen::<bool>()).collect(),
+        }
+    }
+
+    /// Encodes a UTF-8 string as a message (8 bits per byte, MSB first).
+    pub fn from_text(text: &str) -> Self {
+        let bits = text
+            .bytes()
+            .flat_map(|byte| (0..8).rev().map(move |i| (byte >> i) & 1 == 1))
+            .collect();
+        Self { bits }
+    }
+
+    /// Decodes the message back to text (lossy: trailing partial bytes are dropped, invalid
+    /// UTF-8 is replaced).
+    pub fn to_text_lossy(&self) -> String {
+        let bytes: Vec<u8> = self
+            .bits
+            .chunks(8)
+            .filter(|chunk| chunk.len() == 8)
+            .map(|chunk| chunk.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
+            .collect();
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` for the empty message.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The raw bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The message as an ASCII `0`/`1` string.
+    pub fn to_bitstring(&self) -> String {
+        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+
+    /// Bit error rate relative to another message of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn bit_error_rate(&self, other: &SecretMessage) -> f64 {
+        assert_eq!(self.len(), other.len(), "messages must have equal length");
+        if self.is_empty() {
+            return 0.0;
+        }
+        let errors = self
+            .bits
+            .iter()
+            .zip(other.bits.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        errors as f64 / self.len() as f64
+    }
+}
+
+impl fmt::Display for SecretMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_bitstring())
+    }
+}
+
+/// The padded message `m'`: the secret bits plus `c` check bits at random positions, ready to
+/// be encoded two bits per qubit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaddedMessage {
+    bits: Vec<bool>,
+    check_positions: Vec<usize>,
+    check_values: Vec<bool>,
+}
+
+impl PaddedMessage {
+    /// Builds `m'` by inserting `check_bits` random check bits into `message` at random
+    /// positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if the total length `n + c` is odd (it must be
+    /// `2N` to map onto `N` qubits) or the message is empty.
+    pub fn embed<R: Rng + ?Sized>(
+        message: &SecretMessage,
+        check_bits: usize,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
+        if message.is_empty() {
+            return Err(ProtocolError::InvalidConfig(
+                "cannot pad an empty message".into(),
+            ));
+        }
+        let total = message.len() + check_bits;
+        if total % 2 != 0 {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "padded length n + c = {total} must be even (two bits per qubit)"
+            )));
+        }
+        // Choose which of the `total` slots hold check bits.
+        let mut slots: Vec<usize> = (0..total).collect();
+        slots.shuffle(rng);
+        let mut check_positions: Vec<usize> = slots.into_iter().take(check_bits).collect();
+        check_positions.sort_unstable();
+        let check_values: Vec<bool> = (0..check_bits).map(|_| rng.gen::<bool>()).collect();
+
+        let mut bits = Vec::with_capacity(total);
+        let mut message_iter = message.bits().iter();
+        let mut check_iter = check_values.iter();
+        for slot in 0..total {
+            if check_positions.binary_search(&slot).is_ok() {
+                bits.push(*check_iter.next().expect("one value per check position"));
+            } else {
+                bits.push(*message_iter.next().expect("message bits fill non-check slots"));
+            }
+        }
+        Ok(Self {
+            bits,
+            check_positions,
+            check_values,
+        })
+    }
+
+    /// Reconstructs a padded message from received bits plus the publicly revealed check-bit
+    /// positions and values (Bob's view after Alice's reveal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if positions/values are inconsistent with the
+    /// received length.
+    pub fn from_received(
+        bits: Vec<bool>,
+        check_positions: Vec<usize>,
+        check_values: Vec<bool>,
+    ) -> Result<Self, ProtocolError> {
+        if check_positions.len() != check_values.len() {
+            return Err(ProtocolError::InvalidConfig(
+                "check positions and values must have equal length".into(),
+            ));
+        }
+        if check_positions.iter().any(|&p| p >= bits.len()) {
+            return Err(ProtocolError::InvalidConfig(
+                "check position outside the received bit string".into(),
+            ));
+        }
+        Ok(Self {
+            bits,
+            check_positions,
+            check_values,
+        })
+    }
+
+    /// Total length `2N = n + c`.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` when there are no bits (never the case for a validly constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of qubits needed (`N`).
+    pub fn qubit_len(&self) -> usize {
+        self.bits.len() / 2
+    }
+
+    /// The padded bits `m'`.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The check-bit positions (sorted).
+    pub fn check_positions(&self) -> &[usize] {
+        &self.check_positions
+    }
+
+    /// The check-bit values, in position order.
+    pub fn check_values(&self) -> &[bool] {
+        &self.check_values
+    }
+
+    /// The Pauli operators encoding `m'`, two bits per operator.
+    pub fn as_paulis(&self) -> Vec<Pauli> {
+        self.bits
+            .chunks(2)
+            .map(|pair| Pauli::from_bits(pair[0], pair[1]))
+            .collect()
+    }
+
+    /// Rebuilds padded bits from decoded Pauli operators (Bob's decoding step).
+    pub fn bits_from_paulis(paulis: &[Pauli]) -> Vec<bool> {
+        paulis
+            .iter()
+            .flat_map(|p| {
+                let (msb, lsb) = p.to_bits();
+                [msb, lsb]
+            })
+            .collect()
+    }
+
+    /// Error rate observed on the check bits of a received bit string relative to this padded
+    /// message's check values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received` has a different length.
+    pub fn check_bit_error_rate(&self, received: &[bool]) -> f64 {
+        assert_eq!(received.len(), self.len(), "received length mismatch");
+        if self.check_positions.is_empty() {
+            return 0.0;
+        }
+        let errors = self
+            .check_positions
+            .iter()
+            .zip(self.check_values.iter())
+            .filter(|(&pos, &val)| received[pos] != val)
+            .count();
+        errors as f64 / self.check_positions.len() as f64
+    }
+
+    /// Strips the check bits out of a received bit string, recovering the message bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received` has a different length.
+    pub fn extract_message(&self, received: &[bool]) -> SecretMessage {
+        assert_eq!(received.len(), self.len(), "received length mismatch");
+        let bits = received
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.check_positions.binary_search(i).is_err())
+            .map(|(_, &b)| b)
+            .collect();
+        SecretMessage::from_bits(bits)
+    }
+
+    /// The original secret message (what `extract_message` recovers from an error-free
+    /// transmission).
+    pub fn message(&self) -> SecretMessage {
+        self.extract_message(&self.bits)
+    }
+}
+
+impl fmt::Display for PaddedMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "m' ({} bits, {} check bits)",
+            self.len(),
+            self.check_positions.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn secret_message_constructors() {
+        let m = SecretMessage::from_bitstring("1010").unwrap();
+        assert_eq!(m.bits(), &[true, false, true, false]);
+        assert_eq!(m.to_bitstring(), "1010");
+        assert_eq!(m.to_string(), "1010");
+        assert!(SecretMessage::from_bitstring("10a1").is_err());
+        let r = SecretMessage::random(32, &mut rng());
+        assert_eq!(r.len(), 32);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let m = SecretMessage::from_text("Hi");
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.to_text_lossy(), "Hi");
+    }
+
+    #[test]
+    fn bit_error_rate() {
+        let a = SecretMessage::from_bitstring("1100").unwrap();
+        let b = SecretMessage::from_bitstring("1001").unwrap();
+        assert!((a.bit_error_rate(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.bit_error_rate(&a), 0.0);
+    }
+
+    #[test]
+    fn embedding_preserves_message_and_length() {
+        let mut r = rng();
+        let message = SecretMessage::random(20, &mut r);
+        let padded = PaddedMessage::embed(&message, 6, &mut r).unwrap();
+        assert_eq!(padded.len(), 26);
+        assert_eq!(padded.qubit_len(), 13);
+        assert_eq!(padded.check_positions().len(), 6);
+        assert_eq!(padded.check_values().len(), 6);
+        assert_eq!(padded.message(), message);
+        assert!(!padded.is_empty());
+        assert!(padded.to_string().contains("check"));
+    }
+
+    #[test]
+    fn embedding_rejects_odd_total_and_empty_message() {
+        let mut r = rng();
+        let message = SecretMessage::random(5, &mut r);
+        assert!(PaddedMessage::embed(&message, 2, &mut r).is_err());
+        let empty = SecretMessage::from_bits(vec![]);
+        assert!(PaddedMessage::embed(&empty, 2, &mut r).is_err());
+    }
+
+    #[test]
+    fn pauli_round_trip() {
+        let mut r = rng();
+        let message = SecretMessage::random(10, &mut r);
+        let padded = PaddedMessage::embed(&message, 4, &mut r).unwrap();
+        let paulis = padded.as_paulis();
+        assert_eq!(paulis.len(), padded.qubit_len());
+        let recovered = PaddedMessage::bits_from_paulis(&paulis);
+        assert_eq!(recovered, padded.bits());
+    }
+
+    #[test]
+    fn check_bit_error_rate_detects_flips() {
+        let mut r = rng();
+        let message = SecretMessage::random(8, &mut r);
+        let padded = PaddedMessage::embed(&message, 4, &mut r).unwrap();
+        // Error-free reception.
+        assert_eq!(padded.check_bit_error_rate(padded.bits()), 0.0);
+        // Flip every check bit.
+        let mut corrupted = padded.bits().to_vec();
+        for &pos in padded.check_positions() {
+            corrupted[pos] = !corrupted[pos];
+        }
+        assert!((padded.check_bit_error_rate(&corrupted) - 1.0).abs() < 1e-12);
+        // Flipping a non-check bit does not affect the check error rate.
+        let mut corrupted = padded.bits().to_vec();
+        let non_check = (0..padded.len())
+            .find(|i| padded.check_positions().binary_search(i).is_err())
+            .unwrap();
+        corrupted[non_check] = !corrupted[non_check];
+        assert_eq!(padded.check_bit_error_rate(&corrupted), 0.0);
+    }
+
+    #[test]
+    fn extract_message_recovers_payload_despite_check_bit_errors() {
+        let mut r = rng();
+        let message = SecretMessage::random(8, &mut r);
+        let padded = PaddedMessage::embed(&message, 4, &mut r).unwrap();
+        let mut corrupted = padded.bits().to_vec();
+        for &pos in padded.check_positions() {
+            corrupted[pos] = !corrupted[pos];
+        }
+        assert_eq!(padded.extract_message(&corrupted), message);
+    }
+
+    #[test]
+    fn from_received_validates() {
+        assert!(PaddedMessage::from_received(vec![true, false], vec![0], vec![true]).is_ok());
+        assert!(PaddedMessage::from_received(vec![true], vec![3], vec![true]).is_err());
+        assert!(PaddedMessage::from_received(vec![true], vec![0], vec![]).is_err());
+    }
+
+    #[test]
+    fn check_positions_are_sorted_and_within_range() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let message = SecretMessage::random(14, &mut r);
+            let padded = PaddedMessage::embed(&message, 6, &mut r).unwrap();
+            let pos = padded.check_positions();
+            assert!(pos.windows(2).all(|w| w[0] < w[1]));
+            assert!(pos.iter().all(|&p| p < padded.len()));
+        }
+    }
+
+    #[test]
+    fn zero_check_bits_is_allowed() {
+        let mut r = rng();
+        let message = SecretMessage::random(8, &mut r);
+        let padded = PaddedMessage::embed(&message, 0, &mut r).unwrap();
+        assert_eq!(padded.check_bit_error_rate(padded.bits()), 0.0);
+        assert_eq!(padded.message(), message);
+    }
+}

@@ -1,0 +1,301 @@
+//! The EPR-pair working unit.
+//!
+//! Every resource the protocol consumes is one `|Φ+⟩` pair: Alice holds the first qubit (the
+//! one that later flies through the quantum channel), Bob holds the second. [`EprPair`] wraps
+//! a two-qubit density matrix with that fixed role assignment and exposes exactly the
+//! operations the protocol needs: Pauli encoding on either half, basis measurements for the
+//! DI check, Bell-state measurement for decoding, and fidelity bookkeeping.
+
+use noise::DeviceModel;
+use qsim::bell::{bell_measure_density, BellOutcome, BellState};
+use qsim::density::DensityMatrix;
+use qsim::measurement::MeasurementOutcome;
+use qsim::pauli::Pauli;
+use qsim::statevector::StateVector;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of Alice's qubit inside an [`EprPair`].
+pub const ALICE_QUBIT: usize = 0;
+/// Index of Bob's qubit inside an [`EprPair`].
+pub const BOB_QUBIT: usize = 1;
+
+/// One shared `|Φ+⟩` pair (possibly degraded by noise or an eavesdropper).
+///
+/// # Examples
+///
+/// ```rust
+/// use qchannel::epr::EprPair;
+/// use qsim::pauli::Pauli;
+/// use qsim::bell::BellState;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut pair = EprPair::ideal();
+/// pair.apply_alice_pauli(Pauli::X);
+/// let outcome = pair.bell_measure(&mut rng);
+/// assert_eq!(outcome.state, BellState::PsiPlus);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EprPair {
+    rho: DensityMatrix,
+}
+
+impl EprPair {
+    /// Creates a perfect `|Φ+⟩` pair.
+    pub fn ideal() -> Self {
+        Self {
+            rho: DensityMatrix::from_statevector(&BellState::PhiPlus.statevector()),
+        }
+    }
+
+    /// Creates a pair emitted by a noisy source: a perfect `|Φ+⟩` degraded by the device's
+    /// two-qubit gate channel and per-qubit state-preparation error (a simple but honest model
+    /// of an imperfect entanglement source).
+    pub fn from_noisy_source(device: &DeviceModel) -> Self {
+        let mut pair = Self::ideal();
+        if !device.is_ideal() {
+            device.two_qubit_gate_channel().apply(&mut pair.rho, &[ALICE_QUBIT, BOB_QUBIT]);
+            let prep = device.state_prep_channel();
+            prep.apply(&mut pair.rho, &[ALICE_QUBIT]);
+            prep.apply(&mut pair.rho, &[BOB_QUBIT]);
+        }
+        pair
+    }
+
+    /// Wraps an existing two-qubit density matrix as a pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the density matrix is not exactly two qubits.
+    pub fn from_density(rho: DensityMatrix) -> Self {
+        assert_eq!(rho.num_qubits(), 2, "an EPR pair is exactly two qubits");
+        Self { rho }
+    }
+
+    /// Builds a (separable) pair of fresh single qubits in the state `|a⟩ ⊗ |b⟩` — what a
+    /// man-in-the-middle attacker substitutes for the real pair.
+    pub fn separable(alice_bit: u8, bob_bit: u8) -> Self {
+        let mut state = StateVector::new(2);
+        if alice_bit == 1 {
+            state.apply_single(&qsim::gates::pauli_x(), ALICE_QUBIT);
+        }
+        if bob_bit == 1 {
+            state.apply_single(&qsim::gates::pauli_x(), BOB_QUBIT);
+        }
+        Self {
+            rho: DensityMatrix::from_statevector(&state),
+        }
+    }
+
+    /// Immutable view of the underlying density matrix.
+    pub fn density(&self) -> &DensityMatrix {
+        &self.rho
+    }
+
+    /// Mutable view of the underlying density matrix (used by eavesdropper taps).
+    pub fn density_mut(&mut self) -> &mut DensityMatrix {
+        &mut self.rho
+    }
+
+    /// Consumes the pair and returns the density matrix.
+    pub fn into_density(self) -> DensityMatrix {
+        self.rho
+    }
+
+    /// Applies a Pauli encoding operator to Alice's qubit (message / identity encoding).
+    pub fn apply_alice_pauli(&mut self, pauli: Pauli) {
+        self.rho.apply_single(&pauli.matrix(), ALICE_QUBIT);
+    }
+
+    /// Applies a Pauli encoding operator to Bob's qubit (Bob encoding `id_B` on `D_B`).
+    pub fn apply_bob_pauli(&mut self, pauli: Pauli) {
+        self.rho.apply_single(&pauli.matrix(), BOB_QUBIT);
+    }
+
+    /// Applies an arbitrary single-qubit unitary to Alice's qubit.
+    pub fn apply_alice_unitary(&mut self, gate: &mathkit::CMatrix) {
+        self.rho.apply_single(gate, ALICE_QUBIT);
+    }
+
+    /// Applies an arbitrary single-qubit unitary to Bob's qubit.
+    pub fn apply_bob_unitary(&mut self, gate: &mathkit::CMatrix) {
+        self.rho.apply_single(gate, BOB_QUBIT);
+    }
+
+    /// Measures Alice's qubit in the basis `B(θ)` (DI-check measurement), collapsing the pair.
+    pub fn measure_alice_in_basis<R: Rng + ?Sized>(
+        &mut self,
+        theta: f64,
+        rng: &mut R,
+    ) -> MeasurementOutcome {
+        self.rho.measure_in_basis(ALICE_QUBIT, theta, rng)
+    }
+
+    /// Measures Bob's qubit in the basis `B(θ)` (DI-check measurement), collapsing the pair.
+    pub fn measure_bob_in_basis<R: Rng + ?Sized>(
+        &mut self,
+        theta: f64,
+        rng: &mut R,
+    ) -> MeasurementOutcome {
+        self.rho.measure_in_basis(BOB_QUBIT, theta, rng)
+    }
+
+    /// Performs a Bell-state measurement across the two halves (Bob's decoding measurement).
+    pub fn bell_measure<R: Rng + ?Sized>(&mut self, rng: &mut R) -> BellOutcome {
+        bell_measure_density(&mut self.rho, ALICE_QUBIT, BOB_QUBIT, rng)
+    }
+
+    /// Measures both halves in the computational basis (used by some attack strategies).
+    pub fn measure_computational<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (u8, u8) {
+        let a = self.rho.measure(ALICE_QUBIT, rng);
+        let b = self.rho.measure(BOB_QUBIT, rng);
+        (a, b)
+    }
+
+    /// Fidelity of the pair with the ideal `|Φ+⟩` state.
+    pub fn fidelity_phi_plus(&self) -> f64 {
+        self.rho
+            .fidelity_with_pure(&BellState::PhiPlus.statevector())
+    }
+
+    /// Fidelity of the pair with an arbitrary Bell state.
+    pub fn fidelity_with(&self, bell: BellState) -> f64 {
+        self.rho.fidelity_with_pure(&bell.statevector())
+    }
+
+    /// Purity of the two-qubit state.
+    pub fn purity(&self) -> f64 {
+        self.rho.purity()
+    }
+
+    /// Returns `true` when the reduced state of either half is (close to) maximally mixed —
+    /// a quick entanglement sanity check for tests.
+    pub fn halves_look_maximally_mixed(&self, tol: f64) -> bool {
+        let a = self.rho.partial_trace(&[ALICE_QUBIT]);
+        let b = self.rho.partial_trace(&[BOB_QUBIT]);
+        (a.purity() - 0.5).abs() <= tol && (b.purity() - 0.5).abs() <= tol
+    }
+}
+
+impl Default for EprPair {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+impl fmt::Display for EprPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EprPair(F(Φ+)={:.4}, purity={:.4})",
+            self.fidelity_phi_plus(),
+            self.purity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn ideal_pair_is_phi_plus() {
+        let pair = EprPair::ideal();
+        assert!((pair.fidelity_phi_plus() - 1.0).abs() < 1e-10);
+        assert!((pair.purity() - 1.0).abs() < 1e-10);
+        assert!(pair.halves_look_maximally_mixed(1e-9));
+        assert_eq!(EprPair::default(), pair);
+    }
+
+    #[test]
+    fn noisy_source_pairs_are_slightly_degraded() {
+        let pair = EprPair::from_noisy_source(&DeviceModel::ibm_brisbane_like());
+        let f = pair.fidelity_phi_plus();
+        assert!(f < 1.0, "noisy source must not be perfect");
+        assert!(f > 0.97, "but the degradation should be small, got {f}");
+        let ideal = EprPair::from_noisy_source(&DeviceModel::ideal());
+        assert!((ideal.fidelity_phi_plus() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pauli_encoding_and_bell_measurement_round_trip() {
+        let mut r = rng();
+        for pauli in Pauli::ALL {
+            let mut pair = EprPair::ideal();
+            pair.apply_alice_pauli(pauli);
+            let outcome = pair.bell_measure(&mut r);
+            assert_eq!(outcome.state.encoding_pauli(), pauli);
+        }
+    }
+
+    #[test]
+    fn bob_side_encoding_composes_with_alice_side() {
+        // Applying P on Alice's half and Q on Bob's half of Φ+ yields the Bell state of the
+        // composed operator (because Q applied to Bob's half of Φ+ equals Qᵀ on Alice's half,
+        // and our alphabet is real so Qᵀ ~ Q up to the global sign of iσy).
+        let mut r = rng();
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let mut pair = EprPair::ideal();
+                pair.apply_alice_pauli(a);
+                pair.apply_bob_pauli(b);
+                let outcome = pair.bell_measure(&mut r);
+                assert_eq!(outcome.state.encoding_pauli(), a.compose(b));
+            }
+        }
+    }
+
+    #[test]
+    fn separable_pairs_have_no_entanglement() {
+        let pair = EprPair::separable(0, 1);
+        assert!(!pair.halves_look_maximally_mixed(0.1));
+        assert!((pair.fidelity_phi_plus() - 0.0).abs() < 1e-10);
+        let mut r = rng();
+        let mut pair = EprPair::separable(1, 1);
+        assert_eq!(pair.measure_computational(&mut r), (1, 1));
+    }
+
+    #[test]
+    fn basis_measurements_on_phi_plus_are_correlated_at_equal_angles() {
+        // Measuring both halves of Φ+ in B(θ_A) and B(−θ_A) gives perfectly correlated ±1
+        // outcomes (the conjugated-phase convention — see qsim::measurement).
+        let mut r = rng();
+        for _ in 0..50 {
+            let mut pair = EprPair::ideal();
+            let a = pair.measure_alice_in_basis(std::f64::consts::FRAC_PI_4, &mut r);
+            let b = pair.measure_bob_in_basis(-std::f64::consts::FRAC_PI_4, &mut r);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn from_density_requires_two_qubits() {
+        let rho = DensityMatrix::new(2);
+        let pair = EprPair::from_density(rho);
+        assert_eq!(pair.density().num_qubits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two qubits")]
+    fn from_density_rejects_wrong_size() {
+        let _ = EprPair::from_density(DensityMatrix::new(3));
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        let mut pair = EprPair::ideal();
+        assert!(pair.to_string().contains("F(Φ+)"));
+        pair.density_mut()
+            .apply_single(&qsim::gates::pauli_x(), ALICE_QUBIT);
+        assert!((pair.fidelity_with(BellState::PsiPlus) - 1.0).abs() < 1e-10);
+        let rho = pair.into_density();
+        assert_eq!(rho.num_qubits(), 2);
+    }
+}

@@ -1,0 +1,319 @@
+//! The quantum channel.
+//!
+//! The paper emulates the channel between Alice and Bob as a chain of η identity gates, each
+//! 60 ns long and subject to the device's identity-gate error; Bob's half of the pair idles
+//! (and decoheres) for the same duration. [`QuantumChannel`] implements exactly that, plus the
+//! [`ChannelTap`] hook that lets eavesdropper models touch qubits in flight.
+
+use crate::epr::{EprPair, ALICE_QUBIT, BOB_QUBIT};
+use noise::DeviceModel;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Static description of a quantum channel: its length (in identity gates) and the device
+/// noise model governing each gate.
+///
+/// # Examples
+///
+/// ```rust
+/// use qchannel::quantum::ChannelSpec;
+/// use noise::DeviceModel;
+///
+/// let spec = ChannelSpec::noisy_identity_chain(700, DeviceModel::ibm_brisbane_like());
+/// assert_eq!(spec.length(), 700);
+/// assert!((spec.duration_us() - 42.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSpec {
+    length: usize,
+    device: DeviceModel,
+}
+
+impl ChannelSpec {
+    /// A zero-length, noiseless channel.
+    pub fn ideal() -> Self {
+        Self {
+            length: 0,
+            device: DeviceModel::ideal(),
+        }
+    }
+
+    /// A channel of `length` noisy identity gates under the given device model — the paper's
+    /// emulation of a physical channel (Section IV).
+    pub fn noisy_identity_chain(length: usize, device: DeviceModel) -> Self {
+        Self { length, device }
+    }
+
+    /// Number of identity gates in the chain (the paper's η).
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// The device model governing gate noise.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Total channel duration in microseconds (η × identity-gate time).
+    pub fn duration_us(&self) -> f64 {
+        self.length as f64 * self.device.identity_gate_time_ns() / 1000.0
+    }
+
+    /// Replaces the channel length (builder-style), keeping the device model.
+    #[must_use]
+    pub fn with_length(mut self, length: usize) -> Self {
+        self.length = length;
+        self
+    }
+}
+
+impl Default for ChannelSpec {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+impl fmt::Display for ChannelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel(η={}, {:.2} µs, device={})",
+            self.length,
+            self.duration_us(),
+            self.device.name()
+        )
+    }
+}
+
+/// An eavesdropper's hook into the quantum channel.
+///
+/// Attack strategies implement this trait; the protocol invokes the tap at the two points an
+/// eavesdropper can physically act:
+///
+/// - [`ChannelTap::on_pair_emitted`] — right after the (possibly Eve-controlled) source emits
+///   a pair, before either party stores it;
+/// - [`ChannelTap::on_transmit`] — while Alice's encoded qubit flies to Bob through the
+///   channel.
+///
+/// Both default to doing nothing, so an attack only overrides the point(s) it uses.
+pub trait ChannelTap {
+    /// Called once per emitted EPR pair, before distribution.
+    fn on_pair_emitted(&mut self, _pair: &mut EprPair, _rng: &mut dyn RngCore) {}
+
+    /// Called once per pair while Alice's qubit is in flight to Bob.
+    fn on_transmit(&mut self, _pair: &mut EprPair, _rng: &mut dyn RngCore) {}
+
+    /// Human-readable name of the attack (for reports).
+    fn name(&self) -> &str {
+        "passive"
+    }
+}
+
+/// A no-op tap: the honest channel with no eavesdropper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoTap;
+
+impl ChannelTap for NoTap {
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
+/// The quantum channel between Alice and Bob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantumChannel {
+    spec: ChannelSpec,
+}
+
+impl QuantumChannel {
+    /// Creates a channel from its spec.
+    pub fn new(spec: ChannelSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The channel's spec.
+    pub fn spec(&self) -> &ChannelSpec {
+        &self.spec
+    }
+
+    /// Transmits Alice's half of `pair` to Bob: applies η noisy identity gates to the flying
+    /// qubit and, when the device models it, thermal idling to Bob's stored qubit for the same
+    /// duration.
+    pub fn transmit<R: RngCore + ?Sized>(&self, pair: &mut EprPair, _rng: &mut R) {
+        let device = self.spec.device();
+        if device.is_ideal() || self.spec.length == 0 {
+            return;
+        }
+        let gate_channel = device.identity_gate_channel();
+        let idle_channel = device.idle_channel(device.identity_gate_time_ns());
+        for _ in 0..self.spec.length {
+            gate_channel.apply(pair.density_mut(), &[ALICE_QUBIT]);
+            if device.idle_partner_noise() {
+                idle_channel.apply(pair.density_mut(), &[BOB_QUBIT]);
+            }
+        }
+    }
+
+    /// Transmits the pair through the channel with an eavesdropper tap attached: the tap's
+    /// [`ChannelTap::on_transmit`] runs first (Eve intercepts at the channel entrance), then
+    /// the physical noise is applied.
+    pub fn transmit_tapped(
+        &self,
+        pair: &mut EprPair,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) {
+        tap.on_transmit(pair, rng);
+        self.transmit(pair, rng);
+    }
+
+    /// Distributes a freshly emitted pair to the two parties, letting the tap act first
+    /// (Eve may control the source in the device-independent threat model).
+    pub fn distribute_tapped(
+        &self,
+        pair: &mut EprPair,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) {
+        tap.on_pair_emitted(pair, rng);
+    }
+}
+
+impl Default for QuantumChannel {
+    fn default() -> Self {
+        Self::new(ChannelSpec::ideal())
+    }
+}
+
+impl fmt::Display for QuantumChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QuantumChannel[{}]", self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::pauli::Pauli;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn spec_metadata() {
+        let spec = ChannelSpec::noisy_identity_chain(700, DeviceModel::ibm_brisbane_like());
+        assert_eq!(spec.length(), 700);
+        assert!((spec.duration_us() - 42.0).abs() < 1e-9);
+        assert_eq!(spec.device().name(), "ibm_brisbane_like");
+        let shorter = spec.clone().with_length(10);
+        assert_eq!(shorter.length(), 10);
+        assert!((shorter.duration_us() - 0.6).abs() < 1e-9);
+        assert_eq!(ChannelSpec::default(), ChannelSpec::ideal());
+        assert!(spec.to_string().contains("η=700"));
+    }
+
+    #[test]
+    fn ideal_channel_leaves_pairs_untouched() {
+        let channel = QuantumChannel::new(ChannelSpec::ideal());
+        let mut pair = EprPair::ideal();
+        channel.transmit(&mut pair, &mut rng());
+        assert!((pair.fidelity_phi_plus() - 1.0).abs() < 1e-10);
+        assert_eq!(QuantumChannel::default(), channel);
+    }
+
+    #[test]
+    fn short_noisy_channel_keeps_high_fidelity() {
+        let channel = QuantumChannel::new(ChannelSpec::noisy_identity_chain(
+            10,
+            DeviceModel::ibm_brisbane_like(),
+        ));
+        let mut pair = EprPair::ideal();
+        channel.transmit(&mut pair, &mut rng());
+        let f = pair.fidelity_phi_plus();
+        assert!(f > 0.99, "η=10 should barely degrade the pair, got {f}");
+        assert!(f < 1.0);
+    }
+
+    #[test]
+    fn long_noisy_channel_degrades_fidelity_substantially() {
+        let device = DeviceModel::ibm_brisbane_like();
+        let short = QuantumChannel::new(ChannelSpec::noisy_identity_chain(10, device.clone()));
+        let long = QuantumChannel::new(ChannelSpec::noisy_identity_chain(700, device));
+        let mut a = EprPair::ideal();
+        let mut b = EprPair::ideal();
+        short.transmit(&mut a, &mut rng());
+        long.transmit(&mut b, &mut rng());
+        assert!(b.fidelity_phi_plus() < a.fidelity_phi_plus() - 0.1);
+        assert!(b.fidelity_phi_plus() > 0.3, "700 gates must not fully destroy the state");
+    }
+
+    #[test]
+    fn channel_noise_commutes_with_encoding_for_detection_purposes() {
+        // Encoding then transmitting still decodes to the right Bell state most of the time
+        // on a short channel.
+        let channel = QuantumChannel::new(ChannelSpec::noisy_identity_chain(
+            10,
+            DeviceModel::ibm_brisbane_like(),
+        ));
+        let mut r = rng();
+        let mut correct = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let mut pair = EprPair::ideal();
+            pair.apply_alice_pauli(Pauli::X);
+            channel.transmit(&mut pair, &mut r);
+            if pair.bell_measure(&mut r).state.encoding_pauli() == Pauli::X {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / trials as f64 > 0.9);
+    }
+
+    #[test]
+    fn taps_are_invoked() {
+        struct CountingTap {
+            emitted: usize,
+            transmitted: usize,
+        }
+        impl ChannelTap for CountingTap {
+            fn on_pair_emitted(&mut self, _pair: &mut EprPair, _rng: &mut dyn RngCore) {
+                self.emitted += 1;
+            }
+            fn on_transmit(&mut self, pair: &mut EprPair, _rng: &mut dyn RngCore) {
+                self.transmitted += 1;
+                pair.apply_alice_pauli(Pauli::Z);
+            }
+            fn name(&self) -> &str {
+                "counting"
+            }
+        }
+        let channel = QuantumChannel::new(ChannelSpec::ideal());
+        let mut tap = CountingTap {
+            emitted: 0,
+            transmitted: 0,
+        };
+        let mut pair = EprPair::ideal();
+        let mut r = rng();
+        channel.distribute_tapped(&mut pair, &mut tap, &mut r);
+        channel.transmit_tapped(&mut pair, &mut tap, &mut r);
+        assert_eq!(tap.emitted, 1);
+        assert_eq!(tap.transmitted, 1);
+        assert_eq!(tap.name(), "counting");
+        // The tap's Z shows up in the decoded Bell state.
+        assert!((pair.fidelity_with(qsim::bell::BellState::PhiMinus) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn no_tap_is_a_no_op() {
+        let channel = QuantumChannel::new(ChannelSpec::ideal());
+        let mut pair = EprPair::ideal();
+        let mut tap = NoTap;
+        channel.distribute_tapped(&mut pair, &mut tap, &mut rng());
+        channel.transmit_tapped(&mut pair, &mut tap, &mut rng());
+        assert!((pair.fidelity_phi_plus() - 1.0).abs() < 1e-10);
+        assert_eq!(tap.name(), "none");
+    }
+}

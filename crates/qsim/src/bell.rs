@@ -1,0 +1,377 @@
+//! Bell states and Bell-state measurement (BSM).
+//!
+//! The protocol's whole data path is Bell-state algebra: the source distributes `|Φ+⟩` pairs,
+//! Alice's Pauli encoding maps `|Φ+⟩` to one of the four Bell states, and Bob decodes with a
+//! Bell-state measurement. This module names the four states, builds them, and implements the
+//! BSM as the standard CNOT + Hadamard disentangling circuit followed by computational-basis
+//! readout.
+
+use crate::gates;
+use crate::pauli::Pauli;
+use crate::statevector::StateVector;
+use mathkit::complex::Complex64;
+use mathkit::vector::CVector;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::FRAC_1_SQRT_2;
+use std::fmt;
+
+/// One of the four maximally entangled two-qubit Bell states.
+///
+/// # Examples
+///
+/// ```rust
+/// use qsim::bell::BellState;
+/// use qsim::pauli::Pauli;
+///
+/// // Applying σx to the first qubit of |Φ+⟩ yields |Ψ+⟩.
+/// assert_eq!(BellState::PhiPlus.after_pauli(Pauli::X), BellState::PsiPlus);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BellState {
+    /// `|Φ+⟩ = (|00⟩ + |11⟩)/√2` — the state the EPR source emits.
+    PhiPlus,
+    /// `|Φ−⟩ = (|00⟩ − |11⟩)/√2`.
+    PhiMinus,
+    /// `|Ψ+⟩ = (|01⟩ + |10⟩)/√2`.
+    PsiPlus,
+    /// `|Ψ−⟩ = (|01⟩ − |10⟩)/√2`.
+    PsiMinus,
+}
+
+impl BellState {
+    /// All four Bell states in the order `Φ+, Φ−, Ψ+, Ψ−`.
+    pub const ALL: [BellState; 4] = [
+        BellState::PhiPlus,
+        BellState::PhiMinus,
+        BellState::PsiPlus,
+        BellState::PsiMinus,
+    ];
+
+    /// The two-qubit statevector of this Bell state.
+    pub fn statevector(self) -> StateVector {
+        let s = FRAC_1_SQRT_2;
+        let amps = match self {
+            BellState::PhiPlus => vec![
+                Complex64::real(s),
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::real(s),
+            ],
+            BellState::PhiMinus => vec![
+                Complex64::real(s),
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::real(-s),
+            ],
+            BellState::PsiPlus => vec![
+                Complex64::ZERO,
+                Complex64::real(s),
+                Complex64::real(s),
+                Complex64::ZERO,
+            ],
+            BellState::PsiMinus => vec![
+                Complex64::ZERO,
+                Complex64::real(s),
+                Complex64::real(-s),
+                Complex64::ZERO,
+            ],
+        };
+        StateVector::from_amplitudes(CVector::new(amps))
+            .expect("Bell state amplitudes are normalised by construction")
+    }
+
+    /// The Bell state obtained by applying `pauli` to the **first** qubit of `self`,
+    /// ignoring global phase.
+    ///
+    /// This is the encoding map of the protocol: starting from `|Φ+⟩`, the operators
+    /// `I, σz, σx, iσy` produce `Φ+, Φ−, Ψ+, Ψ−` respectively.
+    pub fn after_pauli(self, pauli: Pauli) -> BellState {
+        // Represent Bell states by (flip, phase) bits: Φ+=(0,0), Φ−=(0,1), Ψ+=(1,0), Ψ−=(1,1).
+        let (flip, phase_bit) = self.flip_phase_bits();
+        let (px, pz) = pauli.to_bits();
+        // σx on the first qubit toggles the flip bit; σz toggles the phase bit; a phase bit
+        // toggling also occurs when σz acts on the flipped component (global-phase-free rule
+        // for the first qubit is a straight XOR).
+        BellState::from_flip_phase_bits(flip ^ px, phase_bit ^ pz)
+    }
+
+    /// The Pauli operator that maps `|Φ+⟩` to this Bell state (the decoding map of the
+    /// protocol: Bob observes this Bell state ⇒ Alice applied this operator ⇒ these 2 bits).
+    pub fn encoding_pauli(self) -> Pauli {
+        let (flip, phase_bit) = self.flip_phase_bits();
+        Pauli::from_bits(flip, phase_bit)
+    }
+
+    /// The 2-bit message this Bell state decodes to under the paper's encoding rule.
+    pub fn message_bits(self) -> (bool, bool) {
+        self.encoding_pauli().to_bits()
+    }
+
+    /// The bitstring label (`"00"`, `"01"`, `"10"`, `"11"`) this Bell state decodes to.
+    pub fn message_label(self) -> &'static str {
+        match self.encoding_pauli() {
+            Pauli::I => "00",
+            Pauli::Z => "01",
+            Pauli::X => "10",
+            Pauli::IY => "11",
+        }
+    }
+
+    fn flip_phase_bits(self) -> (bool, bool) {
+        match self {
+            BellState::PhiPlus => (false, false),
+            BellState::PhiMinus => (false, true),
+            BellState::PsiPlus => (true, false),
+            BellState::PsiMinus => (true, true),
+        }
+    }
+
+    fn from_flip_phase_bits(flip: bool, phase: bool) -> Self {
+        match (flip, phase) {
+            (false, false) => BellState::PhiPlus,
+            (false, true) => BellState::PhiMinus,
+            (true, false) => BellState::PsiPlus,
+            (true, true) => BellState::PsiMinus,
+        }
+    }
+
+    /// Conventional ket notation.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BellState::PhiPlus => "|Φ+⟩",
+            BellState::PhiMinus => "|Φ−⟩",
+            BellState::PsiPlus => "|Ψ+⟩",
+            BellState::PsiMinus => "|Ψ−⟩",
+        }
+    }
+}
+
+impl fmt::Display for BellState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The result of a Bell-state measurement: the identified Bell state plus the raw bits the
+/// disentangling circuit produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BellOutcome {
+    /// The Bell state the measurement projected onto.
+    pub state: BellState,
+    /// Raw bit measured on the first (control) qubit after the disentangling circuit.
+    pub bit_a: u8,
+    /// Raw bit measured on the second (target) qubit after the disentangling circuit.
+    pub bit_b: u8,
+}
+
+impl BellOutcome {
+    /// The 2-bit message label this outcome decodes to.
+    pub fn message_label(&self) -> &'static str {
+        self.state.message_label()
+    }
+}
+
+impl fmt::Display for BellOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (bits {}{})", self.state, self.bit_a, self.bit_b)
+    }
+}
+
+/// Prepares a fresh `|Φ+⟩` pair on qubits `(a, b)` of `state` (which must currently hold
+/// `|0⟩` on both qubits).
+pub fn prepare_phi_plus(state: &mut StateVector, a: usize, b: usize) {
+    state.apply_single(&gates::hadamard(), a);
+    state.apply_two(&gates::cnot(), a, b);
+}
+
+/// Performs a Bell-state measurement on qubits `(a, b)` of `state`, collapsing them.
+///
+/// The implementation is the textbook disentangling circuit: CNOT with control `a`, target
+/// `b`, then Hadamard on `a`, then a computational-basis measurement of both qubits. The raw
+/// bits `(m_a, m_b)` identify the Bell state as
+/// `00 → Φ+`, `10 → Φ−`, `01 → Ψ+`, `11 → Ψ−`.
+pub fn bell_measure<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    a: usize,
+    b: usize,
+    rng: &mut R,
+) -> BellOutcome {
+    state.apply_two(&gates::cnot(), a, b);
+    state.apply_single(&gates::hadamard(), a);
+    let bit_a = state.measure(a, rng);
+    let bit_b = state.measure(b, rng);
+    let bell = match (bit_a, bit_b) {
+        (0, 0) => BellState::PhiPlus,
+        (1, 0) => BellState::PhiMinus,
+        (0, 1) => BellState::PsiPlus,
+        (1, 1) => BellState::PsiMinus,
+        _ => unreachable!("measurement bits are always 0 or 1"),
+    };
+    BellOutcome {
+        state: bell,
+        bit_a,
+        bit_b,
+    }
+}
+
+/// Performs a Bell-state measurement on qubits `(a, b)` of a density matrix, collapsing them.
+///
+/// Identical convention to [`bell_measure`], but for the noisy (mixed-state) back-end.
+pub fn bell_measure_density<R: Rng + ?Sized>(
+    rho: &mut crate::density::DensityMatrix,
+    a: usize,
+    b: usize,
+    rng: &mut R,
+) -> BellOutcome {
+    rho.apply_two(&gates::cnot(), a, b);
+    rho.apply_single(&gates::hadamard(), a);
+    let bit_a = rho.measure(a, rng);
+    let bit_b = rho.measure(b, rng);
+    let bell = match (bit_a, bit_b) {
+        (0, 0) => BellState::PhiPlus,
+        (1, 0) => BellState::PhiMinus,
+        (0, 1) => BellState::PsiPlus,
+        (1, 1) => BellState::PsiMinus,
+        _ => unreachable!("measurement bits are always 0 or 1"),
+    };
+    BellOutcome {
+        state: bell,
+        bit_a,
+        bit_b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::DensityMatrix;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn statevectors_are_normalised_and_orthogonal() {
+        for (i, a) in BellState::ALL.iter().enumerate() {
+            let va = a.statevector();
+            assert!(va.is_normalized(1e-12));
+            for (j, b) in BellState::ALL.iter().enumerate() {
+                let f = va.fidelity(&b.statevector());
+                if i == j {
+                    assert!((f - 1.0).abs() < 1e-12);
+                } else {
+                    assert!(f < 1e-12, "{a} and {b} must be orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_phi_plus_matches_reference() {
+        let mut s = StateVector::new(2);
+        prepare_phi_plus(&mut s, 0, 1);
+        assert!((s.fidelity(&BellState::PhiPlus.statevector()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_encoding_produces_the_expected_bell_states() {
+        // Verify the algebraic rule against actual statevector simulation.
+        for pauli in Pauli::ALL {
+            let mut s = StateVector::new(2);
+            prepare_phi_plus(&mut s, 0, 1);
+            s.apply_single(&pauli.matrix(), 0);
+            let expected = BellState::PhiPlus.after_pauli(pauli);
+            let fidelity = s.fidelity(&expected.statevector());
+            assert!(
+                (fidelity - 1.0).abs() < 1e-12,
+                "{pauli} on Φ+ should give {expected}, fidelity {fidelity}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_and_decoding_are_inverse() {
+        for pauli in Pauli::ALL {
+            let encoded = BellState::PhiPlus.after_pauli(pauli);
+            assert_eq!(encoded.encoding_pauli(), pauli);
+            assert_eq!(encoded.message_bits(), pauli.to_bits());
+        }
+        assert_eq!(BellState::PhiPlus.message_label(), "00");
+        assert_eq!(BellState::PhiMinus.message_label(), "01");
+        assert_eq!(BellState::PsiPlus.message_label(), "10");
+        assert_eq!(BellState::PsiMinus.message_label(), "11");
+    }
+
+    #[test]
+    fn after_pauli_acts_transitively_on_all_states() {
+        // The Klein four-group action must be compatible with composition.
+        for start in BellState::ALL {
+            for p in Pauli::ALL {
+                for q in Pauli::ALL {
+                    let step = start.after_pauli(p).after_pauli(q);
+                    let combined = start.after_pauli(p.compose(q));
+                    assert_eq!(step, combined);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bell_measurement_identifies_each_state() {
+        let mut r = rng();
+        for bell in BellState::ALL {
+            for _ in 0..20 {
+                let mut s = bell.statevector();
+                let outcome = bell_measure(&mut s, 0, 1, &mut r);
+                assert_eq!(outcome.state, bell, "BSM must identify {bell} deterministically");
+            }
+        }
+    }
+
+    #[test]
+    fn bell_measurement_decodes_pauli_encoded_messages() {
+        let mut r = rng();
+        for pauli in Pauli::ALL {
+            let mut s = StateVector::new(2);
+            prepare_phi_plus(&mut s, 0, 1);
+            s.apply_single(&pauli.matrix(), 0);
+            let outcome = bell_measure(&mut s, 0, 1, &mut r);
+            assert_eq!(outcome.state.encoding_pauli(), pauli);
+        }
+    }
+
+    #[test]
+    fn bell_measurement_on_density_matrix_matches() {
+        let mut r = rng();
+        for bell in BellState::ALL {
+            let mut rho = DensityMatrix::from_statevector(&bell.statevector());
+            let outcome = bell_measure_density(&mut rho, 0, 1, &mut r);
+            assert_eq!(outcome.state, bell);
+        }
+    }
+
+    #[test]
+    fn bell_measurement_in_larger_register() {
+        // Qubits 1 and 3 of a 4-qubit register hold the pair.
+        let mut r = rng();
+        let mut s = StateVector::new(4);
+        prepare_phi_plus(&mut s, 1, 3);
+        s.apply_single(&Pauli::X.matrix(), 1);
+        let outcome = bell_measure(&mut s, 1, 3, &mut r);
+        assert_eq!(outcome.state, BellState::PsiPlus);
+    }
+
+    #[test]
+    fn outcome_display_and_label() {
+        let o = BellOutcome {
+            state: BellState::PsiMinus,
+            bit_a: 1,
+            bit_b: 1,
+        };
+        assert_eq!(o.message_label(), "11");
+        assert!(o.to_string().contains("Ψ−"));
+        assert_eq!(BellState::PhiPlus.to_string(), "|Φ+⟩");
+    }
+}

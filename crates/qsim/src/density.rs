@@ -1,0 +1,716 @@
+//! Mixed-state (density-matrix) simulation.
+//!
+//! Noise makes pure-state simulation insufficient: the `ibm_brisbane`-style channel model is a
+//! completely-positive trace-preserving (CPTP) map expressed with Kraus operators, so the
+//! noisy executor in the `noise` crate runs on [`DensityMatrix`]. The representation is a
+//! dense `2^n × 2^n` matrix; the protocol only ever needs a handful of qubits at a time
+//! (EPR pairs plus the occasional eavesdropper ancilla), so this stays cheap.
+
+use crate::error::QsimError;
+use crate::gates;
+use crate::measurement::MeasurementOutcome;
+use crate::statevector::StateVector;
+use mathkit::complex::Complex64;
+use mathkit::matrix::CMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A mixed quantum state of `n` qubits represented by its density matrix.
+///
+/// Qubit ordering matches [`StateVector`]: qubit `0` is the most significant bit of a basis
+/// index.
+///
+/// # Examples
+///
+/// ```rust
+/// use qsim::density::DensityMatrix;
+/// use qsim::statevector::StateVector;
+/// use qsim::gates;
+///
+/// let mut psi = StateVector::new(2);
+/// psi.apply_single(&gates::hadamard(), 0);
+/// psi.apply_two(&gates::cnot(), 0, 1);
+/// let rho = DensityMatrix::from_statevector(&psi);
+/// assert!((rho.purity() - 1.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    rho: CMatrix,
+}
+
+/// Embeds a `2^k`-dimensional operator acting on `qubits` into the full `2^n`-dimensional
+/// space, with identity on all other qubits. The first entry of `qubits` is the most
+/// significant bit of the operator's basis ordering.
+pub(crate) fn embed_operator(op: &CMatrix, qubits: &[usize], num_qubits: usize) -> CMatrix {
+    let k = qubits.len();
+    let dim = 1usize << num_qubits;
+    let shifts: Vec<usize> = qubits.iter().map(|&q| num_qubits - 1 - q).collect();
+    let target_mask: usize = shifts.iter().map(|&s| 1usize << s).sum();
+    let mut full = CMatrix::zeros(dim, dim);
+    for row in 0..dim {
+        // Sub-index of the target qubits within this row.
+        let mut row_sub = 0usize;
+        for (bit_pos, &shift) in shifts.iter().enumerate() {
+            if row & (1 << shift) != 0 {
+                row_sub |= 1 << (k - 1 - bit_pos);
+            }
+        }
+        let row_rest = row & !target_mask;
+        for col_sub in 0..(1usize << k) {
+            let val = op[(row_sub, col_sub)];
+            if val == Complex64::ZERO {
+                continue;
+            }
+            let mut col = row_rest;
+            for (bit_pos, &shift) in shifts.iter().enumerate() {
+                if col_sub & (1 << (k - 1 - bit_pos)) != 0 {
+                    col |= 1 << shift;
+                }
+            }
+            full[(row, col)] = val;
+        }
+    }
+    full
+}
+
+impl DensityMatrix {
+    /// Creates the pure state `|0…0⟩⟨0…0|` on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero or greater than 12 (a 12-qubit density matrix already
+    /// has 16.7 M entries).
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits > 0, "register must have at least one qubit");
+        assert!(
+            num_qubits <= 12,
+            "density-matrix simulation limited to 12 qubits"
+        );
+        let dim = 1 << num_qubits;
+        let mut rho = CMatrix::zeros(dim, dim);
+        rho[(0, 0)] = Complex64::ONE;
+        Self { num_qubits, rho }
+    }
+
+    /// Builds the density matrix of a pure state.
+    pub fn from_statevector(state: &StateVector) -> Self {
+        Self {
+            num_qubits: state.num_qubits(),
+            rho: state.to_density_matrix(),
+        }
+    }
+
+    /// Builds a density matrix directly from a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if the matrix is not square with a
+    /// power-of-two dimension, and [`QsimError::NotNormalized`] if it is not a valid density
+    /// matrix (Hermitian, unit trace, positive).
+    pub fn from_matrix(rho: CMatrix) -> Result<Self, QsimError> {
+        let dim = rho.rows();
+        if !rho.is_square() || dim == 0 || !dim.is_power_of_two() {
+            return Err(QsimError::DimensionMismatch {
+                expected: dim.next_power_of_two().max(2),
+                actual: dim,
+            });
+        }
+        if !rho.is_density_matrix(1e-7) {
+            return Err(QsimError::NotNormalized);
+        }
+        Ok(Self {
+            num_qubits: dim.trailing_zeros() as usize,
+            rho,
+        })
+    }
+
+    /// The maximally mixed state `I / 2^n`.
+    pub fn maximally_mixed(num_qubits: usize) -> Self {
+        assert!(num_qubits > 0 && num_qubits <= 12);
+        let dim = 1 << num_qubits;
+        Self {
+            num_qubits,
+            rho: CMatrix::identity(dim).scale(Complex64::real(1.0 / dim as f64)),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Hilbert-space dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        1 << self.num_qubits
+    }
+
+    /// Immutable view of the underlying matrix.
+    pub fn matrix(&self) -> &CMatrix {
+        &self.rho
+    }
+
+    /// Trace of the density matrix (should always be ≈ 1).
+    pub fn trace(&self) -> f64 {
+        self.rho.trace().re
+    }
+
+    /// Purity `Tr(ρ²)`; 1 for pure states, `1/2^n` for the maximally mixed state.
+    pub fn purity(&self) -> f64 {
+        self.rho.matmul(&self.rho).trace().re
+    }
+
+    /// Applies a unitary to the given qubits: `ρ → U ρ U†`.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`StateVector::try_apply_unitary`].
+    pub fn try_apply_unitary(&mut self, gate: &CMatrix, qubits: &[usize]) -> Result<(), QsimError> {
+        self.validate_targets(gate, qubits)?;
+        let full = embed_operator(gate, qubits, self.num_qubits);
+        self.rho = full.matmul(&self.rho).matmul(&full.adjoint());
+        Ok(())
+    }
+
+    /// Applies a unitary to the given qubits, panicking on invalid input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits are out of range / duplicated or the gate has the wrong dimension.
+    pub fn apply_unitary(&mut self, gate: &CMatrix, qubits: &[usize]) {
+        self.try_apply_unitary(gate, qubits)
+            .expect("apply_unitary: invalid gate application");
+    }
+
+    /// Applies a single-qubit unitary.
+    pub fn apply_single(&mut self, gate: &CMatrix, qubit: usize) {
+        self.apply_unitary(gate, &[qubit]);
+    }
+
+    /// Applies a two-qubit unitary.
+    pub fn apply_two(&mut self, gate: &CMatrix, qubit_a: usize, qubit_b: usize) {
+        self.apply_unitary(gate, &[qubit_a, qubit_b]);
+    }
+
+    /// Applies a CPTP map given by Kraus operators `{K_i}` to the given qubits:
+    /// `ρ → Σ_i K_i ρ K_i†`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the target qubits are invalid or any Kraus operator has the wrong
+    /// dimension. The completeness relation `Σ K_i† K_i = I` is *not* enforced here (noise
+    /// builders in the `noise` crate validate it); this keeps the method usable for
+    /// post-selected maps in tests.
+    pub fn try_apply_kraus(
+        &mut self,
+        kraus_ops: &[CMatrix],
+        qubits: &[usize],
+    ) -> Result<(), QsimError> {
+        if kraus_ops.is_empty() {
+            return Ok(());
+        }
+        for op in kraus_ops {
+            self.validate_targets(op, qubits)?;
+        }
+        let dim = self.dim();
+        let mut out = CMatrix::zeros(dim, dim);
+        for op in kraus_ops {
+            let full = embed_operator(op, qubits, self.num_qubits);
+            let term = full.matmul(&self.rho).matmul(&full.adjoint());
+            out = &out + &term;
+        }
+        self.rho = out;
+        Ok(())
+    }
+
+    /// Applies a CPTP map, panicking on invalid targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`DensityMatrix::try_apply_kraus`].
+    pub fn apply_kraus(&mut self, kraus_ops: &[CMatrix], qubits: &[usize]) {
+        self.try_apply_kraus(kraus_ops, qubits)
+            .expect("apply_kraus: invalid channel application");
+    }
+
+    fn validate_targets(&self, op: &CMatrix, qubits: &[usize]) -> Result<(), QsimError> {
+        let k = qubits.len();
+        let expected = 1usize << k;
+        if op.rows() != expected || op.cols() != expected {
+            return Err(QsimError::DimensionMismatch {
+                expected,
+                actual: op.rows(),
+            });
+        }
+        for (i, &q) in qubits.iter().enumerate() {
+            if q >= self.num_qubits {
+                return Err(QsimError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+            if qubits[..i].contains(&q) {
+                return Err(QsimError::DuplicateQubit(q));
+            }
+        }
+        Ok(())
+    }
+
+    /// Probability that measuring `qubit` in the computational basis yields `1`.
+    pub fn probability_one(&self, qubit: usize) -> f64 {
+        assert!(qubit < self.num_qubits, "qubit out of range");
+        let shift = self.num_qubits - 1 - qubit;
+        let mask = 1usize << shift;
+        (0..self.dim())
+            .filter(|i| i & mask != 0)
+            .map(|i| self.rho[(i, i)].re)
+            .sum()
+    }
+
+    /// Diagonal of the density matrix: the Born-rule probabilities of all basis outcomes.
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim()).map(|i| self.rho[(i, i)].re.max(0.0)).collect()
+    }
+
+    /// Measures `qubit` in the computational basis, collapsing the state.
+    pub fn measure<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) -> u8 {
+        let p1 = self.probability_one(qubit).clamp(0.0, 1.0);
+        let outcome = if rng.gen::<f64>() < p1 { 1u8 } else { 0u8 };
+        self.collapse(qubit, outcome);
+        outcome
+    }
+
+    /// Projects `qubit` onto `outcome` and renormalises.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has (numerically) zero probability.
+    pub fn collapse(&mut self, qubit: usize, outcome: u8) {
+        assert!(qubit < self.num_qubits, "qubit out of range");
+        let shift = self.num_qubits - 1 - qubit;
+        let mask = 1usize << shift;
+        let keep_set = outcome == 1;
+        let dim = self.dim();
+        let mut projected = CMatrix::zeros(dim, dim);
+        for i in 0..dim {
+            if ((i & mask) != 0) != keep_set {
+                continue;
+            }
+            for j in 0..dim {
+                if ((j & mask) != 0) != keep_set {
+                    continue;
+                }
+                projected[(i, j)] = self.rho[(i, j)];
+            }
+        }
+        let p = projected.trace().re;
+        assert!(
+            p > 1e-12,
+            "collapse onto a zero-probability outcome (qubit {qubit}, outcome {outcome})"
+        );
+        self.rho = projected.scale(Complex64::real(1.0 / p));
+    }
+
+    /// Measures `qubit` in the basis `B(θ)`, collapsing the state, and returns the ±1 outcome.
+    pub fn measure_in_basis<R: Rng + ?Sized>(
+        &mut self,
+        qubit: usize,
+        theta: f64,
+        rng: &mut R,
+    ) -> MeasurementOutcome {
+        let rotation = gates::basis_change(theta);
+        self.apply_single(&rotation, qubit);
+        let bit = self.measure(qubit, rng);
+        self.apply_single(&rotation.adjoint(), qubit);
+        MeasurementOutcome::from_bit(bit)
+    }
+
+    /// Measures every qubit in the computational basis, collapsing the state. Returns bits in
+    /// qubit order.
+    pub fn measure_all<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<u8> {
+        (0..self.num_qubits).map(|q| self.measure(q, rng)).collect()
+    }
+
+    /// Samples `shots` full-register outcomes from the diagonal distribution without
+    /// collapsing the state. Returns basis indices.
+    pub fn sample_indices<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> Vec<usize> {
+        let probs = self.probabilities();
+        let total: f64 = probs.iter().sum();
+        let mut cumulative = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in &probs {
+            acc += p;
+            cumulative.push(acc);
+        }
+        (0..shots)
+            .map(|_| {
+                let r: f64 = rng.gen::<f64>() * total;
+                match cumulative.binary_search_by(|c| c.partial_cmp(&r).unwrap()) {
+                    Ok(i) | Err(i) => i.min(probs.len() - 1),
+                }
+            })
+            .collect()
+    }
+
+    /// Tensor product `self ⊗ other`: appends `other`'s qubits after this register's qubits.
+    ///
+    /// Used by eavesdropper models that attach an ancilla to a flying qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined register would exceed the 12-qubit density-matrix limit.
+    pub fn tensor(&self, other: &DensityMatrix) -> DensityMatrix {
+        let total = self.num_qubits + other.num_qubits;
+        assert!(total <= 12, "density-matrix simulation limited to 12 qubits");
+        DensityMatrix {
+            num_qubits: total,
+            rho: self.rho.kron(&other.rho),
+        }
+    }
+
+    /// Partial trace keeping only the listed qubits (in the order given).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is empty, has duplicates, or references qubits outside the register.
+    pub fn partial_trace(&self, keep: &[usize]) -> DensityMatrix {
+        assert!(!keep.is_empty(), "must keep at least one qubit");
+        for (i, &q) in keep.iter().enumerate() {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+            assert!(!keep[..i].contains(&q), "duplicate qubit {q} in keep list");
+        }
+        let k = keep.len();
+        let keep_shifts: Vec<usize> = keep.iter().map(|&q| self.num_qubits - 1 - q).collect();
+        let traced: Vec<usize> = (0..self.num_qubits)
+            .filter(|q| !keep.contains(q))
+            .map(|q| self.num_qubits - 1 - q)
+            .collect();
+        let out_dim = 1usize << k;
+        let mut out = CMatrix::zeros(out_dim, out_dim);
+        let traced_dim = 1usize << traced.len();
+        for row_sub in 0..out_dim {
+            for col_sub in 0..out_dim {
+                let mut acc = Complex64::ZERO;
+                for env in 0..traced_dim {
+                    let mut row = 0usize;
+                    let mut col = 0usize;
+                    for (bit_pos, &shift) in keep_shifts.iter().enumerate() {
+                        if row_sub & (1 << (k - 1 - bit_pos)) != 0 {
+                            row |= 1 << shift;
+                        }
+                        if col_sub & (1 << (k - 1 - bit_pos)) != 0 {
+                            col |= 1 << shift;
+                        }
+                    }
+                    for (env_pos, &shift) in traced.iter().enumerate() {
+                        if env & (1 << env_pos) != 0 {
+                            row |= 1 << shift;
+                            col |= 1 << shift;
+                        }
+                    }
+                    acc += self.rho[(row, col)];
+                }
+                out[(row_sub, col_sub)] = acc;
+            }
+        }
+        DensityMatrix {
+            num_qubits: k,
+            rho: out,
+        }
+    }
+
+    /// Fidelity `⟨ψ|ρ|ψ⟩` between this (possibly mixed) state and a pure reference state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register sizes differ.
+    pub fn fidelity_with_pure(&self, reference: &StateVector) -> f64 {
+        assert_eq!(
+            self.num_qubits,
+            reference.num_qubits(),
+            "fidelity of states with different register sizes"
+        );
+        let applied = self.rho.apply(reference.amplitudes());
+        reference.amplitudes().inner(&applied).re.clamp(0.0, 1.0)
+    }
+
+    /// Expectation value `Tr(ρ O)` of a Hermitian observable on the full register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observable dimension does not match.
+    pub fn expectation(&self, observable: &CMatrix) -> f64 {
+        assert_eq!(
+            observable.rows(),
+            self.dim(),
+            "observable dimension does not match register"
+        );
+        self.rho.matmul(observable).trace().re
+    }
+
+    /// Von Neumann entropy in bits, computed for single-qubit states only (uses the closed
+    /// form for 2×2 Hermitian eigenvalues).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a register with more than one qubit.
+    pub fn entropy_single_qubit(&self) -> f64 {
+        assert_eq!(
+            self.num_qubits, 1,
+            "entropy_single_qubit only supports single-qubit states"
+        );
+        let eigs = self.rho.eigenvalues_hermitian_2x2();
+        -eigs
+            .iter()
+            .filter(|&&p| p > 1e-12)
+            .map(|&p| p * p.log2())
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    fn bell_density() -> DensityMatrix {
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_single(&gates::hadamard(), 0);
+        rho.apply_two(&gates::cnot(), 0, 1);
+        rho
+    }
+
+    #[test]
+    fn new_density_matrix_is_pure_zero_state() {
+        let rho = DensityMatrix::new(2);
+        assert_eq!(rho.num_qubits(), 2);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!((rho.probabilities()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_statevector_round_trip() {
+        let mut psi = StateVector::new(2);
+        psi.apply_single(&gates::hadamard(), 0);
+        psi.apply_two(&gates::cnot(), 0, 1);
+        let rho = DensityMatrix::from_statevector(&psi);
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+        assert!((rho.fidelity_with_pure(&psi) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn from_matrix_validates() {
+        let good = CMatrix::identity(2).scale(Complex64::real(0.5));
+        assert!(DensityMatrix::from_matrix(good).is_ok());
+        let not_square = CMatrix::zeros(2, 3);
+        assert!(matches!(
+            DensityMatrix::from_matrix(not_square),
+            Err(QsimError::DimensionMismatch { .. })
+        ));
+        let not_normalised = CMatrix::identity(2);
+        assert!(matches!(
+            DensityMatrix::from_matrix(not_normalised),
+            Err(QsimError::NotNormalized)
+        ));
+    }
+
+    #[test]
+    fn maximally_mixed_has_minimal_purity() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        assert!((rho.purity() - 0.25).abs() < 1e-12);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_evolution_matches_statevector() {
+        let rho = bell_density();
+        let probs = rho.probabilities();
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[3] - 0.5).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn apply_unitary_validates_input() {
+        let mut rho = DensityMatrix::new(2);
+        assert!(matches!(
+            rho.try_apply_unitary(&gates::cnot(), &[0, 0]),
+            Err(QsimError::DuplicateQubit(0))
+        ));
+        assert!(matches!(
+            rho.try_apply_unitary(&gates::hadamard(), &[4]),
+            Err(QsimError::QubitOutOfRange { .. })
+        ));
+        assert!(matches!(
+            rho.try_apply_unitary(&gates::hadamard(), &[0, 1]),
+            Err(QsimError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn depolarizing_kraus_reduces_purity() {
+        // Hand-rolled depolarizing channel with p = 0.5 on a pure |0⟩ state.
+        let p: f64 = 0.5;
+        let kraus = vec![
+            gates::identity().scale(Complex64::real((1.0 - 3.0 * p / 4.0).sqrt())),
+            gates::pauli_x().scale(Complex64::real((p / 4.0).sqrt())),
+            gates::pauli_y().scale(Complex64::real((p / 4.0).sqrt())),
+            gates::pauli_z().scale(Complex64::real((p / 4.0).sqrt())),
+        ];
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_kraus(&kraus, &[0]);
+        assert!((rho.trace() - 1.0).abs() < 1e-10, "CPTP map preserves trace");
+        assert!(rho.purity() < 1.0);
+        // Probability of |1⟩ after depolarizing |0⟩ with p=0.5 is p/2 = 0.25.
+        assert!((rho.probability_one(0) - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_kraus_list_is_a_no_op() {
+        let mut rho = bell_density();
+        let before = rho.clone();
+        rho.apply_kraus(&[], &[0]);
+        assert_eq!(rho, before);
+    }
+
+    #[test]
+    fn measurement_statistics_on_bell_state() {
+        let mut r = rng();
+        let mut agree = 0;
+        for _ in 0..200 {
+            let mut rho = bell_density();
+            let a = rho.measure(0, &mut r);
+            let b = rho.measure(1, &mut r);
+            if a == b {
+                agree += 1;
+            }
+        }
+        assert_eq!(agree, 200, "Φ+ halves must always agree in the Z basis");
+    }
+
+    #[test]
+    fn collapse_renormalises() {
+        let mut rho = bell_density();
+        rho.collapse(0, 1);
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+        assert!((rho.probabilities()[3] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn collapse_onto_impossible_outcome_panics() {
+        let mut rho = DensityMatrix::new(1);
+        rho.collapse(0, 1);
+    }
+
+    #[test]
+    fn partial_trace_of_bell_state_is_maximally_mixed() {
+        let rho = bell_density();
+        let reduced = rho.partial_trace(&[0]);
+        assert_eq!(reduced.num_qubits(), 1);
+        assert!((reduced.purity() - 0.5).abs() < 1e-10);
+        assert!((reduced.probability_one(0) - 0.5).abs() < 1e-10);
+        // Entropy of the reduced state of a maximally entangled pair is 1 bit.
+        assert!((reduced.entropy_single_qubit() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_trace_of_product_state_keeps_the_factor() {
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_single(&gates::pauli_x(), 1); // |01⟩
+        let q0 = rho.partial_trace(&[0]);
+        assert!((q0.probability_one(0) - 0.0).abs() < 1e-12);
+        let q1 = rho.partial_trace(&[1]);
+        assert!((q1.probability_one(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_in_basis_statistics() {
+        // |0⟩ measured in B(π/4): probabilities are 1/2, 1/2.
+        let mut r = rng();
+        let mut plus = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let mut rho = DensityMatrix::new(1);
+            if rho
+                .measure_in_basis(0, std::f64::consts::FRAC_PI_4, &mut r)
+                .is_plus()
+            {
+                plus += 1;
+            }
+        }
+        let frac = plus as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn expectation_matches_statevector_backend() {
+        let rho = bell_density();
+        let mut psi = StateVector::new(2);
+        psi.apply_single(&gates::hadamard(), 0);
+        psi.apply_two(&gates::cnot(), 0, 1);
+        let obs = gates::pauli_z().kron(&gates::pauli_z());
+        assert!((rho.expectation(&obs) - psi.expectation(&obs)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sample_indices_only_returns_supported_outcomes() {
+        let rho = bell_density();
+        let mut r = rng();
+        let samples = rho.sample_indices(1000, &mut r);
+        assert!(samples.iter().all(|&i| i == 0 || i == 3));
+    }
+
+    #[test]
+    fn measure_all_collapses_everything() {
+        let mut rho = bell_density();
+        let mut r = rng();
+        let bits = rho.measure_all(&mut r);
+        assert_eq!(bits.len(), 2);
+        assert_eq!(bits[0], bits[1]);
+        assert!((rho.purity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tensor_product_appends_qubits() {
+        let mut a = DensityMatrix::new(1);
+        a.apply_single(&gates::pauli_x(), 0); // |1⟩
+        let b = DensityMatrix::new(1); // |0⟩
+        let ab = a.tensor(&b);
+        assert_eq!(ab.num_qubits(), 2);
+        // |10⟩ = index 2
+        assert!((ab.probabilities()[2] - 1.0).abs() < 1e-12);
+        // Tracing out the appended qubit recovers the original.
+        let back = ab.partial_trace(&[0]);
+        assert!((back.probability_one(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embed_operator_matches_kron_for_adjacent_qubits() {
+        // Embedding X on qubit 1 of 2 should equal I ⊗ X.
+        let embedded = embed_operator(&gates::pauli_x(), &[1], 2);
+        let expected = gates::identity().kron(&gates::pauli_x());
+        assert!(embedded.approx_eq(&expected, 1e-12));
+        // Embedding on qubit 0 should equal X ⊗ I.
+        let embedded = embed_operator(&gates::pauli_x(), &[0], 2);
+        let expected = gates::pauli_x().kron(&gates::identity());
+        assert!(embedded.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn embed_operator_handles_reversed_qubit_order() {
+        // CNOT with control = qubit 1, target = qubit 0 maps |01⟩ → |11⟩.
+        let embedded = embed_operator(&gates::cnot(), &[1, 0], 2);
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_single(&gates::pauli_x(), 1); // |01⟩
+        rho.apply_unitary(&gates::cnot(), &[1, 0]);
+        assert!((rho.probabilities()[3] - 1.0).abs() < 1e-12);
+        assert!(embedded.is_unitary(1e-12));
+    }
+}

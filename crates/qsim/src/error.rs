@@ -1,0 +1,100 @@
+//! Error type shared by the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the quantum simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QsimError {
+    /// A qubit index was outside the register.
+    QubitOutOfRange {
+        /// The offending index.
+        qubit: usize,
+        /// Number of qubits in the register.
+        num_qubits: usize,
+    },
+    /// A gate matrix had the wrong dimension for the number of target qubits.
+    DimensionMismatch {
+        /// Expected dimension (2^k for k target qubits).
+        expected: usize,
+        /// Actual matrix dimension.
+        actual: usize,
+    },
+    /// The same qubit was passed twice to a multi-qubit operation.
+    DuplicateQubit(
+        /// The duplicated qubit index.
+        usize,
+    ),
+    /// An operation required a normalised state but the register was not normalised.
+    NotNormalized,
+    /// A supplied matrix was not unitary within tolerance.
+    NotUnitary,
+    /// A circuit referenced more qubits than the register provides.
+    CircuitTooWide {
+        /// Qubits used by the circuit.
+        circuit_qubits: usize,
+        /// Qubits available in the register.
+        register_qubits: usize,
+    },
+}
+
+impl fmt::Display for QsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QsimError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit index {qubit} out of range for {num_qubits}-qubit register")
+            }
+            QsimError::DimensionMismatch { expected, actual } => {
+                write!(f, "gate dimension {actual} does not match expected {expected}")
+            }
+            QsimError::DuplicateQubit(q) => write!(f, "duplicate qubit index {q}"),
+            QsimError::NotNormalized => write!(f, "state is not normalised"),
+            QsimError::NotUnitary => write!(f, "matrix is not unitary"),
+            QsimError::CircuitTooWide {
+                circuit_qubits,
+                register_qubits,
+            } => write!(
+                f,
+                "circuit uses {circuit_qubits} qubits but the register only has {register_qubits}"
+            ),
+        }
+    }
+}
+
+impl Error for QsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = QsimError::QubitOutOfRange {
+            qubit: 5,
+            num_qubits: 2,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('2'));
+        let e = QsimError::DimensionMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('4'));
+        let e = QsimError::DuplicateQubit(3);
+        assert!(e.to_string().contains('3'));
+        assert!(!QsimError::NotNormalized.to_string().is_empty());
+        assert!(!QsimError::NotUnitary.to_string().is_empty());
+        let e = QsimError::CircuitTooWide {
+            circuit_qubits: 4,
+            register_qubits: 2,
+        };
+        assert!(e.to_string().contains("circuit"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QsimError>();
+    }
+}

@@ -1,0 +1,65 @@
+//! # qsim — a from-scratch quantum simulator for the UA-DI-QSDC reproduction
+//!
+//! The paper emulates its protocol on IBM's `ibm_brisbane` superconducting hardware; this
+//! crate is the substitute substrate: a statevector and density-matrix simulator with the full
+//! gate set, measurement machinery (including arbitrary single-qubit bases and Bell-state
+//! measurement), a small circuit IR, and shot sampling.
+//!
+//! ## Conventions
+//!
+//! - Qubit `0` is the **leftmost** qubit in a ket: for a 2-qubit register the basis state
+//!   `|q0 q1⟩ = |10⟩` has index `0b10 = 2`.
+//! - Gates are plain [`mathkit::CMatrix`] unitaries; the named constructors in [`gates`] cover
+//!   every gate the paper needs.
+//! - Measurement outcomes are `u8` bits (`0`/`1`); correlation helpers map them to `±1`.
+//!
+//! ## Example: prepare and measure an EPR pair
+//!
+//! ```rust
+//! use qsim::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut state = StateVector::new(2);
+//! state.apply_single(&gates::hadamard(), 0);
+//! state.apply_two(&gates::cnot(), 0, 1);
+//! // |Φ+⟩: both outcomes correlated.
+//! let (a, b) = (state.measure(0, &mut rng), state.measure(1, &mut rng));
+//! assert_eq!(a, b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bell;
+pub mod chsh;
+pub mod circuit;
+pub mod counts;
+pub mod density;
+pub mod error;
+pub mod gates;
+pub mod measurement;
+pub mod pauli;
+pub mod statevector;
+
+pub use bell::{BellOutcome, BellState};
+pub use circuit::{Circuit, CircuitBuilder, Operation};
+pub use counts::Counts;
+pub use density::DensityMatrix;
+pub use error::QsimError;
+pub use pauli::Pauli;
+pub use statevector::StateVector;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::bell::{BellOutcome, BellState};
+    pub use crate::chsh::{chsh_value, correlator, MeasurementRecord};
+    pub use crate::circuit::{Circuit, CircuitBuilder, Operation};
+    pub use crate::counts::Counts;
+    pub use crate::density::DensityMatrix;
+    pub use crate::error::QsimError;
+    pub use crate::gates;
+    pub use crate::measurement::{MeasurementBasis, MeasurementOutcome};
+    pub use crate::pauli::Pauli;
+    pub use crate::statevector::StateVector;
+}

@@ -1,0 +1,85 @@
+//! Channel survey: reproduce the spirit of the paper's Fig. 3 interactively — how does the
+//! message accuracy degrade as the quantum channel gets longer?
+//!
+//! ```text
+//! cargo run --release --example channel_survey
+//! ```
+
+use ua_di_qsdc::noise::DeviceModel;
+
+fn main() {
+    let device = DeviceModel::ibm_brisbane_like();
+    println!("device: {device}");
+    println!("\n  η (id gates)   duration (µs)   accuracy");
+    let etas = [10usize, 50, 100, 200, 300, 400, 500, 600, 700];
+    let points = bench_points(&device, &etas);
+    for p in &points {
+        let bar_len = (p.accuracy * 40.0).round() as usize;
+        println!(
+            "  {:>12}   {:>13.2}   {:>7.3}  {}",
+            p.eta,
+            p.duration_us,
+            p.accuracy,
+            "#".repeat(bar_len)
+        );
+    }
+    if let Some(cross) = points.iter().find(|p| p.accuracy < 0.6) {
+        println!(
+            "\naccuracy first drops below 60% around η = {} ({} µs) — the paper reports the same threshold near η ≈ 700.",
+            cross.eta, cross.duration_us
+        );
+    } else {
+        println!("\naccuracy stayed above 60% across the sweep (paper: drops below 60% past η ≈ 700).");
+    }
+}
+
+fn bench_points(
+    device: &DeviceModel,
+    etas: &[usize],
+) -> Vec<ua_di_qsdc::analysis::rows::AccuracyPoint> {
+    // The bench crate is not a dependency of the facade, so rebuild the tiny sweep here using
+    // the public simulator API directly.
+    use rand::SeedableRng;
+    use ua_di_qsdc::analysis::rows::AccuracyPoint;
+    use ua_di_qsdc::noise::NoisyExecutor;
+    use ua_di_qsdc::qsim::circuit::CircuitBuilder;
+    use ua_di_qsdc::qsim::pauli::Pauli;
+
+    let executor = NoisyExecutor::new(device.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+    let shots = 256;
+    etas.iter()
+        .map(|&eta| {
+            let mut correct = 0u64;
+            let mut total = 0u64;
+            for pauli in Pauli::ALL {
+                let circuit = CircuitBuilder::new(2, 2)
+                    .h(0)
+                    .cnot(0, 1)
+                    .unitary(pauli.symbol(), pauli.matrix(), &[0])
+                    .identity_chain(0, eta)
+                    .cnot(0, 1)
+                    .h(0)
+                    .measure(0, 0)
+                    .measure(1, 1)
+                    .build();
+                let counts = executor.sample(&circuit, shots, &mut rng).expect("circuit runs");
+                // Raw readout m_a m_b identifies the Bell state: 00→I, 10→Z, 01→X, 11→iY.
+                let expected = match pauli {
+                    Pauli::I => "00",
+                    Pauli::Z => "10",
+                    Pauli::X => "01",
+                    Pauli::IY => "11",
+                };
+                correct += counts.get(expected);
+                total += counts.total();
+            }
+            AccuracyPoint {
+                eta,
+                duration_us: eta as f64 * device.identity_gate_time_ns() / 1000.0,
+                accuracy: correct as f64 / total as f64,
+                shots: total,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,67 @@
+//! Eavesdropper drill: throw every attack from the paper's Section III at the protocol and
+//! watch each one get caught.
+//!
+//! ```text
+//! cargo run --example eavesdropper_drill
+//! ```
+
+use attacks::prelude::*;
+use ua_di_qsdc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rng_from_seed(7);
+    let identities = IdentityPair::generate(6, &mut rng);
+    let config = SessionConfig::builder()
+        .message_bits(8)
+        .check_bits(2)
+        .di_check_pairs(220)
+        .auth_error_tolerance(0.0)
+        .build()?;
+    let trials = 8;
+
+    println!("== impersonation (Section III-A) ==");
+    for target in [Impersonation::OfAlice, Impersonation::OfBob] {
+        let summary = run_impersonation_trials(&config, &identities, target, trials, &mut rng)?;
+        println!("  {summary}");
+    }
+
+    println!("\n== channel attacks (Sections III-B, III-C, III-D) ==");
+    let intercept = run_attack_trials(
+        &config,
+        &identities,
+        InterceptResendAttack::computational,
+        trials,
+        &mut rng,
+    )?;
+    println!("  {intercept}");
+    let mitm = run_attack_trials(
+        &config,
+        &identities,
+        ManInTheMiddleAttack::random_computational,
+        trials,
+        &mut rng,
+    )?;
+    println!("  {mitm}");
+    let entangle = run_attack_trials(
+        &config,
+        &identities,
+        EntangleMeasureAttack::full,
+        trials,
+        &mut rng,
+    )?;
+    println!("  {entangle}");
+
+    println!("\n== information leakage (Section III-E) ==");
+    let transcripts: Vec<_> = (0..10)
+        .map(|_| {
+            run_session(&config, &identities, &mut rng)
+                .expect("honest session")
+                .transcript
+        })
+        .collect();
+    let audit = LeakageAudit::with_identity(&transcripts, &identities.bob);
+    println!("  {audit}");
+
+    println!("\nEvery attack was detected; the honest transcript leaks nothing.");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! # UA-DI-QSDC — facade crate
+//!
+//! This crate re-exports the whole reproduction of *"User-Authenticated Device-Independent
+//! Quantum Secure Direct Communication Protocol"* (Das, Basu, Paul, Rao; 2024) as a single
+//! dependency. The underlying crates are:
+//!
+//! - [`mathkit`] — hand-rolled complex arithmetic and dense linear algebra.
+//! - [`qsim`] — statevector / density-matrix simulator, gate library, circuits, measurement.
+//! - [`noise`] — Kraus noise channels and NISQ device models (ibm_brisbane-like preset).
+//! - [`qchannel`] — quantum channel (noisy identity-gate chain) and authenticated classical channel.
+//! - [`protocol`] — the UA-DI-QSDC protocol itself plus baseline DI-QSDC protocols.
+//! - [`attacks`] — eavesdropper strategies and the attack harness.
+//! - [`analysis`] — statistics and table/figure data generation.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use ua_di_qsdc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let identities = IdentityPair::generate(8, &mut rng_from_seed(7));
+//! let config = SessionConfig::builder()
+//!     .message_bits(16)
+//!     .check_bits(4)
+//!     .di_check_pairs(220)
+//!     .channel(ChannelSpec::noisy_identity_chain(10, DeviceModel::ibm_brisbane_like()))
+//!     .build()?;
+//! let outcome = run_session(&config, &identities, &mut rng_from_seed(42))?;
+//! assert!(outcome.is_delivered());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use analysis;
+pub use attacks;
+pub use mathkit;
+pub use noise;
+pub use protocol;
+pub use qchannel;
+pub use qsim;
+
+/// Convenience re-exports covering the most common entry points of the reproduction.
+pub mod prelude {
+    pub use analysis::prelude::*;
+    pub use attacks::prelude::*;
+    pub use noise::prelude::*;
+    pub use protocol::prelude::*;
+    pub use qchannel::prelude::*;
+    pub use qsim::prelude::*;
+
+    pub use mathkit::complex::Complex64;
+
+    /// Build a deterministic RNG from a seed; the reproduction uses this everywhere so that
+    /// examples, tests and benches are repeatable.
+    pub fn rng_from_seed(seed: u64) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+}

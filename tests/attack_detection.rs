@@ -1,0 +1,146 @@
+//! Cross-crate integration tests for the security claims: every attack from the paper's
+//! Section III is detected by the protocol, and the classical channel leaks nothing.
+
+use attacks::prelude::*;
+use ua_di_qsdc::prelude::*;
+
+fn attack_config() -> SessionConfig {
+    SessionConfig::builder()
+        .message_bits(8)
+        .check_bits(2)
+        .di_check_pairs(220)
+        .auth_error_tolerance(0.0)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn impersonation_of_either_party_is_detected_with_long_identities() {
+    let mut rng = rng_from_seed(11);
+    let identities = IdentityPair::generate(10, &mut rng);
+    for target in [Impersonation::OfAlice, Impersonation::OfBob] {
+        let summary =
+            run_impersonation_trials(&attack_config(), &identities, target, 10, &mut rng).unwrap();
+        assert_eq!(
+            summary.undetected_deliveries, 0,
+            "an impersonator with a 10-qubit identity gap must never receive the message: {summary}"
+        );
+        assert!(summary.detection_rate > 0.9, "{summary}");
+    }
+}
+
+#[test]
+fn impersonation_detection_rate_follows_quarter_power_law() {
+    let mut rng = rng_from_seed(12);
+    let identities = IdentityPair::generate(1, &mut rng);
+    let summary = run_impersonation_trials(
+        &attack_config(),
+        &identities,
+        Impersonation::OfBob,
+        300,
+        &mut rng,
+    )
+    .unwrap();
+    // l = 1: analytic detection probability is 0.75.
+    assert!((summary.detection_rate - 0.75).abs() < 0.08, "{summary}");
+}
+
+#[test]
+fn intercept_resend_never_delivers_and_kills_the_chsh_violation() {
+    let mut rng = rng_from_seed(13);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let summary = run_attack_trials(
+        &attack_config(),
+        &identities,
+        InterceptResendAttack::computational,
+        5,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(summary.delivered, 0, "{summary}");
+    assert!(summary.mean_chsh_round1.unwrap() > 2.2, "round 1 precedes the attack");
+    if let Some(s2) = summary.mean_chsh_round2 {
+        assert!(s2 <= 2.1, "round 2 must not show a Bell violation, got {s2}");
+    }
+}
+
+#[test]
+fn mitm_and_entangle_measure_are_detected_every_time() {
+    let mut rng = rng_from_seed(14);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let mitm = run_attack_trials(
+        &attack_config(),
+        &identities,
+        ManInTheMiddleAttack::random_computational,
+        5,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(mitm.delivered, 0, "{mitm}");
+    let entangle = run_attack_trials(
+        &attack_config(),
+        &identities,
+        EntangleMeasureAttack::full,
+        5,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(entangle.delivered, 0, "{entangle}");
+    assert!(entangle.detection_rate() > 0.99);
+}
+
+#[test]
+fn weak_entangling_probes_may_pass_but_strong_ones_never_do() {
+    // The information/disturbance trade-off: a weak probe gains little and may slip through;
+    // the full CNOT probe (which would give Eve the whole computational value) is always caught.
+    let mut rng = rng_from_seed(15);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let strong = run_attack_trials(
+        &attack_config(),
+        &identities,
+        EntangleMeasureAttack::full,
+        4,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(strong.delivered, 0);
+    let weak = run_attack_trials(
+        &attack_config(),
+        &identities,
+        || EntangleMeasureAttack::with_strength(0.05),
+        4,
+        &mut rng,
+    )
+    .unwrap();
+    // A 5% probe barely disturbs the state; the protocol usually proceeds.
+    assert!(weak.delivered >= 2, "{weak}");
+}
+
+#[test]
+fn classical_transcripts_leak_nothing_across_many_sessions() {
+    let mut rng = rng_from_seed(16);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let config = attack_config();
+    let transcripts: Vec<_> = (0..30)
+        .map(|_| {
+            run_session(&config, &identities, &mut rng)
+                .unwrap()
+                .transcript
+        })
+        .collect();
+    let audit = LeakageAudit::with_identity(&transcripts, &identities.bob);
+    assert!(audit.structurally_clean(), "{audit}");
+    assert!(audit.bell_distribution_bias() < 0.12, "{audit}");
+    assert!(audit.mutual_information_with_id_b.unwrap() < 0.12, "{audit}");
+}
+
+#[test]
+fn baseline_without_authentication_cannot_detect_an_impersonator() {
+    // The contrast that motivates the paper: same attack, no defence in the baseline.
+    let mut rng = rng_from_seed(17);
+    let config = attack_config();
+    let message = SecretMessage::random(config.message_bits(), &mut rng);
+    let mut tap = qchannel::quantum::NoTap;
+    let outcome = run_baseline_di_qsdc(&config, &message, &mut tap, &mut rng).unwrap();
+    assert!(outcome.delivered, "{outcome}");
+}
