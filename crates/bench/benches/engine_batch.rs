@@ -1,0 +1,2 @@
+//! Placeholder; filled in with the SessionEngine batching bench.
+fn main() {}

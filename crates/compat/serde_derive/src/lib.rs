@@ -1,0 +1,355 @@
+//! Minimal stand-in for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for the item shapes this workspace uses (named-field structs, and enums
+//! with unit, named-field, and tuple variants; no generics).
+//!
+//! The generated code targets the sibling `serde` shim's value-tree model:
+//! `Serialize::to_value` / `Deserialize::from_value`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ------------------------------------------------------------------- parsing --
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            other => panic!(
+                "serde shim derive: struct `{name}` must use named fields, found {other:?}"
+            ),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // `#`
+                *pos += 1; // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // `pub(crate)` and friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, tracking `<`/`>` depth so commas
+/// inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde shim derive: expected `:` after field `{field}`, found {other:?}"),
+        }
+        fields.push(field);
+        let mut angle_depth = 0i32;
+        while let Some(token) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume the trailing comma, if any.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for (i, token) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                // A trailing comma does not start a new field.
+                ',' if angle_depth == 0 && i + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------- generation --
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string())"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let bindings = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {bindings} }} => ::serde::Value::Map(vec![(\
+                                 \"{vname}\".to_string(), ::serde::Value::Map(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\
+                             \"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let bindings: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let values: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![(\
+                                 \"{vname}\".to_string(), ::serde::Value::Seq(vec![{}]))])",
+                                bindings.join(", "),
+                                values.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(__value.get_field(\"{f}\")?)?")
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("\"{vname}\" => Ok({name}::{vname})"));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     __inner.get_field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => Ok({name}::{vname} {{ {} }})",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?))"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => {{ let __items = __inner.as_seq()?; \
+                             if __items.len() != {n} {{ return Err(::serde::Error::new(\
+                             \"wrong tuple arity for variant {vname}\")); }} \
+                             Ok({name}::{vname}({})) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let unit_match = format!(
+                "match __tag.as_str() {{ {}{} _ => Err(::serde::Error::new(format!(\
+                 \"unknown variant `{{}}` for {name}\", __tag))) }}",
+                unit_arms.join(", "),
+                if unit_arms.is_empty() { "" } else { "," }
+            );
+            let tagged_match = format!(
+                "match __tag.as_str() {{ {}{} _ => Err(::serde::Error::new(format!(\
+                 \"unknown variant `{{}}` for {name}\", __tag))) }}",
+                tagged_arms.join(", "),
+                if tagged_arms.is_empty() { "" } else { "," }
+            );
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__tag) => {unit_match},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 {tagged_match}\n\
+                 }},\n\
+                 __other => Err(::serde::Error::new(format!(\
+                 \"expected variant of {name}, got {{}}\", __other.kind())))\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ {body} }}\n\
+         }}"
+    )
+}

@@ -6,11 +6,9 @@
 //! audits exactly this transcript to confirm that nothing message- or identity-correlated is
 //! ever published.
 
-use bytes::{BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Which protocol party sent a classical message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -102,12 +100,12 @@ impl ClassicalMessage {
 
     /// Serialises the message into a length-prefixed frame (the wire format a real deployment
     /// would push through its authenticated classical link).
-    pub fn to_frame(&self) -> Bytes {
+    pub fn to_frame(&self) -> Vec<u8> {
         let body = format!("{self:?}");
-        let mut buf = BytesMut::with_capacity(4 + body.len());
-        buf.put_u32(body.len() as u32);
-        buf.put_slice(body.as_bytes());
-        buf.freeze()
+        let mut buf = Vec::with_capacity(4 + body.len());
+        buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        buf.extend_from_slice(body.as_bytes());
+        buf
     }
 }
 
@@ -221,27 +219,27 @@ impl ClassicalChannel {
 
     /// Sends (appends) a message; returns its sequence number.
     pub fn send(&self, sender: Party, message: ClassicalMessage) -> usize {
-        self.transcript.lock().push(sender, message)
+        self.transcript.lock().expect("transcript lock poisoned").push(sender, message)
     }
 
     /// Takes a snapshot of the transcript as seen by any party (or Eve).
     pub fn snapshot(&self) -> Transcript {
-        self.transcript.lock().clone()
+        self.transcript.lock().expect("transcript lock poisoned").clone()
     }
 
     /// Number of messages exchanged so far.
     pub fn len(&self) -> usize {
-        self.transcript.lock().len()
+        self.transcript.lock().expect("transcript lock poisoned").len()
     }
 
     /// Returns `true` when nothing has been sent yet.
     pub fn is_empty(&self) -> bool {
-        self.transcript.lock().is_empty()
+        self.transcript.lock().expect("transcript lock poisoned").is_empty()
     }
 
     /// Returns `true` when an abort has been announced.
     pub fn aborted(&self) -> bool {
-        self.transcript.lock().contains_abort()
+        self.transcript.lock().expect("transcript lock poisoned").contains_abort()
     }
 }
 

@@ -19,12 +19,26 @@ use std::fmt;
 /// let a0 = MeasurementBasis::alice(0);
 /// assert!((a0.angle() - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct MeasurementBasis {
     /// Phase angle θ of the basis.
     angle: f64,
     /// Human-readable label ("A0", "B1", …).
     label: &'static str,
+}
+
+impl Deserialize for MeasurementBasis {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let angle = f64::from_value(value.get_field("angle")?)?;
+        let label = String::from_value(value.get_field("label")?)?;
+        // The label field is `&'static str` (so the type stays `Copy`); map the
+        // serialized form back onto the known label set.
+        let label = ["A0", "A1", "A2", "B1", "B2"]
+            .into_iter()
+            .find(|&known| known == label)
+            .unwrap_or("custom");
+        Ok(Self { angle, label })
+    }
 }
 
 impl MeasurementBasis {
