@@ -49,7 +49,13 @@ pub fn render_csv(header: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    out.push_str(&header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -66,10 +72,7 @@ mod tests {
     fn markdown_table_structure() {
         let table = render_markdown_table(
             &["a", "b"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["3".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
         );
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -8,11 +8,10 @@
 
 use protocol::auth::impersonation_detection_probability;
 use protocol::config::SessionConfig;
+use protocol::engine::{Adversary, Scenario, SessionEngine};
 use protocol::error::ProtocolError;
 use protocol::identity::IdentityPair;
-use protocol::message::SecretMessage;
-use protocol::session::{run_session_full, AbortStage, Impersonation, SessionOutcome};
-use qchannel::quantum::NoTap;
+use protocol::session::Impersonation;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -79,31 +78,22 @@ pub fn run_impersonation_trials<R: Rng>(
         target != Impersonation::None,
         "run_impersonation_trials needs an actual impersonation target"
     );
-    let detection_stage = match target {
-        Impersonation::OfBob => AbortStage::BobAuthentication,
-        Impersonation::OfAlice => AbortStage::AliceAuthentication,
-        Impersonation::None => unreachable!(),
-    };
-    let mut detected = 0usize;
-    let mut undetected_deliveries = 0usize;
-    for _ in 0..trials {
-        let message = SecretMessage::random(config.message_bits(), rng);
-        let mut tap = NoTap;
-        let outcome: SessionOutcome =
-            run_session_full(config, identities, &message, target, &mut tap, rng)?;
-        if outcome.aborted_at(detection_stage) {
-            detected += 1;
-        } else if outcome.is_delivered() {
-            undetected_deliveries += 1;
-        }
-    }
+    let adversary = Adversary::from_impersonation(target);
+    let detection_stage = adversary
+        .detection_stage()
+        .expect("impersonation adversaries have a detection stage");
+    let scenario = Scenario::new(config.clone(), identities.clone())
+        .with_label("impersonation")
+        .with_adversary(adversary);
+    let summary = SessionEngine::new(rng.next_u64()).run_trials(&scenario, trials)?;
+    let detected = summary.aborted_at(detection_stage);
     let l = identities.qubit_len();
     Ok(ImpersonationSummary {
         target,
         identity_qubits: l,
         trials,
         detected,
-        undetected_deliveries,
+        undetected_deliveries: summary.delivered,
         detection_rate: if trials == 0 {
             0.0
         } else {

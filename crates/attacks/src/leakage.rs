@@ -12,7 +12,7 @@
 use protocol::identity::IdentityString;
 use qchannel::classical::{ClassicalMessage, Transcript};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// The result of auditing one or more transcripts for information leakage.
@@ -93,7 +93,7 @@ impl LeakageAudit {
         let mut audit = Self::structural(transcripts);
         let paulis = id_b.as_paulis();
         // Joint histogram over (announced Bell index, id_B Pauli index).
-        let mut joint: HashMap<(u8, u8), usize> = HashMap::new();
+        let mut joint: BTreeMap<(u8, u8), usize> = BTreeMap::new();
         let mut total = 0usize;
         for transcript in transcripts {
             for entry in transcript.iter() {
@@ -145,12 +145,12 @@ impl fmt::Display for LeakageAudit {
 }
 
 /// Empirical mutual information (bits) of a joint histogram.
-fn mutual_information(joint: &HashMap<(u8, u8), usize>, total: usize) -> f64 {
+fn mutual_information(joint: &BTreeMap<(u8, u8), usize>, total: usize) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let mut px: HashMap<u8, f64> = HashMap::new();
-    let mut py: HashMap<u8, f64> = HashMap::new();
+    let mut px: BTreeMap<u8, f64> = BTreeMap::new();
+    let mut py: BTreeMap<u8, f64> = BTreeMap::new();
     for (&(x, y), &count) in joint {
         let p = count as f64 / total as f64;
         *px.entry(x).or_insert(0.0) += p;
@@ -170,8 +170,8 @@ fn mutual_information(joint: &HashMap<(u8, u8), usize>, total: usize) -> f64 {
 mod tests {
     use super::*;
     use protocol::config::SessionConfig;
+    use protocol::engine::{Scenario, SessionEngine};
     use protocol::identity::IdentityPair;
-    use protocol::session::run_session;
     use qchannel::classical::Party;
     use rand::SeedableRng;
 
@@ -180,19 +180,18 @@ mod tests {
     }
 
     fn honest_transcripts(count: usize, identities: &IdentityPair, seed: u64) -> Vec<Transcript> {
-        let mut r = rng(seed);
         let config = SessionConfig::builder()
             .message_bits(8)
             .check_bits(2)
             .di_check_pairs(200)
             .build()
             .unwrap();
-        (0..count)
-            .map(|_| {
-                run_session(&config, identities, &mut r)
-                    .expect("session runs")
-                    .transcript
-            })
+        let scenario = Scenario::new(config, identities.clone());
+        SessionEngine::new(seed)
+            .run_outcomes(&scenario, count)
+            .expect("session runs")
+            .into_iter()
+            .map(|outcome| outcome.transcript)
             .collect()
     }
 
@@ -248,21 +247,21 @@ mod tests {
     fn mutual_information_of_correlated_data_is_positive() {
         // Sanity-check the estimator itself: perfectly correlated variables have I = log2(4) =
         // 2 bits when uniform over four symbols.
-        let mut joint = HashMap::new();
+        let mut joint = BTreeMap::new();
         for symbol in 0u8..4 {
             joint.insert((symbol, symbol), 25usize);
         }
         let mi = mutual_information(&joint, 100);
         assert!((mi - 2.0).abs() < 1e-9);
         // Independent variables have I = 0.
-        let mut joint = HashMap::new();
+        let mut joint = BTreeMap::new();
         for x in 0u8..4 {
             for y in 0u8..4 {
                 joint.insert((x, y), 25usize);
             }
         }
         assert!(mutual_information(&joint, 400).abs() < 1e-9);
-        assert_eq!(mutual_information(&HashMap::new(), 0), 0.0);
+        assert_eq!(mutual_information(&BTreeMap::new(), 0), 0.0);
     }
 
     #[test]

@@ -1,40 +1,34 @@
-//! # attacks — eavesdropper models for the UA-DI-QSDC reproduction
+//! # attacks — eavesdropper analyses for the UA-DI-QSDC reproduction
 //!
-//! Section III of the paper analyses five attack strategies; Section IV simulates them. This
-//! crate implements each one as runnable code against the real protocol:
+//! Section III of the paper analyses five attack strategies; Section IV simulates them. The
+//! channel-level tap implementations live in [`qchannel::taps`] (re-exported here under their
+//! historical module paths); this crate layers the protocol-level analyses on top:
 //!
 //! - [`impersonation`] — Eve plays Alice or Bob without knowing the pre-shared identity;
 //!   detection probability `1 − (1/4)^l`.
-//! - [`intercept_resend`] — Eve measures the flying qubits in a basis of her choice and
-//!   resends them; the second DI check sees `S ≤ 2`.
-//! - [`mitm`] — Eve keeps the real qubits and forwards fresh uncorrelated ones; the second DI
-//!   check sees `S ≤ 2`.
-//! - [`entangle_measure`] — Eve entangles an ancilla with each flying qubit (CNOT) and
-//!   measures it; monogamy of entanglement degrades the CHSH value below the threshold.
+//! - [`intercept_resend`] / [`mitm`] / [`entangle_measure`] — the channel attacks; the second
+//!   DI check sees `S ≤ 2` and the protocol aborts.
 //! - [`leakage`] — an audit of the public classical transcript confirming that nothing
 //!   correlated with the message or the identities is ever published.
 //!
-//! [`harness`] runs any [`qchannel::quantum::ChannelTap`] attack against the full protocol for
-//! many trials and summarises detection statistics.
+//! Attacked sessions are executed through [`protocol::engine::SessionEngine`]: pick an
+//! [`protocol::engine::Adversary`], put it in a [`protocol::engine::Scenario`], and ask the
+//! engine for trials. The legacy [`harness::run_attack_trials`] remains as a deprecated shim.
 //!
 //! ## Example
 //!
 //! ```rust
-//! use attacks::prelude::*;
 //! use protocol::prelude::*;
+//! use qchannel::taps::InterceptBasis;
 //! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let identities = IdentityPair::generate(4, &mut rng);
 //! let config = SessionConfig::builder().message_bits(8).check_bits(2).di_check_pairs(200).build()?;
-//! let summary = run_attack_trials(
-//!     &config,
-//!     &identities,
-//!     || InterceptResendAttack::computational(),
-//!     5,
-//!     &mut rng,
-//! )?;
+//! let scenario = Scenario::new(config, identities)
+//!     .with_adversary(Adversary::InterceptResend(InterceptBasis::Computational));
+//! let summary = SessionEngine::new(1).run_trials(&scenario, 5)?;
 //! assert_eq!(summary.delivered, 0, "intercept-and-resend must never get a message through");
 //! # Ok(())
 //! # }
@@ -51,7 +45,9 @@ pub mod leakage;
 pub mod mitm;
 
 pub use entangle_measure::EntangleMeasureAttack;
-pub use harness::{run_attack_trials, AttackSummary};
+#[allow(deprecated)]
+pub use harness::run_attack_trials;
+pub use harness::AttackSummary;
 pub use impersonation::{run_impersonation_trials, ImpersonationSummary};
 pub use intercept_resend::InterceptResendAttack;
 pub use leakage::LeakageAudit;
@@ -60,7 +56,9 @@ pub use mitm::ManInTheMiddleAttack;
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::entangle_measure::EntangleMeasureAttack;
-    pub use crate::harness::{run_attack_trials, AttackSummary};
+    #[allow(deprecated)]
+    pub use crate::harness::run_attack_trials;
+    pub use crate::harness::AttackSummary;
     pub use crate::impersonation::{run_impersonation_trials, ImpersonationSummary};
     pub use crate::intercept_resend::InterceptResendAttack;
     pub use crate::leakage::LeakageAudit;

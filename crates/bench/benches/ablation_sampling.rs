@@ -26,7 +26,10 @@ fn bench_sampling(c: &mut Criterion) {
             let mut counts = qsim::Counts::new();
             for _ in 0..64 {
                 let (_, bits) = executor.run(&circuit, &mut rng).unwrap();
-                let label: String = bits.iter().map(|b| if *b == 1 { '1' } else { '0' }).collect();
+                let label: String = bits
+                    .iter()
+                    .map(|b| if *b == 1 { '1' } else { '0' })
+                    .collect();
                 counts.record(label);
             }
             black_box(counts)

@@ -8,7 +8,14 @@ fn bench_impersonation(c: &mut Criterion) {
     let mut group = c.benchmark_group("attack_impersonation");
     group.sample_size(10);
     group.bench_function("l4/5trials", |b| {
-        b.iter(|| black_box(bench::impersonation_experiment(&[4], Impersonation::OfBob, 5, 3)));
+        b.iter(|| {
+            black_box(bench::impersonation_experiment(
+                &[4],
+                Impersonation::OfBob,
+                5,
+                3,
+            ))
+        });
     });
     group.finish();
 }

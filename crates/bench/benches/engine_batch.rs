@@ -1,2 +1,64 @@
-//! Placeholder; filled in with the SessionEngine batching bench.
-fn main() {}
+//! Criterion bench establishing the batching baseline: per-call legacy sessions versus
+//! `SessionEngine::run_batch` over the same workload. Future perf PRs (threaded fan-out,
+//! shared-state reuse) will be measured against these numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protocol::engine::{Scenario, SessionEngine};
+use protocol::identity::IdentityPair;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn scenarios(count: usize) -> Vec<Scenario> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let config = bench::attack_session_config();
+    (0..count)
+        .map(|i| {
+            Scenario::new(config.clone(), IdentityPair::generate(3, &mut rng))
+                .with_label(format!("bench-{i}"))
+        })
+        .collect()
+}
+
+fn bench_engine_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+    for count in [1usize, 4] {
+        let batch = scenarios(count);
+        group.bench_with_input(
+            BenchmarkId::new("legacy_per_call", count),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    // The pre-engine shape: every consumer hand-rolls its own loop with
+                    // one deprecated call per session.
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+                    #[allow(deprecated)]
+                    for scenario in batch {
+                        for _ in 0..2 {
+                            black_box(
+                                protocol::session::run_session(
+                                    &scenario.config,
+                                    &scenario.identities,
+                                    &mut rng,
+                                )
+                                .unwrap(),
+                            );
+                        }
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine_run_batch", count),
+            &batch,
+            |b, batch| {
+                let engine = SessionEngine::new(7);
+                b.iter(|| black_box(engine.run_batch(batch, 2).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_batch);
+criterion_main!(benches);

@@ -8,7 +8,10 @@ fn main() {
     println!("# Impersonation attack — detection probability vs identity length\n");
     for (target, label) in [
         (Impersonation::OfBob, "Eve impersonates Bob (Alice detects)"),
-        (Impersonation::OfAlice, "Eve impersonates Alice (Bob detects)"),
+        (
+            Impersonation::OfAlice,
+            "Eve impersonates Alice (Bob detects)",
+        ),
     ] {
         let points = bench::impersonation_experiment(&[1, 2, 3, 4, 6, 8], target, 200, 77);
         println!("## {label}\n");
@@ -27,7 +30,13 @@ fn main() {
         println!(
             "{}",
             render_markdown_table(
-                &["l (identity qubits)", "trials", "measured detection", "1 - (1/4)^l", "|deviation|"],
+                &[
+                    "l (identity qubits)",
+                    "trials",
+                    "measured detection",
+                    "1 - (1/4)^l",
+                    "|deviation|"
+                ],
                 &cells
             )
         );

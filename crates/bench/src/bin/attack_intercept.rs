@@ -4,7 +4,8 @@ use analysis::report::render_markdown_table;
 use bench::ChannelAttackKind;
 
 fn main() {
-    let (attacked, honest) = bench::channel_attack_experiment(ChannelAttackKind::InterceptResend, 20, 11);
+    let (attacked, honest) =
+        bench::channel_attack_experiment(ChannelAttackKind::InterceptResend, 20, 11);
     println!("# Intercept-and-resend attack vs honest channel\n");
     let cells: Vec<Vec<String>> = [attacked, honest]
         .iter()
@@ -22,7 +23,14 @@ fn main() {
     println!(
         "{}",
         render_markdown_table(
-            &["scenario", "trials", "delivered", "detection rate", "mean S1", "mean S2"],
+            &[
+                "scenario",
+                "trials",
+                "delivered",
+                "detection rate",
+                "mean S1",
+                "mean S2"
+            ],
             &cells
         )
     );

@@ -7,12 +7,18 @@ fn main() {
     println!("transcripts audited       : {}", audit.transcripts);
     println!("classical messages        : {}", audit.messages);
     println!("unexpected message kinds  : {:?}", audit.unexpected_kinds);
-    println!("announced Bell results    : {}", audit.announced_bell_results);
+    println!(
+        "announced Bell results    : {}",
+        audit.announced_bell_results
+    );
     println!(
         "announced distribution    : {:?} (uniform = [0.25, 0.25, 0.25, 0.25])",
         audit.bell_result_distribution
     );
-    println!("distribution bias (TV)    : {:.4}", audit.bell_distribution_bias());
+    println!(
+        "distribution bias (TV)    : {:.4}",
+        audit.bell_distribution_bias()
+    );
     println!(
         "I(announced ; id_B)       : {:.4} bits (paper: Eve gains no information)",
         audit.mutual_information_with_id_b.unwrap_or(0.0)

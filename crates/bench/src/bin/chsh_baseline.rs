@@ -5,7 +5,8 @@
 use analysis::report::render_markdown_table;
 
 fn main() {
-    let points = bench::chsh_baseline_experiment(&[50, 100, 200, 400, 800], &[0.0, 0.05, 0.2], 8, 99);
+    let points =
+        bench::chsh_baseline_experiment(&[50, 100, 200, 400, 800], &[0.0, 0.05, 0.2], 8, 99);
     println!("# CHSH estimation vs check-pair budget and noise\n");
     let cells: Vec<Vec<String>> = points
         .iter()
@@ -20,7 +21,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_markdown_table(&["d (check pairs)", "depolarizing p", "mean S", "std dev"], &cells)
+        render_markdown_table(
+            &["d (check pairs)", "depolarizing p", "mean S", "std dev"],
+            &cells
+        )
     );
     println!("ideal value 2√2 ≈ 2.828; classical bound 2; abort whenever S ≤ 2.");
 }

@@ -7,7 +7,10 @@ use noise::DeviceModel;
 fn main() {
     let device = DeviceModel::ibm_brisbane_like();
     let rows = bench::fig2_experiment(&device, 10, 1024, 20240916);
-    println!("# Fig. 2 — Bob's decoded counts (η = 10, 1024 shots, {})\n", device.name());
+    println!(
+        "# Fig. 2 — Bob's decoded counts (η = 10, 1024 shots, {})\n",
+        device.name()
+    );
     let cells: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

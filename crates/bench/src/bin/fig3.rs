@@ -7,7 +7,10 @@ use noise::DeviceModel;
 fn main() {
     let device = DeviceModel::ibm_brisbane_like();
     let points = bench::fig3_experiment(&device, &bench::fig3_eta_values(), 256, 424242);
-    println!("# Fig. 3 — accuracy vs channel length ({})\n", device.name());
+    println!(
+        "# Fig. 3 — accuracy vs channel length ({})\n",
+        device.name()
+    );
     let cells: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -18,7 +21,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_csv(&["eta", "duration_us", "accuracy"], &cells));
+    println!(
+        "{}",
+        render_csv(&["eta", "duration_us", "accuracy"], &cells)
+    );
     let first = points.first().expect("sweep has points");
     let last = points.last().expect("sweep has points");
     println!(
@@ -26,7 +32,10 @@ fn main() {
         first.eta, first.accuracy, last.eta, last.accuracy
     );
     if let Some(cross) = points.iter().find(|p| p.accuracy < 0.6) {
-        println!("first point below 60% accuracy: η = {} ({:.2} µs)", cross.eta, cross.duration_us);
+        println!(
+            "first point below 60% accuracy: η = {} ({:.2} µs)",
+            cross.eta, cross.duration_us
+        );
     } else {
         println!("no point fell below 60% accuracy in this sweep");
     }

@@ -22,19 +22,17 @@
 use analysis::histogram::counts_to_row;
 use analysis::rows::{AccuracyPoint, AttackRow, DetectionPoint, HistogramRow, Table1Row};
 use analysis::stats::mean;
-use attacks::entangle_measure::EntangleMeasureAttack;
-use attacks::harness::{run_attack_trials, AttackSummary};
 use attacks::impersonation::run_impersonation_trials;
-use attacks::intercept_resend::InterceptResendAttack;
 use attacks::leakage::LeakageAudit;
-use attacks::mitm::ManInTheMiddleAttack;
 use noise::{DeviceModel, NoisyExecutor};
 use protocol::config::SessionConfig;
 use protocol::descriptor::ProtocolDescriptor;
 use protocol::di_check::{run_di_check, DiCheckRound};
+use protocol::engine::{Adversary, Scenario, SessionEngine, TrialSummary};
 use protocol::identity::IdentityPair;
-use protocol::session::{run_session, Impersonation};
+use protocol::session::Impersonation;
 use qchannel::epr::EprPair;
+use qchannel::taps::{InterceptBasis, SubstituteState};
 use qsim::circuit::{Circuit, CircuitBuilder};
 use qsim::counts::Counts;
 use qsim::pauli::Pauli;
@@ -233,48 +231,37 @@ pub fn channel_attack_experiment(
         .build()
         .expect("channel attack config is valid");
     let identities = IdentityPair::generate(4, &mut rng);
-    let attacked: AttackSummary = match kind {
-        ChannelAttackKind::InterceptResend => run_attack_trials(
-            &config,
-            &identities,
-            InterceptResendAttack::computational,
-            trials,
-            &mut rng,
-        ),
-        ChannelAttackKind::ManInTheMiddle => run_attack_trials(
-            &config,
-            &identities,
-            ManInTheMiddleAttack::random_computational,
-            trials,
-            &mut rng,
-        ),
-        ChannelAttackKind::EntangleMeasure => run_attack_trials(
-            &config,
-            &identities,
-            EntangleMeasureAttack::full,
-            trials,
-            &mut rng,
-        ),
-    }
-    .expect("attack trials run");
-    let honest = run_attack_trials(
-        &config,
-        &identities,
-        qchannel::quantum::NoTap::default,
-        trials,
-        &mut rng,
-    )
-    .expect("honest control runs");
-    (summary_to_row(attacked), summary_to_row(honest))
+    let adversary = match kind {
+        ChannelAttackKind::InterceptResend => {
+            Adversary::InterceptResend(InterceptBasis::Computational)
+        }
+        ChannelAttackKind::ManInTheMiddle => {
+            Adversary::ManInTheMiddle(SubstituteState::RandomComputational)
+        }
+        ChannelAttackKind::EntangleMeasure => Adversary::EntangleMeasure { strength: 1.0 },
+    };
+    let scenarios = [
+        Scenario::new(config.clone(), identities.clone())
+            .with_label("attacked")
+            .with_adversary(adversary),
+        Scenario::new(config, identities).with_label("honest control"),
+    ];
+    let summaries = SessionEngine::new(seed)
+        .run_batch(&scenarios, trials)
+        .expect("attack trials run");
+    let mut rows = summaries.into_iter().map(summary_to_row);
+    let attacked = rows.next().expect("attacked row");
+    let honest = rows.next().expect("honest row");
+    (attacked, honest)
 }
 
-fn summary_to_row(summary: AttackSummary) -> AttackRow {
+fn summary_to_row(summary: TrialSummary) -> AttackRow {
     let detection_rate = summary.detection_rate();
     AttackRow {
-        attack: if summary.attack.is_empty() || summary.attack == "none" {
+        attack: if summary.adversary.is_empty() || summary.adversary == "honest" {
             "honest (no attack)".into()
         } else {
-            summary.attack
+            summary.adversary
         },
         trials: summary.trials,
         delivered: summary.delivered,
@@ -288,14 +275,14 @@ fn summary_to_row(summary: AttackSummary) -> AttackRow {
 /// with a fixed identity pair and audits the accumulated public transcripts.
 pub fn leakage_experiment(sessions: usize, seed: u64) -> LeakageAudit {
     let mut rng = StdRng::seed_from_u64(seed);
-    let config = attack_session_config();
     let identities = IdentityPair::generate(4, &mut rng);
-    let transcripts: Vec<_> = (0..sessions)
-        .map(|_| {
-            run_session(&config, &identities, &mut rng)
-                .expect("honest session runs")
-                .transcript
-        })
+    let scenario =
+        Scenario::new(attack_session_config(), identities.clone()).with_label("leakage-audit");
+    let transcripts: Vec<_> = SessionEngine::new(seed)
+        .run_outcomes(&scenario, sessions)
+        .expect("honest session runs")
+        .into_iter()
+        .map(|outcome| outcome.transcript)
         .collect();
     LeakageAudit::with_identity(&transcripts, &identities.bob)
 }
@@ -390,7 +377,12 @@ mod tests {
         let rows = fig2_experiment(&DeviceModel::ideal(), 10, 64, 1);
         assert_eq!(rows.len(), 4);
         for row in rows {
-            assert_eq!(row.accuracy(), 1.0, "ideal device decodes {} perfectly", row.encoded);
+            assert_eq!(
+                row.accuracy(),
+                1.0,
+                "ideal device decodes {} perfectly",
+                row.encoded
+            );
             assert!((row.fidelity - 1.0).abs() < 1e-12);
         }
     }

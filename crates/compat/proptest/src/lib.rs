@@ -120,7 +120,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return candidate;
             }
         }
-        panic!("prop_filter `{}` rejected 1000 candidates in a row", self.reason);
+        panic!(
+            "prop_filter `{}` rejected 1000 candidates in a row",
+            self.reason
+        );
     }
 }
 

@@ -76,7 +76,10 @@ impl Value {
     pub fn as_seq(&self) -> Result<&[Value], Error> {
         match self {
             Value::Seq(items) => Ok(items),
-            other => Err(Error::new(format!("expected sequence, got {}", other.kind()))),
+            other => Err(Error::new(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -105,16 +108,26 @@ impl Value {
         match *self {
             Value::Int(v) => Ok(v),
             Value::UInt(v) if v <= i64::MAX as u64 => Ok(v as i64),
-            ref other => Err(Error::new(format!("expected integer, got {}", other.kind()))),
+            ref other => Err(Error::new(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
         }
     }
 
-    /// Interprets the value as a float (integers coerce).
+    /// Interprets the value as a float (integers coerce; the strings `"inf"`,
+    /// `"-inf"` and `"NaN"` encode the non-finite values JSON cannot express).
     pub fn as_f64(&self) -> Result<f64, Error> {
         match *self {
             Value::Float(v) => Ok(v),
             Value::Int(v) => Ok(v as f64),
             Value::UInt(v) => Ok(v as f64),
+            Value::Str(ref s) => match s.as_str() {
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                "NaN" => Ok(f64::NAN),
+                _ => Err(Error::new(format!("expected number, got string `{s}`"))),
+            },
             ref other => Err(Error::new(format!("expected number, got {}", other.kind()))),
         }
     }
@@ -447,8 +460,14 @@ pub mod json {
                     // `{:?}` always keeps a decimal point or exponent, so the
                     // value round-trips as a float.
                     let _ = write!(out, "{v:?}");
+                } else if v.is_nan() {
+                    // JSON has no non-finite numbers; encode them as tagged
+                    // strings that `Value::as_f64` maps back.
+                    out.push_str("\"NaN\"");
+                } else if *v > 0.0 {
+                    out.push_str("\"inf\"");
                 } else {
-                    out.push_str("null");
+                    out.push_str("\"-inf\"");
                 }
             }
             Value::Str(s) => write_string(out, s),

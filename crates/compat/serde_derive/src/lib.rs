@@ -10,13 +10,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    generate_serialize(&item).parse().expect("generated Serialize impl parses")
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    generate_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 struct Item {
@@ -60,9 +64,9 @@ fn parse_item(input: TokenStream) -> Item {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 Shape::Struct(parse_named_fields(g.stream()))
             }
-            other => panic!(
-                "serde shim derive: struct `{name}` must use named fields, found {other:?}"
-            ),
+            other => {
+                panic!("serde shim derive: struct `{name}` must use named fields, found {other:?}")
+            }
         },
         "enum" => match tokens.get(pos) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
@@ -120,7 +124,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         let field = expect_ident(&tokens, &mut pos);
         match tokens.get(pos) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
-            other => panic!("serde shim derive: expected `:` after field `{field}`, found {other:?}"),
+            other => {
+                panic!("serde shim derive: expected `:` after field `{field}`, found {other:?}")
+            }
         }
         fields.push(field);
         let mut angle_depth = 0i32;
@@ -201,9 +207,7 @@ fn generate_serialize(item: &Item) -> String {
         Shape::Struct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
-                })
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
                 .collect();
             format!("::serde::Value::Map(vec![{}])", entries.join(", "))
         }
@@ -307,9 +311,7 @@ fn generate_deserialize(item: &Item) -> String {
                     }
                     VariantKind::Tuple(n) => {
                         let inits: Vec<String> = (0..*n)
-                            .map(|i| {
-                                format!("::serde::Deserialize::from_value(&__items[{i}])?")
-                            })
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
                             .collect();
                         tagged_arms.push(format!(
                             "\"{vname}\" => {{ let __items = __inner.as_seq()?; \

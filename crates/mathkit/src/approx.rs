@@ -53,7 +53,10 @@ pub fn approx_eq_c(a: Complex64, b: Complex64, tol: f64) -> bool {
 /// assert!(approx_eq_slice(&a, &b, 1e-10));
 /// ```
 pub fn approx_eq_slice(a: &[Complex64], b: &[Complex64], tol: f64) -> bool {
-    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| approx_eq_c(*x, *y, tol))
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| approx_eq_c(*x, *y, tol))
 }
 
 /// Returns `true` when two probability distributions (given as slices) agree to within `tol`

@@ -437,8 +437,14 @@ impl Add for &CMatrix {
 impl Sub for &CMatrix {
     type Output = CMatrix;
     fn sub(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!(self.rows, rhs.rows, "subtracting matrices of different shapes");
-        assert_eq!(self.cols, rhs.cols, "subtracting matrices of different shapes");
+        assert_eq!(
+            self.rows, rhs.rows,
+            "subtracting matrices of different shapes"
+        );
+        assert_eq!(
+            self.cols, rhs.cols,
+            "subtracting matrices of different shapes"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -540,7 +546,9 @@ mod tests {
         // XY = iZ
         assert!(x.matmul(&y).approx_eq(&z.scale(Complex64::I), 1e-12));
         // anti-commutation: XZ = -ZX
-        assert!(x.matmul(&z).approx_eq(&z.matmul(&x).scale(-Complex64::ONE), 1e-12));
+        assert!(x
+            .matmul(&z)
+            .approx_eq(&z.matmul(&x).scale(-Complex64::ONE), 1e-12));
     }
 
     #[test]
@@ -643,8 +651,14 @@ mod tests {
             vec![Complex64::real(1.0), Complex64::real(2.0)],
             vec![Complex64::real(3.0), Complex64::real(4.0)],
         ]);
-        assert_eq!(m.row(1).as_slice(), &[Complex64::real(3.0), Complex64::real(4.0)]);
-        assert_eq!(m.col(0).as_slice(), &[Complex64::real(1.0), Complex64::real(3.0)]);
+        assert_eq!(
+            m.row(1).as_slice(),
+            &[Complex64::real(3.0), Complex64::real(4.0)]
+        );
+        assert_eq!(
+            m.col(0).as_slice(),
+            &[Complex64::real(1.0), Complex64::real(3.0)]
+        );
     }
 
     #[test]

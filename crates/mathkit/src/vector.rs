@@ -266,7 +266,11 @@ impl<'a> IntoIterator for &'a CVector {
 impl Add for &CVector {
     type Output = CVector;
     fn add(self, rhs: &CVector) -> CVector {
-        assert_eq!(self.len(), rhs.len(), "adding vectors of different dimensions");
+        assert_eq!(
+            self.len(),
+            rhs.len(),
+            "adding vectors of different dimensions"
+        );
         CVector {
             data: self
                 .data
@@ -323,7 +327,11 @@ mod tests {
             for j in 0..4 {
                 let ei = CVector::basis(4, i);
                 let ej = CVector::basis(4, j);
-                let expected = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                let expected = if i == j {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 assert_eq!(ei.inner(&ej), expected);
             }
         }
@@ -385,7 +393,10 @@ mod tests {
         assert_eq!((&a + &b).as_slice()[1], Complex64::real(1.0));
         assert_eq!((&a - &b).as_slice()[0], Complex64::real(0.5));
         assert_eq!((-&a).as_slice()[0], Complex64::real(-1.0));
-        assert_eq!((&a * Complex64::real(2.0)).as_slice()[1], Complex64::real(4.0));
+        assert_eq!(
+            (&a * Complex64::real(2.0)).as_slice()[1],
+            Complex64::real(4.0)
+        );
     }
 
     #[test]

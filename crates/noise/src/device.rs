@@ -326,7 +326,10 @@ mod tests {
         let d = DeviceModel::ibm_brisbane_like();
         let f = d.identity_gate_channel().average_fidelity();
         assert!(f < 1.0);
-        assert!(f > 0.999, "one 60 ns identity gate should barely hurt, got {f}");
+        assert!(
+            f > 0.999,
+            "one 60 ns identity gate should barely hurt, got {f}"
+        );
     }
 
     #[test]
@@ -343,8 +346,14 @@ mod tests {
             idle.apply(&mut rho, &[1]);
         }
         let f = rho.fidelity_with_pure(&bell);
-        assert!(f < 0.75, "fidelity after 700 noisy identity gates should be well below 1, got {f}");
-        assert!(f > 0.3, "the pair should not be completely destroyed, got {f}");
+        assert!(
+            f < 0.75,
+            "fidelity after 700 noisy identity gates should be well below 1, got {f}"
+        );
+        assert!(
+            f > 0.3,
+            "the pair should not be completely destroyed, got {f}"
+        );
     }
 
     #[test]

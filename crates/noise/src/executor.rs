@@ -64,7 +64,11 @@ impl NoisyExecutor {
         }
         for (index, op) in circuit.operations().iter().enumerate() {
             match op {
-                Operation::Gate { name, matrix, qubits } => {
+                Operation::Gate {
+                    name,
+                    matrix,
+                    qubits,
+                } => {
                     rho.try_apply_unitary(matrix, qubits)?;
                     self.apply_gate_noise(&mut rho, name, qubits, circuit.num_qubits());
                 }
@@ -113,7 +117,10 @@ impl NoisyExecutor {
         for _ in 0..shots {
             let mut rho = prefix_rho.clone();
             let clbits = self.finish(circuit, &mut rho, resume_at, rng)?;
-            let label: String = clbits.iter().map(|b| if *b == 1 { '1' } else { '0' }).collect();
+            let label: String = clbits
+                .iter()
+                .map(|b| if *b == 1 { '1' } else { '0' })
+                .collect();
             counts.record(label);
         }
         Ok(counts)
@@ -132,7 +139,11 @@ impl NoisyExecutor {
         let readout = self.device.readout();
         for op in &circuit.operations()[resume_at..] {
             match op {
-                Operation::Gate { name, matrix, qubits } => {
+                Operation::Gate {
+                    name,
+                    matrix,
+                    qubits,
+                } => {
                     rho.try_apply_unitary(matrix, qubits)?;
                     self.apply_gate_noise(rho, name, qubits, circuit.num_qubits());
                 }
@@ -177,7 +188,9 @@ impl NoisyExecutor {
         if qubits.len() >= 2 {
             self.device.two_qubit_gate_channel().apply(rho, qubits);
             // Thermal relaxation on the participating qubits for the (long) 2-qubit gate.
-            let idle = self.device.idle_channel(self.device.gate_duration_ns(2, false));
+            let idle = self
+                .device
+                .idle_channel(self.device.gate_duration_ns(2, false));
             for &q in qubits {
                 idle.apply(rho, &[q]);
             }
@@ -230,10 +243,15 @@ mod tests {
     #[test]
     fn noisy_executor_reduces_but_does_not_destroy_correlations_at_eta_10() {
         let executor = NoisyExecutor::new(DeviceModel::ibm_brisbane_like());
-        let counts = executor.sample(&bell_circuit(10), 1024, &mut rng()).unwrap();
+        let counts = executor
+            .sample(&bell_circuit(10), 1024, &mut rng())
+            .unwrap();
         let correlated = counts.get("00") + counts.get("11");
         let frac = correlated as f64 / counts.total() as f64;
-        assert!(frac > 0.9, "short channel should stay highly correlated, got {frac}");
+        assert!(
+            frac > 0.9,
+            "short channel should stay highly correlated, got {frac}"
+        );
         assert!(frac < 1.0, "noise must show up somewhere over 1024 shots");
     }
 
@@ -241,7 +259,9 @@ mod tests {
     fn long_identity_chain_degrades_correlations() {
         let executor = NoisyExecutor::new(DeviceModel::ibm_brisbane_like());
         let short = executor.sample(&bell_circuit(10), 512, &mut rng()).unwrap();
-        let long = executor.sample(&bell_circuit(700), 512, &mut rng()).unwrap();
+        let long = executor
+            .sample(&bell_circuit(700), 512, &mut rng())
+            .unwrap();
         let frac = |c: &Counts| (c.get("00") + c.get("11")) as f64 / c.total() as f64;
         assert!(
             frac(&long) < frac(&short),
@@ -272,7 +292,8 @@ mod tests {
 
     #[test]
     fn readout_errors_show_up_even_without_gate_noise() {
-        let device = DeviceModel::ideal().with_readout(crate::readout::ReadoutError::symmetric(0.25));
+        let device =
+            DeviceModel::ideal().with_readout(crate::readout::ReadoutError::symmetric(0.25));
         let executor = NoisyExecutor::new(device);
         let circuit = CircuitBuilder::new(1, 1).measure(0, 0).build();
         let counts = executor.sample(&circuit, 2000, &mut rng()).unwrap();

@@ -36,7 +36,10 @@ impl KrausChannel {
     /// Panics if the operator list is empty, the operators have mismatched dimensions, or the
     /// completeness relation `Σ K_i† K_i = I` fails by more than `1e-6`.
     pub fn new<S: Into<String>>(name: S, operators: Vec<CMatrix>) -> Self {
-        assert!(!operators.is_empty(), "a Kraus channel needs at least one operator");
+        assert!(
+            !operators.is_empty(),
+            "a Kraus channel needs at least one operator"
+        );
         let dim = operators[0].rows();
         assert!(
             operators.iter().all(|k| k.rows() == dim && k.cols() == dim),
@@ -89,7 +92,12 @@ impl KrausChannel {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn depolarizing_two_qubit(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
-        let paulis = [gates::identity(), gates::pauli_x(), gates::pauli_y(), gates::pauli_z()];
+        let paulis = [
+            gates::identity(),
+            gates::pauli_x(),
+            gates::pauli_y(),
+            gates::pauli_z(),
+        ];
         let mut ops = Vec::with_capacity(16);
         for (i, a) in paulis.iter().enumerate() {
             for (j, b) in paulis.iter().enumerate() {
@@ -203,7 +211,8 @@ impl KrausChannel {
         let damping = Self::amplitude_damping(gamma);
         let dephasing = Self::phase_damping(lambda);
         let mut composed = dephasing.compose(&damping);
-        composed.name = format!("thermal_relaxation(T1={t1_us}µs, T2={t2_us}µs, t={duration_ns}ns)");
+        composed.name =
+            format!("thermal_relaxation(T1={t1_us}µs, T2={t2_us}µs, t={duration_ns}ns)");
         composed
     }
 
@@ -285,7 +294,11 @@ impl KrausChannel {
     ///
     /// Panics if called on a multi-qubit channel.
     pub fn average_fidelity(&self) -> f64 {
-        assert_eq!(self.num_qubits(), 1, "average_fidelity is defined for single-qubit channels");
+        assert_eq!(
+            self.num_qubits(),
+            1,
+            "average_fidelity is defined for single-qubit channels"
+        );
         let bell = qsim::bell::BellState::PhiPlus.statevector();
         let mut rho = DensityMatrix::from_statevector(&bell);
         rho.apply_kraus(&self.operators, &[0]);
@@ -296,7 +309,12 @@ impl KrausChannel {
 
 impl fmt::Display for KrausChannel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} Kraus operators)", self.name, self.operators.len())
+        write!(
+            f,
+            "{} ({} Kraus operators)",
+            self.name,
+            self.operators.len()
+        )
     }
 }
 
@@ -326,7 +344,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "completeness")]
     fn new_rejects_incomplete_operators() {
-        let _ = KrausChannel::new("broken", vec![gates::identity().scale(Complex64::real(0.5))]);
+        let _ = KrausChannel::new(
+            "broken",
+            vec![gates::identity().scale(Complex64::real(0.5))],
+        );
     }
 
     #[test]

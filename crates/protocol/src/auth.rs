@@ -116,14 +116,20 @@ pub fn verify_bob(
     tolerance: f64,
 ) -> AuthReport {
     let l = id_b.qubit_len();
-    assert_eq!(announced.len(), l, "one announced Bell result per identity qubit");
+    assert_eq!(
+        announced.len(),
+        l,
+        "one announced Bell result per identity qubit"
+    );
     assert_eq!(covers.len(), l, "one cover operation per identity qubit");
     let id_paulis = id_b.as_paulis();
     let mismatches = announced
         .iter()
         .zip(covers.iter())
         .zip(id_paulis.iter())
-        .filter(|((observed, cover), id_pauli)| **observed != expected_bob_result(**cover, **id_pauli))
+        .filter(|((observed, cover), id_pauli)| {
+            **observed != expected_bob_result(**cover, **id_pauli)
+        })
         .count();
     AuthReport::from_mismatches("id_B", l, mismatches, tolerance)
 }
@@ -136,7 +142,11 @@ pub fn verify_bob(
 /// Panics if `measured` and the identity disagree on the number of qubits.
 pub fn verify_alice(measured: &[BellState], id_a: &IdentityString, tolerance: f64) -> AuthReport {
     let l = id_a.qubit_len();
-    assert_eq!(measured.len(), l, "one measured Bell result per identity qubit");
+    assert_eq!(
+        measured.len(),
+        l,
+        "one measured Bell result per identity qubit"
+    );
     let id_paulis = id_a.as_paulis();
     let mismatches = measured
         .iter()

@@ -209,7 +209,7 @@ impl SessionConfigBuilder {
                 "message must contain at least one bit".into(),
             ));
         }
-        if (self.message_bits + self.check_bits) % 2 != 0 {
+        if !(self.message_bits + self.check_bits).is_multiple_of(2) {
             return Err(ProtocolError::InvalidConfig(format!(
                 "n + c must be even, got {} + {}",
                 self.message_bits, self.check_bits

@@ -146,7 +146,11 @@ impl fmt::Display for ProtocolDescriptor {
             self.resource,
             self.measurement,
             self.qubits_per_message_bit,
-            if self.user_authentication { "Yes" } else { "No" }
+            if self.user_authentication {
+                "Yes"
+            } else {
+                "No"
+            }
         )
     }
 }
@@ -183,7 +187,10 @@ mod tests {
     #[test]
     fn costs_match_paper_rows() {
         assert_eq!(ProtocolDescriptor::zhou_2020().qubits_per_message_bit, 1.0);
-        assert_eq!(ProtocolDescriptor::zhou_2022_hyper().qubits_per_message_bit, 1.0);
+        assert_eq!(
+            ProtocolDescriptor::zhou_2022_hyper().qubits_per_message_bit,
+            1.0
+        );
         assert_eq!(
             ProtocolDescriptor::zhou_2023_single_photon().qubits_per_message_bit,
             2.0

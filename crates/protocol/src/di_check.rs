@@ -145,7 +145,10 @@ mod tests {
         let (report, records) = run_di_check(DiCheckRound::First, &mut pairs, 2.0, &mut rng());
         assert!(report.passed, "ideal Φ+ pairs must pass: {report}");
         let s = report.chsh.unwrap();
-        assert!(s > 2.3, "CHSH should be well above the classical bound, got {s}");
+        assert!(
+            s > 2.3,
+            "CHSH should be well above the classical bound, got {s}"
+        );
         assert!(s <= 4.0);
         assert!(!records.is_empty());
         assert!(report.pairs_in_estimate <= report.pairs_used);
@@ -174,7 +177,10 @@ mod tests {
         }
         let (report, _) = run_di_check(DiCheckRound::Second, &mut pairs, 2.0, &mut rng());
         let s = report.chsh.unwrap();
-        assert!(s <= 2.0 + 0.3, "fully dephased pairs cannot exceed 2 (plus noise), got {s}");
+        assert!(
+            s <= 2.0 + 0.3,
+            "fully dephased pairs cannot exceed 2 (plus noise), got {s}"
+        );
         assert!(!report.passed || s <= 2.3);
     }
 
@@ -192,7 +198,10 @@ mod tests {
         // Ψ+ has correlators cos(θa − θb) under our convention, so the *protocol's* CHSH
         // combination no longer reaches 2√2 — it lands near 0.
         let s = report.chsh.unwrap();
-        assert!(s.abs() < 1.0, "encoded pairs break the calibrated CHSH combination, got {s}");
+        assert!(
+            s.abs() < 1.0,
+            "encoded pairs break the calibrated CHSH combination, got {s}"
+        );
     }
 
     #[test]

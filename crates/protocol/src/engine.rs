@@ -1,0 +1,1607 @@
+//! The session execution engine: one coherent, batch-capable API for running
+//! UA-DI-QSDC sessions under any adversarial setting.
+//!
+//! - [`Scenario`] declaratively bundles *what* to run: a [`SessionConfig`], the
+//!   pre-shared [`IdentityPair`], an optional fixed [`SecretMessage`] (random
+//!   per trial when absent) and an [`Adversary`].
+//! - [`SessionEngine`] knows *how* to run it: which [`Backend`] simulates the
+//!   quantum substrate and which master seed derives the per-trial RNG
+//!   streams. [`SessionEngine::run`] executes one session,
+//!   [`SessionEngine::run_trials`] aggregates `n` sessions into a
+//!   [`TrialSummary`], and [`SessionEngine::run_batch`] does so for many
+//!   scenarios at once.
+//!
+//! Every trial draws its randomness from a stream derived from
+//! `(master seed, scenario fingerprint, trial index)`, so results are
+//! bit-for-bit reproducible, independent of execution order, and independent
+//! of which other scenarios share the batch — the property that will let a
+//! future engine fan trials out across threads or machines without changing
+//! any result.
+//!
+//! ```rust
+//! use protocol::engine::{Adversary, Scenario, SessionEngine};
+//! use protocol::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let identities = IdentityPair::generate(6, &mut rng);
+//! let config = SessionConfig::builder()
+//!     .message_bits(16)
+//!     .check_bits(4)
+//!     .di_check_pairs(60)
+//!     .build()?;
+//! let scenario = Scenario::new(config, identities);
+//! let engine = SessionEngine::new(42);
+//! let outcome = engine.run(&scenario)?;
+//! assert!(outcome.is_delivered());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::auth::{self, AuthReport};
+use crate::config::SessionConfig;
+use crate::di_check::{run_di_check, DiCheckReport, DiCheckRound};
+use crate::error::ProtocolError;
+use crate::identity::IdentityPair;
+use crate::message::{PaddedMessage, SecretMessage};
+use crate::session::{AbortStage, Impersonation, ResourceUsage, SessionOutcome, SessionStatus};
+use qchannel::classical::{ClassicalChannel, ClassicalMessage, Party};
+use qchannel::epr::EprPair;
+use qchannel::quantum::{ChannelTap, NoTap, QuantumChannel};
+use qchannel::taps::{
+    EntangleMeasureAttack, InterceptBasis, InterceptResendAttack, ManInTheMiddleAttack,
+    SubstituteState,
+};
+use qsim::bell::BellState;
+use qsim::pauli::Pauli;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+// ------------------------------------------------------------------ backend --
+
+/// The simulation substrate a [`SessionEngine`] runs sessions on.
+///
+/// The default [`DensityMatrixBackend`] reproduces the paper's emulation
+/// (density-matrix pairs, noisy identity-gate channel). Alternative backends —
+/// sparse simulators, GPU batches, hardware adapters — implement the same two
+/// hooks and plug into the engine unchanged.
+pub trait Backend: fmt::Debug + Send + Sync {
+    /// Short human-readable backend name (for reports).
+    fn name(&self) -> &str;
+
+    /// Emits one entangled pair from the (possibly adversary-controlled)
+    /// source and distributes it to the two parties.
+    fn emit_pair(
+        &self,
+        channel: &QuantumChannel,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) -> EprPair;
+
+    /// Transmits Alice's half of `pair` to Bob through the channel, letting
+    /// the tap act first.
+    fn transmit(
+        &self,
+        channel: &QuantumChannel,
+        pair: &mut EprPair,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    );
+}
+
+/// The default backend: density-matrix pairs from a noisy source, transmitted
+/// through the η-identity-gate channel (the paper's Section IV emulation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DensityMatrixBackend;
+
+impl Backend for DensityMatrixBackend {
+    fn name(&self) -> &str {
+        "density-matrix"
+    }
+
+    fn emit_pair(
+        &self,
+        channel: &QuantumChannel,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) -> EprPair {
+        let mut pair = EprPair::from_noisy_source(channel.spec().device());
+        channel.distribute_tapped(&mut pair, tap, rng);
+        pair
+    }
+
+    fn transmit(
+        &self,
+        channel: &QuantumChannel,
+        pair: &mut EprPair,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) {
+        channel.transmit_tapped(pair, tap, rng);
+    }
+}
+
+// ---------------------------------------------------------------- adversary --
+
+/// A user-supplied channel tap, wrapped so scenarios stay cloneable.
+#[derive(Clone)]
+pub struct CustomAdversary {
+    name: String,
+    factory: Arc<dyn Fn() -> Box<dyn ChannelTap> + Send + Sync>,
+}
+
+impl CustomAdversary {
+    /// The adversary's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds a fresh tap instance for one session.
+    pub fn make_tap(&self) -> Box<dyn ChannelTap> {
+        (self.factory)()
+    }
+}
+
+impl fmt::Debug for CustomAdversary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CustomAdversary")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The unified adversary vocabulary of a [`Scenario`].
+///
+/// This single enum covers what the legacy API split across the
+/// [`Impersonation`] parameter and the generic `ChannelTap` type parameter:
+/// impersonation of either party, the three channel attacks of the paper's
+/// Section III, and arbitrary user-supplied taps.
+#[derive(Debug, Clone)]
+pub enum Adversary {
+    /// No adversary: both parties legitimate, channel untapped.
+    Honest,
+    /// Eve plays Alice without knowing `id_A` (Section III-A).
+    ImpersonateAlice,
+    /// Eve plays Bob without knowing `id_B` (Section III-A).
+    ImpersonateBob,
+    /// Eve measures each flying qubit in the given basis and resends it
+    /// (Section III-B).
+    InterceptResend(InterceptBasis),
+    /// Eve keeps the real qubits and forwards fresh substitutes
+    /// (Section III-C).
+    ManInTheMiddle(SubstituteState),
+    /// Eve entangles an ancilla of the given coupling strength with each
+    /// flying qubit and measures it (Section III-D).
+    EntangleMeasure {
+        /// Interaction strength in `[0, 1]`: 0 = no coupling, 1 = full CNOT.
+        strength: f64,
+    },
+    /// An arbitrary user-supplied channel tap. Not serializable; scenarios
+    /// carrying one cannot be round-tripped through serde.
+    ///
+    /// Custom adversaries are identified by their *name* for equality and
+    /// [`Scenario::fingerprint`] purposes — the boxed behavior cannot be
+    /// inspected. Give behaviorally different taps different names, or two
+    /// scenarios differing only in tap behavior will compare equal and draw
+    /// identical per-trial RNG streams.
+    Custom(CustomAdversary),
+}
+
+impl Adversary {
+    /// Wraps a tap factory as a custom adversary. The factory is invoked once
+    /// per session so per-session tap state stays independent.
+    pub fn custom(
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn ChannelTap> + Send + Sync + 'static,
+    ) -> Self {
+        Adversary::Custom(CustomAdversary {
+            name: name.into(),
+            factory: Arc::new(factory),
+        })
+    }
+
+    /// The adversary's display name (used in [`TrialSummary::adversary`]).
+    pub fn name(&self) -> String {
+        match self {
+            Adversary::Honest => "honest".into(),
+            Adversary::ImpersonateAlice => "impersonate-alice".into(),
+            Adversary::ImpersonateBob => "impersonate-bob".into(),
+            Adversary::InterceptResend(_) => "intercept-and-resend".into(),
+            Adversary::ManInTheMiddle(_) => "man-in-the-middle".into(),
+            Adversary::EntangleMeasure { .. } => "entangle-and-measure".into(),
+            Adversary::Custom(custom) => custom.name.clone(),
+        }
+    }
+
+    /// Which party, if any, this adversary impersonates.
+    pub fn impersonation(&self) -> Impersonation {
+        match self {
+            Adversary::ImpersonateAlice => Impersonation::OfAlice,
+            Adversary::ImpersonateBob => Impersonation::OfBob,
+            _ => Impersonation::None,
+        }
+    }
+
+    /// The adversary corresponding to a legacy [`Impersonation`] target
+    /// (inverse of [`Adversary::impersonation`]).
+    pub fn from_impersonation(target: Impersonation) -> Adversary {
+        match target {
+            Impersonation::None => Adversary::Honest,
+            Impersonation::OfAlice => Adversary::ImpersonateAlice,
+            Impersonation::OfBob => Adversary::ImpersonateBob,
+        }
+    }
+
+    /// The protocol stage expected to catch this adversary, where the paper
+    /// pins one down: the authentication step protecting the impersonated
+    /// party. Channel attacks have no single stage (first detection depends
+    /// on tolerances) and return `None`.
+    pub fn detection_stage(&self) -> Option<AbortStage> {
+        match self {
+            Adversary::ImpersonateAlice => Some(AbortStage::AliceAuthentication),
+            Adversary::ImpersonateBob => Some(AbortStage::BobAuthentication),
+            _ => None,
+        }
+    }
+
+    /// Validates the adversary's parameters (e.g. the entangle-measure
+    /// coupling strength must lie in `[0, 1]`).
+    fn validate(&self) -> Result<(), ProtocolError> {
+        if let Adversary::EntangleMeasure { strength } = self {
+            if !(0.0..=1.0).contains(strength) {
+                return Err(ProtocolError::InvalidConfig(format!(
+                    "entangle-measure strength must lie in [0, 1], got {strength}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a fresh channel tap for one session.
+    pub fn make_tap(&self) -> Box<dyn ChannelTap> {
+        match self {
+            Adversary::Honest | Adversary::ImpersonateAlice | Adversary::ImpersonateBob => {
+                Box::new(NoTap)
+            }
+            Adversary::InterceptResend(basis) => Box::new(InterceptResendAttack::new(*basis)),
+            Adversary::ManInTheMiddle(substitute) => {
+                Box::new(ManInTheMiddleAttack::new(*substitute))
+            }
+            Adversary::EntangleMeasure { strength } => {
+                Box::new(EntangleMeasureAttack::with_strength(*strength))
+            }
+            Adversary::Custom(custom) => custom.make_tap(),
+        }
+    }
+}
+
+impl PartialEq for Adversary {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Adversary::Honest, Adversary::Honest)
+            | (Adversary::ImpersonateAlice, Adversary::ImpersonateAlice)
+            | (Adversary::ImpersonateBob, Adversary::ImpersonateBob) => true,
+            (Adversary::InterceptResend(a), Adversary::InterceptResend(b)) => a == b,
+            (Adversary::ManInTheMiddle(a), Adversary::ManInTheMiddle(b)) => a == b,
+            (
+                Adversary::EntangleMeasure { strength: a },
+                Adversary::EntangleMeasure { strength: b },
+            ) => a == b,
+            (Adversary::Custom(a), Adversary::Custom(b)) => a.name == b.name,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Adversary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl Serialize for Adversary {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Adversary::Honest => serde::Value::Str("Honest".into()),
+            Adversary::ImpersonateAlice => serde::Value::Str("ImpersonateAlice".into()),
+            Adversary::ImpersonateBob => serde::Value::Str("ImpersonateBob".into()),
+            Adversary::InterceptResend(basis) => {
+                serde::Value::Map(vec![("InterceptResend".into(), basis.to_value())])
+            }
+            Adversary::ManInTheMiddle(substitute) => {
+                serde::Value::Map(vec![("ManInTheMiddle".into(), substitute.to_value())])
+            }
+            Adversary::EntangleMeasure { strength } => serde::Value::Map(vec![(
+                "EntangleMeasure".into(),
+                serde::Value::Map(vec![("strength".into(), strength.to_value())]),
+            )]),
+            Adversary::Custom(custom) => serde::Value::Map(vec![(
+                "Custom".into(),
+                serde::Value::Str(custom.name.clone()),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for Adversary {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Str(tag) => match tag.as_str() {
+                "Honest" => Ok(Adversary::Honest),
+                "ImpersonateAlice" => Ok(Adversary::ImpersonateAlice),
+                "ImpersonateBob" => Ok(Adversary::ImpersonateBob),
+                other => Err(serde::Error::new(format!(
+                    "unknown adversary variant `{other}`"
+                ))),
+            },
+            serde::Value::Map(entries) if entries.len() == 1 => {
+                let (tag, inner) = &entries[0];
+                match tag.as_str() {
+                    "InterceptResend" => Ok(Adversary::InterceptResend(
+                        InterceptBasis::from_value(inner)?,
+                    )),
+                    "ManInTheMiddle" => Ok(Adversary::ManInTheMiddle(SubstituteState::from_value(
+                        inner,
+                    )?)),
+                    "EntangleMeasure" => {
+                        let strength = f64::from_value(inner.get_field("strength")?)?;
+                        let adversary = Adversary::EntangleMeasure { strength };
+                        adversary
+                            .validate()
+                            .map_err(|e| serde::Error::new(format!("invalid adversary: {e}")))?;
+                        Ok(adversary)
+                    }
+                    "Custom" => Err(serde::Error::new(
+                        "custom adversaries carry arbitrary code and cannot be deserialized",
+                    )),
+                    other => Err(serde::Error::new(format!(
+                        "unknown adversary variant `{other}`"
+                    ))),
+                }
+            }
+            other => Err(serde::Error::new(format!(
+                "expected adversary, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- scenario --
+
+/// A declarative description of one kind of session to execute.
+///
+/// Scenarios are plain data: cloneable, comparable and (for every adversary
+/// except [`Adversary::Custom`]) serde round-trippable, so whole experiment
+/// suites can be stored, shipped to remote workers, or replayed later.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Display label (used in [`TrialSummary::label`]).
+    pub label: String,
+    /// The protocol configuration.
+    pub config: SessionConfig,
+    /// The pre-shared identities.
+    pub identities: IdentityPair,
+    /// The message Alice sends; `None` draws a fresh random message of the
+    /// configured length for every trial.
+    pub message: Option<SecretMessage>,
+    /// The adversarial setting.
+    pub adversary: Adversary,
+}
+
+impl Scenario {
+    /// An honest scenario with a fresh random message per trial.
+    pub fn new(config: SessionConfig, identities: IdentityPair) -> Self {
+        Self {
+            label: "session".into(),
+            config,
+            identities,
+            message: None,
+            adversary: Adversary::Honest,
+        }
+    }
+
+    /// Sets the display label.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Fixes the message Alice sends in every trial.
+    #[must_use]
+    pub fn with_message(mut self, message: SecretMessage) -> Self {
+        self.message = Some(message);
+        self
+    }
+
+    /// Sets the adversarial setting.
+    #[must_use]
+    pub fn with_adversary(mut self, adversary: Adversary) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// A stable 64-bit fingerprint of the scenario's *physical* content —
+    /// configuration, identities, message and adversary — used to derive
+    /// per-trial RNG streams that do not depend on batch order.
+    ///
+    /// The display [`label`](Scenario::label) is deliberately excluded:
+    /// renaming a scenario for reporting purposes must not change any
+    /// simulated result.
+    pub fn fingerprint(&self) -> u64 {
+        let physical = serde::Value::Map(vec![
+            ("config".into(), self.config.to_value()),
+            ("identities".into(), self.identities.to_value()),
+            ("message".into(), self.message.to_value()),
+            ("adversary".into(), self.adversary.to_value()),
+        ]);
+        fnv1a64(serde::json::to_string(&physical).as_bytes())
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scenario `{}` vs {} ({})",
+            self.label, self.adversary, self.config
+        )
+    }
+}
+
+// ------------------------------------------------------------ trial summary --
+
+/// Aggregated statistics of repeated sessions of one [`Scenario`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialSummary {
+    /// The scenario's label.
+    pub label: String,
+    /// The adversary's display name.
+    pub adversary: String,
+    /// Number of sessions executed.
+    pub trials: usize,
+    /// Sessions in which the message was delivered.
+    pub delivered: usize,
+    /// Aborts at the first DI check.
+    pub aborted_di_check1: usize,
+    /// Aborts at Bob authentication.
+    pub aborted_bob_auth: usize,
+    /// Aborts at Alice authentication.
+    pub aborted_alice_auth: usize,
+    /// Aborts at the second DI check.
+    pub aborted_di_check2: usize,
+    /// Aborts at the final integrity check.
+    pub aborted_integrity: usize,
+    /// Mean CHSH value of the first check (over sessions where it was
+    /// estimated).
+    pub mean_chsh_round1: Option<f64>,
+    /// Mean CHSH value of the second check.
+    pub mean_chsh_round2: Option<f64>,
+    /// Mean message accuracy over delivered sessions.
+    pub mean_message_accuracy: Option<f64>,
+}
+
+impl TrialSummary {
+    fn empty(label: String, adversary: String) -> Self {
+        Self {
+            label,
+            adversary,
+            trials: 0,
+            delivered: 0,
+            aborted_di_check1: 0,
+            aborted_bob_auth: 0,
+            aborted_alice_auth: 0,
+            aborted_di_check2: 0,
+            aborted_integrity: 0,
+            mean_chsh_round1: None,
+            mean_chsh_round2: None,
+            mean_message_accuracy: None,
+        }
+    }
+
+    /// Total aborts across all stages.
+    pub fn total_aborts(&self) -> usize {
+        self.aborted_di_check1
+            + self.aborted_bob_auth
+            + self.aborted_alice_auth
+            + self.aborted_di_check2
+            + self.aborted_integrity
+    }
+
+    /// Fraction of sessions in which the protocol aborted (the adversary was
+    /// detected).
+    pub fn detection_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / self.trials as f64
+        }
+    }
+
+    /// Fraction of sessions in which the message was delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.trials as f64
+        }
+    }
+
+    /// Aborts recorded at the given stage.
+    pub fn aborted_at(&self, stage: AbortStage) -> usize {
+        match stage {
+            AbortStage::DiCheck1 => self.aborted_di_check1,
+            AbortStage::BobAuthentication => self.aborted_bob_auth,
+            AbortStage::AliceAuthentication => self.aborted_alice_auth,
+            AbortStage::DiCheck2 => self.aborted_di_check2,
+            AbortStage::IntegrityCheck => self.aborted_integrity,
+        }
+    }
+}
+
+impl fmt::Display for TrialSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vs {}: {} trials, {} delivered, detection rate {:.3} (S1 {:?}, S2 {:?})",
+            self.label,
+            self.adversary,
+            self.trials,
+            self.delivered,
+            self.detection_rate(),
+            self.mean_chsh_round1,
+            self.mean_chsh_round2
+        )
+    }
+}
+
+/// Streaming accumulator behind [`TrialSummary`]: record outcomes one at a
+/// time (O(1) memory — means are kept as running sums), then
+/// [`finish`](TrialSummaryBuilder::finish).
+pub struct TrialSummaryBuilder {
+    summary: TrialSummary,
+    chsh1: MeanAccumulator,
+    chsh2: MeanAccumulator,
+    accuracies: MeanAccumulator,
+}
+
+/// Running sum/count pair for a mean over optionally-present samples.
+#[derive(Default)]
+struct MeanAccumulator {
+    sum: f64,
+    count: usize,
+}
+
+impl MeanAccumulator {
+    fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+impl TrialSummaryBuilder {
+    /// Starts an empty summary with the given labels.
+    pub fn new(label: impl Into<String>, adversary: impl Into<String>) -> Self {
+        Self {
+            summary: TrialSummary::empty(label.into(), adversary.into()),
+            chsh1: MeanAccumulator::default(),
+            chsh2: MeanAccumulator::default(),
+            accuracies: MeanAccumulator::default(),
+        }
+    }
+
+    /// Folds one session outcome into the summary.
+    pub fn record(&mut self, outcome: &SessionOutcome) {
+        self.summary.trials += 1;
+        if outcome.is_delivered() {
+            self.summary.delivered += 1;
+        }
+        match &outcome.status {
+            SessionStatus::Delivered => {}
+            SessionStatus::Aborted { stage, .. } => match stage {
+                AbortStage::DiCheck1 => self.summary.aborted_di_check1 += 1,
+                AbortStage::BobAuthentication => self.summary.aborted_bob_auth += 1,
+                AbortStage::AliceAuthentication => self.summary.aborted_alice_auth += 1,
+                AbortStage::DiCheck2 => self.summary.aborted_di_check2 += 1,
+                AbortStage::IntegrityCheck => self.summary.aborted_integrity += 1,
+            },
+        }
+        if let Some(s) = outcome.di_check_round1.as_ref().and_then(|r| r.chsh) {
+            self.chsh1.push(s);
+        }
+        if let Some(s) = outcome.di_check_round2.as_ref().and_then(|r| r.chsh) {
+            self.chsh2.push(s);
+        }
+        if let Some(accuracy) = outcome.message_accuracy() {
+            self.accuracies.push(accuracy);
+        }
+    }
+
+    /// Finalises the means and returns the summary.
+    pub fn finish(mut self) -> TrialSummary {
+        self.summary.mean_chsh_round1 = self.chsh1.mean();
+        self.summary.mean_chsh_round2 = self.chsh2.mean();
+        self.summary.mean_message_accuracy = self.accuracies.mean();
+        self.summary
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ------------------------------------------------------------------- engine --
+
+/// Executes [`Scenario`]s on a [`Backend`] with deterministic per-trial RNG
+/// streams derived from a master seed.
+#[derive(Debug, Clone)]
+pub struct SessionEngine {
+    master_seed: u64,
+    backend: Arc<dyn Backend>,
+}
+
+impl Default for SessionEngine {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl SessionEngine {
+    /// Creates an engine on the default [`DensityMatrixBackend`].
+    pub fn new(master_seed: u64) -> Self {
+        Self {
+            master_seed,
+            backend: Arc::new(DensityMatrixBackend),
+        }
+    }
+
+    /// Replaces the simulation backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The master seed every trial stream is derived from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The active backend's name.
+    pub fn backend_name(&self) -> &str {
+        self.backend.name()
+    }
+
+    /// The RNG for one trial of one scenario: a deterministic function of
+    /// `(master seed, scenario fingerprint, trial index)` only.
+    fn trial_rng(&self, fingerprint: u64, trial: u64) -> StdRng {
+        let mut state = self.master_seed ^ fingerprint.wrapping_mul(0xa24b_aed4_963e_e407);
+        let _ = splitmix64(&mut state);
+        state ^= trial.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        StdRng::seed_from_u64(splitmix64(&mut state))
+    }
+
+    /// Runs trial 0 of the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on configuration misuse; protocol aborts
+    /// are reported inside the [`SessionOutcome`].
+    pub fn run(&self, scenario: &Scenario) -> Result<SessionOutcome, ProtocolError> {
+        self.run_nth(scenario, 0)
+    }
+
+    /// Runs the trial with the given index. Each index has its own RNG
+    /// stream, so any subset of trials can be executed in any order and still
+    /// reproduce exactly the results of a full sequential run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on configuration misuse.
+    pub fn run_nth(
+        &self,
+        scenario: &Scenario,
+        trial: u64,
+    ) -> Result<SessionOutcome, ProtocolError> {
+        self.run_fingerprinted(scenario, scenario.fingerprint(), trial)
+    }
+
+    /// [`run_nth`](Self::run_nth) with the scenario fingerprint precomputed,
+    /// so trial loops hash the (immutable) scenario once instead of per trial.
+    fn run_fingerprinted(
+        &self,
+        scenario: &Scenario,
+        fingerprint: u64,
+        trial: u64,
+    ) -> Result<SessionOutcome, ProtocolError> {
+        scenario.adversary.validate()?;
+        let mut rng = self.trial_rng(fingerprint, trial);
+        let message = match &scenario.message {
+            Some(message) => message.clone(),
+            None => SecretMessage::random(scenario.config.message_bits(), &mut rng),
+        };
+        let mut tap = scenario.adversary.make_tap();
+        execute_session(
+            self.backend.as_ref(),
+            &scenario.config,
+            &scenario.identities,
+            &message,
+            scenario.adversary.impersonation(),
+            tap.as_mut(),
+            &mut rng,
+        )
+    }
+
+    /// Runs trials `0..trials` of the scenario and returns every outcome —
+    /// the per-outcome sibling of [`run_trials`](Self::run_trials), for
+    /// callers that need more than the aggregate (e.g. transcripts). The
+    /// scenario is fingerprinted once for the whole loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first configuration error encountered.
+    pub fn run_outcomes(
+        &self,
+        scenario: &Scenario,
+        trials: usize,
+    ) -> Result<Vec<SessionOutcome>, ProtocolError> {
+        let fingerprint = scenario.fingerprint();
+        (0..trials)
+            .map(|trial| self.run_fingerprinted(scenario, fingerprint, trial as u64))
+            .collect()
+    }
+
+    /// Runs `trials` sessions of the scenario and aggregates the outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first configuration error encountered.
+    pub fn run_trials(
+        &self,
+        scenario: &Scenario,
+        trials: usize,
+    ) -> Result<TrialSummary, ProtocolError> {
+        let fingerprint = scenario.fingerprint();
+        let mut builder =
+            TrialSummaryBuilder::new(scenario.label.clone(), scenario.adversary.name());
+        for trial in 0..trials {
+            let outcome = self.run_fingerprinted(scenario, fingerprint, trial as u64)?;
+            builder.record(&outcome);
+        }
+        Ok(builder.finish())
+    }
+
+    /// Runs `trials` sessions of every scenario and returns one summary per
+    /// scenario, in order. Summaries are identical to running each scenario
+    /// alone — results do not depend on batch composition or order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first configuration error encountered.
+    pub fn run_batch(
+        &self,
+        scenarios: &[Scenario],
+        trials: usize,
+    ) -> Result<Vec<TrialSummary>, ProtocolError> {
+        scenarios
+            .iter()
+            .map(|scenario| self.run_trials(scenario, trials))
+            .collect()
+    }
+
+    /// Runs one session with explicitly supplied parts and caller-controlled
+    /// RNG — the escape hatch the deprecated free functions are shimmed on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on configuration misuse.
+    pub fn run_with<R: Rng>(
+        &self,
+        config: &SessionConfig,
+        identities: &IdentityPair,
+        message: &SecretMessage,
+        impersonation: Impersonation,
+        tap: &mut dyn ChannelTap,
+        rng: &mut R,
+    ) -> Result<SessionOutcome, ProtocolError> {
+        execute_session(
+            self.backend.as_ref(),
+            config,
+            identities,
+            message,
+            impersonation,
+            tap,
+            rng,
+        )
+    }
+}
+
+// -------------------------------------------------- six-phase session body --
+
+/// Runs one complete UA-DI-QSDC session through all six phases of the paper
+/// on the given backend.
+pub(crate) fn execute_session<R: Rng>(
+    backend: &dyn Backend,
+    config: &SessionConfig,
+    identities: &IdentityPair,
+    message: &SecretMessage,
+    impersonation: Impersonation,
+    tap: &mut dyn ChannelTap,
+    rng: &mut R,
+) -> Result<SessionOutcome, ProtocolError> {
+    if message.len() != config.message_bits() {
+        return Err(ProtocolError::MessageLengthMismatch {
+            expected: config.message_bits(),
+            actual: message.len(),
+        });
+    }
+
+    let l = identities.qubit_len();
+    let d = config.di_check_pairs();
+    let padded = PaddedMessage::embed(message, config.check_bits(), rng)?;
+    let n_qubits = padded.qubit_len();
+    let total_pairs = n_qubits + 2 * l + 2 * d;
+
+    let channel = QuantumChannel::new(config.channel().clone());
+    let classical = ClassicalChannel::new();
+
+    let resources = ResourceUsage {
+        total_pairs,
+        message_pairs: n_qubits,
+        identity_pairs: 2 * l,
+        check_pairs: 2 * d,
+        transmitted_qubits: total_pairs - d,
+        classical_messages: 0, // filled in at the end
+        qubits_per_message_bit: n_qubits as f64 / padded.len() as f64 * 2.0,
+    };
+
+    // Helper to assemble an outcome. The transcript / classical message count is attached by
+    // the caller-side closure at every exit point.
+    let finish = |status: SessionStatus,
+                  r1: Option<DiCheckReport>,
+                  r2: Option<DiCheckReport>,
+                  bob_auth: Option<AuthReport>,
+                  alice_auth: Option<AuthReport>,
+                  received: Option<SecretMessage>,
+                  check_err: Option<f64>,
+                  classical: &ClassicalChannel,
+                  mut resources: ResourceUsage| {
+        let transcript = classical.snapshot();
+        resources.classical_messages = transcript.len();
+        let message_bit_error_rate = received.as_ref().map(|r| message.bit_error_rate(r));
+        SessionOutcome {
+            status,
+            di_check_round1: r1,
+            di_check_round2: r2,
+            bob_auth,
+            alice_auth,
+            sent_message: message.clone(),
+            received_message: received,
+            check_bit_error_rate: check_err,
+            message_bit_error_rate,
+            transcript,
+            resources,
+        }
+    };
+
+    // ------------------------------------------------------------------ phase 1: sharing --
+    let mut pairs: Vec<EprPair> = Vec::with_capacity(total_pairs);
+    for _ in 0..total_pairs {
+        pairs.push(backend.emit_pair(&channel, tap, rng));
+    }
+
+    // ------------------------------------------------------- phase 2: DI check round one --
+    let mut all_positions: Vec<usize> = (0..total_pairs).collect();
+    all_positions.shuffle(rng);
+    let check1_positions: Vec<usize> = all_positions[..d].to_vec();
+    let remaining_positions: Vec<usize> = all_positions[d..].to_vec();
+    classical.send(
+        Party::Alice,
+        ClassicalMessage::Positions {
+            purpose: "di-check-1".into(),
+            positions: check1_positions.clone(),
+        },
+    );
+    let mut check1_pairs: Vec<EprPair> = check1_positions
+        .iter()
+        .map(|&pos| pairs[pos].clone())
+        .collect();
+    let (report1, records1) = run_di_check(
+        DiCheckRound::First,
+        &mut check1_pairs,
+        config.chsh_abort_threshold(),
+        rng,
+    );
+    classical.send(
+        Party::Alice,
+        ClassicalMessage::BasisChoices {
+            round: 1,
+            settings: records1
+                .iter()
+                .map(|r| (r.alice_setting, r.bob_setting))
+                .collect(),
+        },
+    );
+    classical.send(
+        Party::Bob,
+        ClassicalMessage::CheckOutcomes {
+            round: 1,
+            outcomes: records1
+                .iter()
+                .map(|r| (r.alice_outcome.to_bit(), r.bob_outcome.to_bit()))
+                .collect(),
+        },
+    );
+    if !report1.passed {
+        classical.send(
+            Party::Alice,
+            ClassicalMessage::Abort {
+                reason: format!("first DI check failed: {report1}"),
+            },
+        );
+        return Ok(finish(
+            SessionStatus::Aborted {
+                stage: AbortStage::DiCheck1,
+                reason: report1.to_string(),
+            },
+            Some(report1),
+            None,
+            None,
+            None,
+            None,
+            None,
+            &classical,
+            resources,
+        ));
+    }
+
+    // ----------------------------------------------------------- phase 3: Alice encoding --
+    let mut rest = remaining_positions;
+    rest.shuffle(rng);
+    let check2_positions: Vec<usize> = rest[..d].to_vec();
+    let ma_positions: Vec<usize> = rest[d..d + n_qubits].to_vec();
+    let ca_positions: Vec<usize> = rest[d + n_qubits..d + n_qubits + l].to_vec();
+    let da_positions: Vec<usize> = rest[d + n_qubits + l..d + n_qubits + 2 * l].to_vec();
+
+    let message_paulis = padded.as_paulis();
+    for (pauli, &pos) in message_paulis.iter().zip(&ma_positions) {
+        pairs[pos].apply_alice_pauli(*pauli);
+    }
+    // id_A encoding — Eve-as-Alice must guess.
+    let ida_paulis: Vec<Pauli> = if impersonation == Impersonation::OfAlice {
+        (0..l).map(|_| Pauli::random(rng)).collect()
+    } else {
+        identities.alice.as_paulis()
+    };
+    for (pauli, &pos) in ida_paulis.iter().zip(&ca_positions) {
+        pairs[pos].apply_alice_pauli(*pauli);
+    }
+    // Cover operations on D_A.
+    let covers: Vec<Pauli> = (0..l).map(|_| Pauli::random(rng)).collect();
+    for (cover, &pos) in covers.iter().zip(&da_positions) {
+        pairs[pos].apply_alice_pauli(*cover);
+    }
+
+    // ------------------------------------------------------------- phase 4: transmission --
+    // Alice sends every qubit she still holds (check-2, message, identity and cover blocks).
+    for &pos in check2_positions
+        .iter()
+        .chain(&ma_positions)
+        .chain(&ca_positions)
+        .chain(&da_positions)
+    {
+        backend.transmit(&channel, &mut pairs[pos], tap, rng);
+    }
+
+    // ---------------------------------------------------------- phase 4b: authentication --
+    classical.send(
+        Party::Alice,
+        ClassicalMessage::Positions {
+            purpose: "DA".into(),
+            positions: da_positions.clone(),
+        },
+    );
+    // Bob encodes id_B on the partner qubits and announces the Bell results.
+    let idb_paulis: Vec<Pauli> = if impersonation == Impersonation::OfBob {
+        (0..l).map(|_| Pauli::random(rng)).collect()
+    } else {
+        identities.bob.as_paulis()
+    };
+    let mut announced: Vec<BellState> = Vec::with_capacity(l);
+    for (pauli, &pos) in idb_paulis.iter().zip(&da_positions) {
+        pairs[pos].apply_bob_pauli(*pauli);
+        announced.push(pairs[pos].bell_measure(rng).state);
+    }
+    classical.send(
+        Party::Bob,
+        ClassicalMessage::BellResults {
+            block: "DB-auth".into(),
+            results: announced
+                .iter()
+                .map(|s| s.encoding_pauli().to_index())
+                .collect(),
+        },
+    );
+    // Alice (the real one) verifies Bob. When Eve impersonates Alice she has no id_B to check
+    // against and simply continues, so the abort decision is skipped in that case.
+    let bob_report = auth::verify_bob(
+        &announced,
+        &covers,
+        &identities.bob,
+        config.auth_error_tolerance(),
+    );
+    if impersonation != Impersonation::OfAlice && !bob_report.passed() {
+        classical.send(
+            Party::Alice,
+            ClassicalMessage::Abort {
+                reason: format!("Bob authentication failed: {bob_report}"),
+            },
+        );
+        return Ok(finish(
+            SessionStatus::Aborted {
+                stage: AbortStage::BobAuthentication,
+                reason: bob_report.to_string(),
+            },
+            Some(report1),
+            None,
+            Some(bob_report),
+            None,
+            None,
+            None,
+            &classical,
+            resources,
+        ));
+    }
+
+    // Alice reveals C_A; Bob verifies id_A. The Bell results are *not* announced.
+    classical.send(
+        Party::Alice,
+        ClassicalMessage::Positions {
+            purpose: "CA".into(),
+            positions: ca_positions.clone(),
+        },
+    );
+    let mut measured_ca: Vec<BellState> = Vec::with_capacity(l);
+    for &pos in &ca_positions {
+        measured_ca.push(pairs[pos].bell_measure(rng).state);
+    }
+    let alice_report = auth::verify_alice(
+        &measured_ca,
+        &identities.alice,
+        config.auth_error_tolerance(),
+    );
+    if impersonation != Impersonation::OfBob && !alice_report.passed() {
+        classical.send(
+            Party::Bob,
+            ClassicalMessage::Abort {
+                reason: format!("Alice authentication failed: {alice_report}"),
+            },
+        );
+        return Ok(finish(
+            SessionStatus::Aborted {
+                stage: AbortStage::AliceAuthentication,
+                reason: alice_report.to_string(),
+            },
+            Some(report1),
+            None,
+            Some(bob_report),
+            Some(alice_report),
+            None,
+            None,
+            &classical,
+            resources,
+        ));
+    }
+    classical.send(
+        Party::Bob,
+        ClassicalMessage::Ack {
+            phase: "authentication".into(),
+        },
+    );
+
+    // ------------------------------------------------------- phase 5: DI check round two --
+    classical.send(
+        Party::Alice,
+        ClassicalMessage::Positions {
+            purpose: "di-check-2".into(),
+            positions: check2_positions.clone(),
+        },
+    );
+    let mut check2_pairs: Vec<EprPair> = check2_positions
+        .iter()
+        .map(|&pos| pairs[pos].clone())
+        .collect();
+    let (report2, _records2) = run_di_check(
+        DiCheckRound::Second,
+        &mut check2_pairs,
+        config.chsh_abort_threshold(),
+        rng,
+    );
+    classical.send(
+        Party::Bob,
+        ClassicalMessage::Ack {
+            phase: "di-check-2".into(),
+        },
+    );
+    if !report2.passed {
+        classical.send(
+            Party::Bob,
+            ClassicalMessage::Abort {
+                reason: format!("second DI check failed: {report2}"),
+            },
+        );
+        return Ok(finish(
+            SessionStatus::Aborted {
+                stage: AbortStage::DiCheck2,
+                reason: report2.to_string(),
+            },
+            Some(report1),
+            Some(report2),
+            Some(bob_report),
+            Some(alice_report),
+            None,
+            None,
+            &classical,
+            resources,
+        ));
+    }
+
+    // ------------------------------------------------------------------ phase 6: decode --
+    let mut received_paulis: Vec<Pauli> = Vec::with_capacity(n_qubits);
+    for &pos in &ma_positions {
+        received_paulis.push(pairs[pos].bell_measure(rng).state.encoding_pauli());
+    }
+    let received_bits = PaddedMessage::bits_from_paulis(&received_paulis);
+    classical.send(
+        Party::Alice,
+        ClassicalMessage::CheckBitsReveal {
+            positions: padded.check_positions().to_vec(),
+            values: padded.check_values().to_vec(),
+        },
+    );
+    let check_error = padded.check_bit_error_rate(&received_bits);
+    if check_error > config.check_bit_error_tolerance() {
+        classical.send(
+            Party::Bob,
+            ClassicalMessage::Abort {
+                reason: format!("check-bit error rate {check_error:.3} exceeds tolerance"),
+            },
+        );
+        return Ok(finish(
+            SessionStatus::Aborted {
+                stage: AbortStage::IntegrityCheck,
+                reason: format!("check-bit error rate {check_error:.3}"),
+            },
+            Some(report1),
+            Some(report2),
+            Some(bob_report),
+            Some(alice_report),
+            None,
+            Some(check_error),
+            &classical,
+            resources,
+        ));
+    }
+    let received_message = padded.extract_message(&received_bits);
+    classical.send(
+        Party::Bob,
+        ClassicalMessage::Ack {
+            phase: "message-received".into(),
+        },
+    );
+
+    Ok(finish(
+        SessionStatus::Delivered,
+        Some(report1),
+        Some(report2),
+        Some(bob_report),
+        Some(alice_report),
+        Some(received_message),
+        Some(check_error),
+        &classical,
+        resources,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noise::DeviceModel;
+    use qchannel::quantum::ChannelSpec;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn small_config() -> SessionConfig {
+        SessionConfig::builder()
+            .message_bits(16)
+            .check_bits(4)
+            .di_check_pairs(220)
+            .build()
+            .unwrap()
+    }
+
+    fn small_scenario(seed: u64) -> Scenario {
+        let identities = IdentityPair::generate(5, &mut rng(seed));
+        Scenario::new(small_config(), identities)
+    }
+
+    #[test]
+    fn honest_scenario_delivers_the_exact_message() {
+        let message = SecretMessage::from_bitstring("1010011100101101").unwrap();
+        let scenario = small_scenario(11).with_message(message.clone());
+        let outcome = SessionEngine::new(1).run(&scenario).unwrap();
+        assert!(outcome.is_delivered(), "{}", outcome.status);
+        assert_eq!(outcome.received_message.as_ref().unwrap(), &message);
+        assert_eq!(outcome.message_bit_error_rate, Some(0.0));
+        assert_eq!(outcome.check_bit_error_rate, Some(0.0));
+        assert_eq!(outcome.message_accuracy(), Some(1.0));
+        assert!(outcome.di_check_round1.as_ref().unwrap().passed);
+        assert!(outcome.di_check_round2.as_ref().unwrap().passed);
+        assert!(outcome.bob_auth.as_ref().unwrap().passed());
+        assert!(outcome.alice_auth.as_ref().unwrap().passed());
+        assert!(!outcome.transcript.contains_abort());
+        assert!(outcome.resources.classical_messages > 5);
+        assert_eq!(
+            outcome.resources.total_pairs,
+            scenario.config.total_pairs(scenario.identities.qubit_len())
+        );
+    }
+
+    #[test]
+    fn random_message_scenario_delivers() {
+        let outcome = SessionEngine::new(23).run(&small_scenario(23)).unwrap();
+        assert!(outcome.is_delivered());
+        assert_eq!(
+            outcome.sent_message.bits(),
+            outcome.received_message.as_ref().unwrap().bits()
+        );
+    }
+
+    #[test]
+    fn short_noisy_channel_still_delivers_with_high_accuracy() {
+        let identities = IdentityPair::generate(5, &mut rng(37));
+        let config = SessionConfig::builder()
+            .message_bits(24)
+            .check_bits(8)
+            .di_check_pairs(220)
+            .channel(ChannelSpec::noisy_identity_chain(
+                10,
+                DeviceModel::ibm_brisbane_like(),
+            ))
+            .build()
+            .unwrap();
+        let scenario = Scenario::new(config, identities);
+        let outcome = SessionEngine::new(37).run(&scenario).unwrap();
+        assert!(outcome.is_delivered(), "{}", outcome.status);
+        assert!(outcome.message_accuracy().unwrap() > 0.85);
+        let s2 = outcome.di_check_round2.unwrap().chsh.unwrap();
+        assert!(s2 > 2.0, "noisy but honest channel keeps S2 > 2, got {s2}");
+    }
+
+    #[test]
+    fn message_length_mismatch_is_an_error() {
+        let scenario =
+            small_scenario(5).with_message(SecretMessage::from_bitstring("101").unwrap());
+        let err = SessionEngine::new(5).run(&scenario);
+        assert!(matches!(
+            err,
+            Err(ProtocolError::MessageLengthMismatch {
+                expected: 16,
+                actual: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn impersonating_bob_is_caught_by_alice() {
+        let identities = IdentityPair::generate(8, &mut rng(71));
+        let config = SessionConfig::builder()
+            .message_bits(8)
+            .check_bits(2)
+            .di_check_pairs(64)
+            .auth_error_tolerance(0.0)
+            .build()
+            .unwrap();
+        let scenario = Scenario::new(config, identities).with_adversary(Adversary::ImpersonateBob);
+        let outcome = SessionEngine::new(71).run(&scenario).unwrap();
+        assert!(
+            outcome.aborted_at(AbortStage::BobAuthentication),
+            "{}",
+            outcome.status
+        );
+        assert!(outcome.transcript.contains_abort());
+        assert!(outcome.received_message.is_none());
+    }
+
+    #[test]
+    fn impersonating_alice_is_caught_by_bob() {
+        let identities = IdentityPair::generate(8, &mut rng(72));
+        let config = SessionConfig::builder()
+            .message_bits(8)
+            .check_bits(2)
+            .di_check_pairs(64)
+            .auth_error_tolerance(0.0)
+            .build()
+            .unwrap();
+        let scenario =
+            Scenario::new(config, identities).with_adversary(Adversary::ImpersonateAlice);
+        let outcome = SessionEngine::new(72).run(&scenario).unwrap();
+        assert!(
+            outcome.aborted_at(AbortStage::AliceAuthentication),
+            "{}",
+            outcome.status
+        );
+        assert!(outcome.received_message.is_none());
+    }
+
+    #[test]
+    fn custom_tap_that_destroys_entanglement_triggers_an_abort() {
+        /// A crude "dephase everything" interceptor.
+        struct ZMeasureTap;
+        impl ChannelTap for ZMeasureTap {
+            fn on_transmit(&mut self, pair: &mut EprPair, _rng: &mut dyn RngCore) {
+                noise::KrausChannel::phase_flip(0.5).apply(pair.density_mut(), &[0]);
+            }
+            fn name(&self) -> &str {
+                "z-measure"
+            }
+        }
+        let identities = IdentityPair::generate(4, &mut rng(99));
+        let config = SessionConfig::builder()
+            .message_bits(8)
+            .check_bits(2)
+            .di_check_pairs(220)
+            .auth_error_tolerance(0.6)
+            .build()
+            .unwrap();
+        let scenario = Scenario::new(config, identities)
+            .with_adversary(Adversary::custom("z-measure", || Box::new(ZMeasureTap)));
+        let outcome = SessionEngine::new(99).run(&scenario).unwrap();
+        assert!(
+            !outcome.is_delivered(),
+            "a channel that destroys coherence must be detected, got {}",
+            outcome.status
+        );
+        // Round 1 ran before transmission, so it passed; the abort happened later.
+        assert!(outcome.di_check_round1.as_ref().unwrap().passed);
+        assert!(!outcome.aborted_at(AbortStage::DiCheck1));
+    }
+
+    #[test]
+    fn builtin_channel_adversaries_are_detected() {
+        let identities = IdentityPair::generate(4, &mut rng(41));
+        let config = SessionConfig::builder()
+            .message_bits(8)
+            .check_bits(2)
+            .di_check_pairs(220)
+            .auth_error_tolerance(1.0)
+            .build()
+            .unwrap();
+        let engine = SessionEngine::new(41);
+        for adversary in [
+            Adversary::InterceptResend(InterceptBasis::Computational),
+            Adversary::ManInTheMiddle(SubstituteState::RandomComputational),
+            Adversary::EntangleMeasure { strength: 1.0 },
+        ] {
+            let scenario = Scenario::new(config.clone(), identities.clone())
+                .with_label(adversary.name())
+                .with_adversary(adversary.clone());
+            let summary = engine.run_trials(&scenario, 3).unwrap();
+            assert_eq!(summary.delivered, 0, "{summary}");
+            assert!(summary.detection_rate() > 0.99, "{summary}");
+        }
+    }
+
+    #[test]
+    fn transcript_never_contains_message_or_alice_identity_results() {
+        let outcome = SessionEngine::new(123).run(&small_scenario(123)).unwrap();
+        // The only Bell results on the wire are the covered DB-auth block.
+        let bell_msgs = outcome.transcript.messages_of_kind("bell-results");
+        assert_eq!(bell_msgs.len(), 1);
+        // No transcript message kind carries message bits; the decoded message only lives in
+        // the outcome struct (Bob's private memory).
+        for entry in outcome.transcript.iter() {
+            assert_ne!(entry.message.kind(), "message");
+        }
+    }
+
+    #[test]
+    fn identical_engines_replay_identical_outcomes() {
+        let scenario = small_scenario(7);
+        let a = SessionEngine::new(2024).run_nth(&scenario, 3).unwrap();
+        let b = SessionEngine::new(2024).run_nth(&scenario, 3).unwrap();
+        assert_eq!(a, b);
+        let c = SessionEngine::new(2025).run_nth(&scenario, 3).unwrap();
+        assert_ne!(
+            a.sent_message, c.sent_message,
+            "different master seeds diverge"
+        );
+    }
+
+    #[test]
+    fn trial_streams_are_independent_of_batch_composition() {
+        let honest = small_scenario(301).with_label("honest");
+        let attacked = small_scenario(302)
+            .with_label("intercept")
+            .with_adversary(Adversary::InterceptResend(InterceptBasis::Computational));
+        let engine = SessionEngine::new(9);
+        let alone = engine.run_trials(&attacked, 2).unwrap();
+        let batch = engine
+            .run_batch(&[honest.clone(), attacked.clone()], 2)
+            .unwrap();
+        assert_eq!(batch[1], alone, "batch membership must not change results");
+        let reordered = engine.run_batch(&[attacked, honest], 2).unwrap();
+        assert_eq!(reordered[0], alone, "batch order must not change results");
+    }
+
+    #[test]
+    fn trial_summary_accounting_is_consistent() {
+        let scenario = small_scenario(88)
+            .with_adversary(Adversary::ImpersonateBob)
+            .with_label("imp-bob");
+        let summary = SessionEngine::new(88).run_trials(&scenario, 5).unwrap();
+        assert_eq!(summary.trials, 5);
+        assert_eq!(summary.adversary, "impersonate-bob");
+        assert_eq!(
+            summary.delivered + summary.total_aborts(),
+            5,
+            "every trial either delivers or aborts: {summary}"
+        );
+        assert_eq!(
+            summary.aborted_at(AbortStage::BobAuthentication),
+            summary.aborted_bob_auth
+        );
+        assert!(summary.to_string().contains("imp-bob"));
+    }
+
+    #[test]
+    fn relabelling_a_scenario_does_not_change_results() {
+        let base = small_scenario(61).with_label("before");
+        let renamed = base.clone().with_label("after-rename");
+        assert_eq!(
+            base.fingerprint(),
+            renamed.fingerprint(),
+            "labels are display-only and must not affect the RNG stream"
+        );
+        let engine = SessionEngine::new(61);
+        let a = engine.run(&base).unwrap();
+        let b = engine.run(&renamed).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_entangle_strength_is_an_error_not_a_panic() {
+        let scenario =
+            small_scenario(62).with_adversary(Adversary::EntangleMeasure { strength: 1.5 });
+        let err = SessionEngine::new(62).run(&scenario);
+        assert!(
+            matches!(err, Err(ProtocolError::InvalidConfig(_))),
+            "{err:?}"
+        );
+        // The same guard applies at the serde boundary.
+        let json = r#"{"EntangleMeasure":{"strength":1.5}}"#;
+        assert!(serde::json::from_str::<Adversary>(json).is_err());
+    }
+
+    #[test]
+    fn impersonation_mapping_round_trips() {
+        for target in [
+            Impersonation::None,
+            Impersonation::OfAlice,
+            Impersonation::OfBob,
+        ] {
+            let adversary = Adversary::from_impersonation(target);
+            assert_eq!(adversary.impersonation(), target);
+        }
+        assert_eq!(
+            Adversary::ImpersonateBob.detection_stage(),
+            Some(AbortStage::BobAuthentication)
+        );
+        assert_eq!(
+            Adversary::ImpersonateAlice.detection_stage(),
+            Some(AbortStage::AliceAuthentication)
+        );
+        assert_eq!(Adversary::Honest.detection_stage(), None);
+    }
+
+    #[test]
+    fn adversary_serde_round_trips_except_custom() {
+        for adversary in [
+            Adversary::Honest,
+            Adversary::ImpersonateAlice,
+            Adversary::ImpersonateBob,
+            Adversary::InterceptResend(InterceptBasis::Equatorial(0.4)),
+            Adversary::ManInTheMiddle(SubstituteState::RandomBb84),
+            Adversary::EntangleMeasure { strength: 0.25 },
+        ] {
+            let json = serde::json::to_string(&adversary);
+            let back: Adversary = serde::json::from_str(&json).unwrap();
+            assert_eq!(back, adversary, "via {json}");
+        }
+        let custom = Adversary::custom("noop", || Box::new(NoTap));
+        let json = serde::json::to_string(&custom);
+        assert!(serde::json::from_str::<Adversary>(&json).is_err());
+    }
+
+    #[test]
+    fn backend_seam_is_exercised() {
+        /// Counts backend calls while delegating to the default substrate.
+        #[derive(Debug, Default)]
+        struct CountingBackend {
+            emitted: std::sync::atomic::AtomicUsize,
+            transmitted: std::sync::atomic::AtomicUsize,
+        }
+        impl Backend for CountingBackend {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn emit_pair(
+                &self,
+                channel: &QuantumChannel,
+                tap: &mut dyn ChannelTap,
+                rng: &mut dyn RngCore,
+            ) -> EprPair {
+                self.emitted
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                DensityMatrixBackend.emit_pair(channel, tap, rng)
+            }
+            fn transmit(
+                &self,
+                channel: &QuantumChannel,
+                pair: &mut EprPair,
+                tap: &mut dyn ChannelTap,
+                rng: &mut dyn RngCore,
+            ) {
+                self.transmitted
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                DensityMatrixBackend.transmit(channel, pair, tap, rng);
+            }
+        }
+        let backend = Arc::new(CountingBackend::default());
+        let scenario = small_scenario(55);
+        let engine = SessionEngine::new(55).with_backend(backend.clone());
+        assert_eq!(engine.backend_name(), "counting");
+        let outcome = engine.run(&scenario).unwrap();
+        assert!(outcome.is_delivered());
+        let total = scenario.config.total_pairs(scenario.identities.qubit_len());
+        assert_eq!(
+            backend.emitted.load(std::sync::atomic::Ordering::Relaxed),
+            total
+        );
+        assert_eq!(
+            backend
+                .transmitted
+                .load(std::sync::atomic::Ordering::Relaxed),
+            total - scenario.config.di_check_pairs()
+        );
+    }
+}

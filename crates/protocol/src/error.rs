@@ -41,7 +41,10 @@ impl fmt::Display for ProtocolError {
         match self {
             ProtocolError::InvalidConfig(msg) => write!(f, "invalid session configuration: {msg}"),
             ProtocolError::OddIdentityLength(len) => {
-                write!(f, "identity strings must have an even number of bits, got {len}")
+                write!(
+                    f,
+                    "identity strings must have an even number of bits, got {len}"
+                )
             }
             ProtocolError::MessageLengthMismatch { expected, actual } => write!(
                 f,
@@ -69,7 +72,9 @@ mod tests {
         assert!(ProtocolError::InvalidConfig("bad".into())
             .to_string()
             .contains("bad"));
-        assert!(ProtocolError::OddIdentityLength(3).to_string().contains('3'));
+        assert!(ProtocolError::OddIdentityLength(3)
+            .to_string()
+            .contains('3'));
         assert!(ProtocolError::MessageLengthMismatch {
             expected: 8,
             actual: 6

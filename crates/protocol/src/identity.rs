@@ -44,7 +44,7 @@ impl IdentityString {
                 "identity strings must not be empty".into(),
             ));
         }
-        if bits.len() % 2 != 0 {
+        if !bits.len().is_multiple_of(2) {
             return Err(ProtocolError::OddIdentityLength(bits.len()));
         }
         Ok(Self { bits })
@@ -204,8 +204,9 @@ mod tests {
 
     #[test]
     fn pauli_mapping_follows_paper_rule() {
-        let id = IdentityString::from_bits(vec![false, false, false, true, true, false, true, true])
-            .unwrap();
+        let id =
+            IdentityString::from_bits(vec![false, false, false, true, true, false, true, true])
+                .unwrap();
         assert_eq!(
             id.as_paulis(),
             vec![Pauli::I, Pauli::Z, Pauli::X, Pauli::IY]
@@ -232,7 +233,10 @@ mod tests {
     fn identity_pair_generation_and_validation() {
         let pair = IdentityPair::generate(6, &mut rng());
         assert_eq!(pair.qubit_len(), 6);
-        assert_ne!(pair.alice, pair.bob, "independent identities should differ (w.h.p.)");
+        assert_ne!(
+            pair.alice, pair.bob,
+            "independent identities should differ (w.h.p.)"
+        );
         let ok = IdentityPair::new(pair.alice.clone(), pair.bob.clone());
         assert!(ok.is_ok());
         let bad = IdentityPair::new(

@@ -1,10 +1,10 @@
-//! # protocol — the UA-DI-QSDC protocol and its baselines
+//! # protocol — the UA-DI-QSDC protocol and its execution engine
 //!
 //! This crate is the paper's core contribution: the first device-independent quantum secure
 //! direct communication protocol with user identity authentication (UA-DI-QSDC). It follows
 //! the six phases of Section II:
 //!
-//! 1. **Entanglement sharing** — a source distributes `N + 2l + 2d` EPR pairs ([`session`]).
+//! 1. **Entanglement sharing** — a source distributes `N + 2l + 2d` EPR pairs.
 //! 2. **First DI security check** — `d` pairs are sacrificed to estimate the CHSH polynomial
 //!    ([`di_check`]); the protocol continues only if `S¹ > 2`.
 //! 3. **Alice's encoding** — the padded message `m'` and identity `id_A` are encoded with
@@ -14,8 +14,16 @@
 //! 6. **Message decoding** — Bob Bell-measures the remaining pairs and checks the integrity
 //!    bits.
 //!
+//! All execution goes through [`engine`]: describe *what* to run as a declarative
+//! [`engine::Scenario`] (configuration, identities, optional fixed message, and a single
+//! [`engine::Adversary`] covering every eavesdropper of Section III), then hand it to an
+//! [`engine::SessionEngine`], which owns the simulation [`engine::Backend`] and derives a
+//! deterministic RNG stream per trial from its master seed — single runs, trial batches and
+//! multi-scenario sweeps all reproduce bit-for-bit from one seed.
+//!
 //! [`baselines`] adds a runnable DI-QSDC without authentication (the Zhou et al. 2020 shape)
-//! and [`descriptor`] carries the feature/cost rows of the paper's Table I.
+//! and [`descriptor`] carries the feature/cost rows of the paper's Table I. The legacy free
+//! functions in [`session`] remain as deprecated shims over the engine.
 //!
 //! ## Example
 //!
@@ -29,10 +37,23 @@
 //! let config = SessionConfig::builder()
 //!     .message_bits(16)
 //!     .check_bits(4)
-//!     .di_check_pairs(60)
+//!     .di_check_pairs(200)
 //!     .build()?;
-//! let outcome = run_session(&config, &identities, &mut rng)?;
+//!
+//! let engine = SessionEngine::new(42);
+//! // One honest session…
+//! let outcome = engine.run(&Scenario::new(config.clone(), identities.clone()))?;
 //! assert!(outcome.is_delivered());
+//! // …and an attacked batch, summarised per scenario.
+//! let scenarios = vec![
+//!     Scenario::new(config.clone(), identities.clone()).with_label("honest"),
+//!     Scenario::new(config, identities)
+//!         .with_label("impersonation")
+//!         .with_adversary(Adversary::ImpersonateBob),
+//! ];
+//! let summaries = engine.run_batch(&scenarios, 4)?;
+//! assert_eq!(summaries[0].delivered, 4);
+//! assert!(summaries[1].detection_rate() > 0.9);
 //! # Ok(())
 //! # }
 //! ```
@@ -45,16 +66,20 @@ pub mod baselines;
 pub mod config;
 pub mod descriptor;
 pub mod di_check;
+pub mod engine;
 pub mod error;
 pub mod identity;
 pub mod message;
 pub mod session;
 
 pub use config::{SessionConfig, SessionConfigBuilder};
+pub use engine::{Adversary, Backend, DensityMatrixBackend, Scenario, SessionEngine, TrialSummary};
 pub use error::ProtocolError;
 pub use identity::{IdentityPair, IdentityString};
 pub use message::{PaddedMessage, SecretMessage};
-pub use session::{run_session, run_session_with_message, Impersonation, SessionOutcome, SessionStatus};
+#[allow(deprecated)]
+pub use session::{run_session, run_session_with_message};
+pub use session::{Impersonation, SessionOutcome, SessionStatus};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -63,10 +88,13 @@ pub mod prelude {
     pub use crate::config::{SessionConfig, SessionConfigBuilder};
     pub use crate::descriptor::{DecodingMeasurement, ProtocolDescriptor, ResourceType};
     pub use crate::di_check::{DiCheckReport, DiCheckRound};
+    pub use crate::engine::{
+        Adversary, Backend, DensityMatrixBackend, Scenario, SessionEngine, TrialSummary,
+    };
     pub use crate::error::ProtocolError;
     pub use crate::identity::{IdentityPair, IdentityString};
     pub use crate::message::{PaddedMessage, SecretMessage};
-    pub use crate::session::{
-        run_session, run_session_with_message, Impersonation, SessionOutcome, SessionStatus,
-    };
+    #[allow(deprecated)]
+    pub use crate::session::{run_session, run_session_with_message};
+    pub use crate::session::{AbortStage, Impersonation, SessionOutcome, SessionStatus};
 }

@@ -99,7 +99,10 @@ impl SecretMessage {
 
     /// The message as an ASCII `0`/`1` string.
     pub fn to_bitstring(&self) -> String {
-        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 
     /// Bit error rate relative to another message of the same length.
@@ -156,7 +159,7 @@ impl PaddedMessage {
             ));
         }
         let total = message.len() + check_bits;
-        if total % 2 != 0 {
+        if !total.is_multiple_of(2) {
             return Err(ProtocolError::InvalidConfig(format!(
                 "padded length n + c = {total} must be even (two bits per qubit)"
             )));
@@ -175,7 +178,11 @@ impl PaddedMessage {
             if check_positions.binary_search(&slot).is_ok() {
                 bits.push(*check_iter.next().expect("one value per check position"));
             } else {
-                bits.push(*message_iter.next().expect("message bits fill non-check slots"));
+                bits.push(
+                    *message_iter
+                        .next()
+                        .expect("message bits fill non-check slots"),
+                );
             }
         }
         Ok(Self {

@@ -180,7 +180,10 @@ impl Transcript {
 
     /// Total number of framed bytes that crossed the channel (classical communication cost).
     pub fn total_frame_bytes(&self) -> usize {
-        self.entries.iter().map(|e| e.message.to_frame().len()).sum()
+        self.entries
+            .iter()
+            .map(|e| e.message.to_frame().len())
+            .sum()
     }
 }
 
@@ -219,27 +222,42 @@ impl ClassicalChannel {
 
     /// Sends (appends) a message; returns its sequence number.
     pub fn send(&self, sender: Party, message: ClassicalMessage) -> usize {
-        self.transcript.lock().expect("transcript lock poisoned").push(sender, message)
+        self.transcript
+            .lock()
+            .expect("transcript lock poisoned")
+            .push(sender, message)
     }
 
     /// Takes a snapshot of the transcript as seen by any party (or Eve).
     pub fn snapshot(&self) -> Transcript {
-        self.transcript.lock().expect("transcript lock poisoned").clone()
+        self.transcript
+            .lock()
+            .expect("transcript lock poisoned")
+            .clone()
     }
 
     /// Number of messages exchanged so far.
     pub fn len(&self) -> usize {
-        self.transcript.lock().expect("transcript lock poisoned").len()
+        self.transcript
+            .lock()
+            .expect("transcript lock poisoned")
+            .len()
     }
 
     /// Returns `true` when nothing has been sent yet.
     pub fn is_empty(&self) -> bool {
-        self.transcript.lock().expect("transcript lock poisoned").is_empty()
+        self.transcript
+            .lock()
+            .expect("transcript lock poisoned")
+            .is_empty()
     }
 
     /// Returns `true` when an abort has been announced.
     pub fn aborted(&self) -> bool {
-        self.transcript.lock().expect("transcript lock poisoned").contains_abort()
+        self.transcript
+            .lock()
+            .expect("transcript lock poisoned")
+            .contains_abort()
     }
 }
 

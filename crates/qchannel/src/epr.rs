@@ -56,7 +56,9 @@ impl EprPair {
     pub fn from_noisy_source(device: &DeviceModel) -> Self {
         let mut pair = Self::ideal();
         if !device.is_ideal() {
-            device.two_qubit_gate_channel().apply(&mut pair.rho, &[ALICE_QUBIT, BOB_QUBIT]);
+            device
+                .two_qubit_gate_channel()
+                .apply(&mut pair.rho, &[ALICE_QUBIT, BOB_QUBIT]);
             let prep = device.state_prep_channel();
             prep.apply(&mut pair.rho, &[ALICE_QUBIT]);
             prep.apply(&mut pair.rho, &[BOB_QUBIT]);

@@ -11,7 +11,8 @@
 //!
 //! The crate also defines [`epr::EprPair`], the two-qubit working unit the whole protocol is
 //! built from, and [`quantum::ChannelTap`], the hook eavesdropper models implement to touch
-//! qubits in flight.
+//! qubits in flight. The standard tap library — intercept-and-resend,
+//! man-in-the-middle, and entangle-and-measure — lives in [`taps`].
 //!
 //! ## Example
 //!
@@ -33,14 +34,23 @@
 pub mod classical;
 pub mod epr;
 pub mod quantum;
+pub mod taps;
 
 pub use classical::{ClassicalChannel, ClassicalMessage, Transcript};
 pub use epr::EprPair;
 pub use quantum::{ChannelSpec, ChannelTap, QuantumChannel};
+pub use taps::{
+    EntangleMeasureAttack, InterceptBasis, InterceptResendAttack, ManInTheMiddleAttack,
+    SubstituteState,
+};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::classical::{ClassicalChannel, ClassicalMessage, Transcript};
     pub use crate::epr::EprPair;
     pub use crate::quantum::{ChannelSpec, ChannelTap, QuantumChannel};
+    pub use crate::taps::{
+        EntangleMeasureAttack, InterceptBasis, InterceptResendAttack, ManInTheMiddleAttack,
+        SubstituteState,
+    };
 }

@@ -247,7 +247,10 @@ mod tests {
         short.transmit(&mut a, &mut rng());
         long.transmit(&mut b, &mut rng());
         assert!(b.fidelity_phi_plus() < a.fidelity_phi_plus() - 0.1);
-        assert!(b.fidelity_phi_plus() > 0.3, "700 gates must not fully destroy the state");
+        assert!(
+            b.fidelity_phi_plus() > 0.3,
+            "700 gates must not fully destroy the state"
+        );
     }
 
     #[test]

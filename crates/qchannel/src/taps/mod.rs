@@ -1,0 +1,22 @@
+//! Standard channel-tap attack library.
+//!
+//! These eavesdropper models implement [`crate::quantum::ChannelTap`] and act
+//! purely at the channel layer — they know nothing about the protocol running
+//! on top. They live here (rather than in the higher-level `attacks` crate) so
+//! that the protocol's execution engine can name them in its `Adversary`
+//! vocabulary without a dependency cycle:
+//!
+//! - [`InterceptResendAttack`] — measure each flying qubit and resend it
+//!   (paper Section III-B);
+//! - [`ManInTheMiddleAttack`] — keep the real qubit, forward a fresh
+//!   uncorrelated substitute (Section III-C);
+//! - [`EntangleMeasureAttack`] — entangle an ancilla with the flying qubit and
+//!   measure it (Section III-D).
+
+pub mod entangle_measure;
+pub mod intercept_resend;
+pub mod mitm;
+
+pub use entangle_measure::EntangleMeasureAttack;
+pub use intercept_resend::{InterceptBasis, InterceptResendAttack};
+pub use mitm::{ManInTheMiddleAttack, SubstituteState};

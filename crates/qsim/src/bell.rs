@@ -325,7 +325,10 @@ mod tests {
             for _ in 0..20 {
                 let mut s = bell.statevector();
                 let outcome = bell_measure(&mut s, 0, 1, &mut r);
-                assert_eq!(outcome.state, bell, "BSM must identify {bell} deterministically");
+                assert_eq!(
+                    outcome.state, bell,
+                    "BSM must identify {bell} deterministically"
+                );
             }
         }
     }

@@ -56,7 +56,11 @@ impl MeasurementRecord {
 /// Estimates the correlator `⟨a_j b_k⟩` from the records with Alice setting `j` and Bob
 /// setting `k`. Returns `None` when no record matches (the caller decides whether that is an
 /// abort condition).
-pub fn correlator(records: &[MeasurementRecord], alice_setting: usize, bob_setting: usize) -> Option<f64> {
+pub fn correlator(
+    records: &[MeasurementRecord],
+    alice_setting: usize,
+    bob_setting: usize,
+) -> Option<f64> {
     let matching: Vec<f64> = records
         .iter()
         .filter(|r| r.alice_setting == alice_setting && r.bob_setting == bob_setting)
@@ -88,7 +92,11 @@ pub fn basis_observable(theta: f64) -> CMatrix {
 
 /// Analytic correlator `⟨O(θ_A) ⊗ O(θ_B)⟩` for an arbitrary two-qubit pure state.
 pub fn analytic_correlator(state: &StateVector, theta_a: f64, theta_b: f64) -> f64 {
-    assert_eq!(state.num_qubits(), 2, "analytic correlator is defined for two qubits");
+    assert_eq!(
+        state.num_qubits(),
+        2,
+        "analytic correlator is defined for two qubits"
+    );
     let obs = basis_observable(theta_a).kron(&basis_observable(theta_b));
     state.expectation(&obs)
 }
@@ -99,7 +107,8 @@ pub fn analytic_chsh(state: &StateVector) -> f64 {
     let a2 = MeasurementBasis::alice(2).angle();
     let b1 = MeasurementBasis::bob(1).angle();
     let b2 = MeasurementBasis::bob(2).angle();
-    analytic_correlator(state, a1, b1) + analytic_correlator(state, a1, b2)
+    analytic_correlator(state, a1, b1)
+        + analytic_correlator(state, a1, b2)
         + analytic_correlator(state, a2, b1)
         - analytic_correlator(state, a2, b2)
 }
@@ -171,7 +180,10 @@ mod tests {
     fn analytic_chsh_of_product_state_respects_classical_bound() {
         let state = StateVector::new(2); // |00⟩
         let s = analytic_chsh(&state);
-        assert!(s.abs() <= CLASSICAL_BOUND + 1e-9, "separable state must not violate CHSH, got {s}");
+        assert!(
+            s.abs() <= CLASSICAL_BOUND + 1e-9,
+            "separable state must not violate CHSH, got {s}"
+        );
     }
 
     #[test]

@@ -162,7 +162,10 @@ impl Circuit {
         let mut counts = Counts::new();
         for _ in 0..shots {
             let (_, clbits) = self.run_statevector(rng)?;
-            let label: String = clbits.iter().map(|b| if *b == 1 { '1' } else { '0' }).collect();
+            let label: String = clbits
+                .iter()
+                .map(|b| if *b == 1 { '1' } else { '0' })
+                .collect();
             counts.record(label);
         }
         Ok(counts)
@@ -182,7 +185,9 @@ impl fmt::Display for Circuit {
         for op in &self.operations {
             match op {
                 Operation::Gate { name, qubits, .. } => writeln!(f, "  {name} {qubits:?}")?,
-                Operation::Measure { qubit, clbit } => writeln!(f, "  measure q{qubit} -> c{clbit}")?,
+                Operation::Measure { qubit, clbit } => {
+                    writeln!(f, "  measure q{qubit} -> c{clbit}")?
+                }
                 Operation::Barrier => writeln!(f, "  barrier")?,
                 Operation::Reset { qubit } => writeln!(f, "  reset q{qubit}")?,
             }
@@ -402,7 +407,11 @@ mod tests {
 
     #[test]
     fn reset_forces_zero() {
-        let c = CircuitBuilder::new(1, 1).x(0).reset(0).measure(0, 0).build();
+        let c = CircuitBuilder::new(1, 1)
+            .x(0)
+            .reset(0)
+            .measure(0, 0)
+            .build();
         let counts = c.sample(32, &mut rng()).unwrap();
         assert_eq!(counts.get("0"), 32);
     }

@@ -269,7 +269,9 @@ impl DensityMatrix {
 
     /// Diagonal of the density matrix: the Born-rule probabilities of all basis outcomes.
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.dim()).map(|i| self.rho[(i, i)].re.max(0.0)).collect()
+        (0..self.dim())
+            .map(|i| self.rho[(i, i)].re.max(0.0))
+            .collect()
     }
 
     /// Measures `qubit` in the computational basis, collapsing the state.
@@ -361,7 +363,10 @@ impl DensityMatrix {
     /// Panics if the combined register would exceed the 12-qubit density-matrix limit.
     pub fn tensor(&self, other: &DensityMatrix) -> DensityMatrix {
         let total = self.num_qubits + other.num_qubits;
-        assert!(total <= 12, "density-matrix simulation limited to 12 qubits");
+        assert!(
+            total <= 12,
+            "density-matrix simulation limited to 12 qubits"
+        );
         DensityMatrix {
             num_qubits: total,
             rho: self.rho.kron(&other.rho),
@@ -565,7 +570,10 @@ mod tests {
         ];
         let mut rho = DensityMatrix::new(1);
         rho.apply_kraus(&kraus, &[0]);
-        assert!((rho.trace() - 1.0).abs() < 1e-10, "CPTP map preserves trace");
+        assert!(
+            (rho.trace() - 1.0).abs() < 1e-10,
+            "CPTP map preserves trace"
+        );
         assert!(rho.purity() < 1.0);
         // Probability of |1⟩ after depolarizing |0⟩ with p=0.5 is p/2 = 0.25.
         assert!((rho.probability_one(0) - 0.25).abs() < 1e-10);

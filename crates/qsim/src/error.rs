@@ -43,10 +43,16 @@ impl fmt::Display for QsimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QsimError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit index {qubit} out of range for {num_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit index {qubit} out of range for {num_qubits}-qubit register"
+                )
             }
             QsimError::DimensionMismatch { expected, actual } => {
-                write!(f, "gate dimension {actual} does not match expected {expected}")
+                write!(
+                    f,
+                    "gate dimension {actual} does not match expected {expected}"
+                )
             }
             QsimError::DuplicateQubit(q) => write!(f, "duplicate qubit index {q}"),
             QsimError::NotNormalized => write!(f, "state is not normalised"),

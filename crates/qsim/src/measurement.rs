@@ -54,9 +54,18 @@ impl MeasurementBasis {
     /// Panics if `j > 2`.
     pub fn alice(j: usize) -> Self {
         match j {
-            0 => Self { angle: FRAC_PI_4, label: "A0" },
-            1 => Self { angle: 0.0, label: "A1" },
-            2 => Self { angle: FRAC_PI_2, label: "A2" },
+            0 => Self {
+                angle: FRAC_PI_4,
+                label: "A0",
+            },
+            1 => Self {
+                angle: 0.0,
+                label: "A1",
+            },
+            2 => Self {
+                angle: FRAC_PI_2,
+                label: "A2",
+            },
             _ => panic!("Alice only has bases A0, A1, A2 (got index {j})"),
         }
     }
@@ -75,8 +84,14 @@ impl MeasurementBasis {
     /// Panics if `k` is not 1 or 2.
     pub fn bob(k: usize) -> Self {
         match k {
-            1 => Self { angle: -FRAC_PI_4, label: "B1" },
-            2 => Self { angle: FRAC_PI_4, label: "B2" },
+            1 => Self {
+                angle: -FRAC_PI_4,
+                label: "B1",
+            },
+            2 => Self {
+                angle: FRAC_PI_4,
+                label: "B2",
+            },
             _ => panic!("Bob only has bases B1 and B2 (got index {k})"),
         }
     }
@@ -208,6 +223,8 @@ mod tests {
         assert_eq!(MeasurementOutcome::Plus.to_string(), "+1");
         assert_eq!(MeasurementOutcome::Minus.to_string(), "-1");
         assert!(MeasurementBasis::alice(0).to_string().contains("A0"));
-        assert!(MeasurementBasis::from_angle(0.5, "custom").to_string().contains("custom"));
+        assert!(MeasurementBasis::from_angle(0.5, "custom")
+            .to_string()
+            .contains("custom"));
     }
 }

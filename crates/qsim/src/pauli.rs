@@ -30,9 +30,10 @@ use std::fmt;
 /// assert_eq!(Pauli::from_bits(true, false), Pauli::X);
 /// assert_eq!(Pauli::Z.to_bits(), (false, true));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Pauli {
     /// Identity — encodes `00`.
+    #[default]
     I,
     /// Pauli-Z — encodes `01`.
     Z,
@@ -152,12 +153,6 @@ impl fmt::Display for Pauli {
     }
 }
 
-impl Default for Pauli {
-    fn default() -> Self {
-        Pauli::I
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,7 +218,10 @@ mod tests {
                     }
                 }
                 let phase = phase.expect("composed Pauli has a non-zero entry");
-                assert!((phase.norm() - 1.0).abs() < 1e-9, "phase must be unimodular");
+                assert!(
+                    (phase.norm() - 1.0).abs() < 1e-9,
+                    "phase must be unimodular"
+                );
                 assert!(product.approx_eq(&composed.scale(phase), 1e-9));
             }
         }

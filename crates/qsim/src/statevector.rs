@@ -197,6 +197,8 @@ impl StateVector {
                 continue;
             }
             // Gather the block.
+            #[allow(clippy::needless_range_loop)]
+            // `sub` indexes both the scratch block and the bit pattern
             for sub in 0..gate_dim {
                 let mut idx = base;
                 for (bit_pos, &shift) in shifts.iter().enumerate() {
@@ -215,6 +217,8 @@ impl StateVector {
                 *out = acc;
             }
             // Scatter back.
+            #[allow(clippy::needless_range_loop)]
+            // `sub` indexes both the scratch block and the bit pattern
             for sub in 0..gate_dim {
                 let mut idx = base;
                 for (bit_pos, &shift) in shifts.iter().enumerate() {
@@ -265,7 +269,8 @@ impl StateVector {
     ///
     /// Panics if the qubit is out of range or the projected state has zero probability.
     pub fn collapse(&mut self, qubit: usize, outcome: u8) {
-        self.check_qubit(qubit).expect("collapse: qubit out of range");
+        self.check_qubit(qubit)
+            .expect("collapse: qubit out of range");
         let mask = 1usize << self.bit(qubit);
         let keep_set = outcome == 1;
         for (i, amp) in self.amplitudes.as_mut_slice().iter_mut().enumerate() {
@@ -332,7 +337,13 @@ impl StateVector {
     /// Formats a basis index as a bitstring in qubit order.
     pub fn bitstring(&self, index: usize) -> String {
         (0..self.num_qubits)
-            .map(|q| if index & (1 << self.bit(q)) != 0 { '1' } else { '0' })
+            .map(|q| {
+                if index & (1 << self.bit(q)) != 0 {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
             .collect()
     }
 

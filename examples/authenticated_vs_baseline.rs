@@ -36,15 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Proposed protocol: Eve must encode id_B on the D_B block, but she can only guess.
-    let mut no_tap = qchannel::quantum::NoTap;
-    let outcome = protocol::session::run_session_full(
-        &config,
-        &identities,
-        &message,
-        Impersonation::OfBob,
-        &mut no_tap,
-        &mut rng,
-    )?;
+    let scenario = Scenario::new(config, identities.clone())
+        .with_label("eve-as-bob")
+        .with_message(message)
+        .with_adversary(Adversary::ImpersonateBob);
+    let outcome = SessionEngine::new(99).run(&scenario)?;
     println!("\nproposed UA-DI-QSDC      : {}", outcome.status);
     if let Some(report) = &outcome.bob_auth {
         println!("  -> Alice's verdict on \"Bob\": {report}");

@@ -1,16 +1,14 @@
-//! Eavesdropper drill: throw every attack from the paper's Section III at the protocol and
-//! watch each one get caught.
+//! Eavesdropper drill: throw every attack from the paper's Section III at the protocol as one
+//! engine batch and watch each one get caught.
 //!
 //! ```text
 //! cargo run --example eavesdropper_drill
 //! ```
 
-use attacks::prelude::*;
 use ua_di_qsdc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = rng_from_seed(7);
-    let identities = IdentityPair::generate(6, &mut rng);
+    let identities = IdentityPair::generate(6, &mut rng_from_seed(7));
     let config = SessionConfig::builder()
         .message_bits(8)
         .check_bits(2)
@@ -19,45 +17,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let trials = 8;
 
-    println!("== impersonation (Section III-A) ==");
-    for target in [Impersonation::OfAlice, Impersonation::OfBob] {
-        let summary = run_impersonation_trials(&config, &identities, target, trials, &mut rng)?;
+    // One scenario per attack of Section III — a single declarative batch.
+    let scenario = |label: &str, adversary: Adversary| {
+        Scenario::new(config.clone(), identities.clone())
+            .with_label(label)
+            .with_adversary(adversary)
+    };
+    let scenarios = vec![
+        scenario("III-A Eve-as-Alice", Adversary::ImpersonateAlice),
+        scenario("III-A Eve-as-Bob", Adversary::ImpersonateBob),
+        scenario(
+            "III-B intercept-resend",
+            Adversary::InterceptResend(qchannel::taps::InterceptBasis::Computational),
+        ),
+        scenario(
+            "III-C man-in-the-middle",
+            Adversary::ManInTheMiddle(qchannel::taps::SubstituteState::RandomComputational),
+        ),
+        scenario(
+            "III-D entangle-measure",
+            Adversary::EntangleMeasure { strength: 1.0 },
+        ),
+    ];
+
+    let engine = SessionEngine::new(7);
+    println!(
+        "== attack drill ({} trials each, one engine batch) ==",
+        trials
+    );
+    let summaries = engine.run_batch(&scenarios, trials)?;
+    for summary in &summaries {
         println!("  {summary}");
+        assert_eq!(summary.delivered, 0, "no attack may ever deliver");
     }
 
-    println!("\n== channel attacks (Sections III-B, III-C, III-D) ==");
-    let intercept = run_attack_trials(
-        &config,
-        &identities,
-        InterceptResendAttack::computational,
-        trials,
-        &mut rng,
-    )?;
-    println!("  {intercept}");
-    let mitm = run_attack_trials(
-        &config,
-        &identities,
-        ManInTheMiddleAttack::random_computational,
-        trials,
-        &mut rng,
-    )?;
-    println!("  {mitm}");
-    let entangle = run_attack_trials(
-        &config,
-        &identities,
-        EntangleMeasureAttack::full,
-        trials,
-        &mut rng,
-    )?;
-    println!("  {entangle}");
-
     println!("\n== information leakage (Section III-E) ==");
-    let transcripts: Vec<_> = (0..10)
-        .map(|_| {
-            run_session(&config, &identities, &mut rng)
-                .expect("honest session")
-                .transcript
-        })
+    let honest = Scenario::new(config, identities.clone()).with_label("honest");
+    let transcripts: Vec<_> = engine
+        .run_outcomes(&honest, 10)?
+        .into_iter()
+        .map(|outcome| outcome.transcript)
         .collect();
     let audit = LeakageAudit::with_identity(&transcripts, &identities.bob);
     println!("  {audit}");

@@ -7,12 +7,18 @@
 //! - [`mathkit`] — hand-rolled complex arithmetic and dense linear algebra.
 //! - [`qsim`] — statevector / density-matrix simulator, gate library, circuits, measurement.
 //! - [`noise`] — Kraus noise channels and NISQ device models (ibm_brisbane-like preset).
-//! - [`qchannel`] — quantum channel (noisy identity-gate chain) and authenticated classical channel.
-//! - [`protocol`] — the UA-DI-QSDC protocol itself plus baseline DI-QSDC protocols.
-//! - [`attacks`] — eavesdropper strategies and the attack harness.
+//! - [`qchannel`] — quantum channel (noisy identity-gate chain), authenticated classical
+//!   channel, and the standard channel-tap attack library.
+//! - [`protocol`] — the UA-DI-QSDC protocol, its baselines, and the session execution engine.
+//! - [`attacks`] — protocol-level eavesdropper analyses and the information-leakage audit.
 //! - [`analysis`] — statistics and table/figure data generation.
 //!
 //! ## Quickstart
+//!
+//! Execution is declarative: describe a [`prelude::Scenario`] (configuration, identities,
+//! optional fixed message, adversary), then hand it to a [`prelude::SessionEngine`], which
+//! derives a deterministic RNG stream per trial from its master seed — every run, trial
+//! batch, and multi-scenario sweep replays bit for bit.
 //!
 //! ```rust
 //! use ua_di_qsdc::prelude::*;
@@ -25,8 +31,20 @@
 //!     .di_check_pairs(220)
 //!     .channel(ChannelSpec::noisy_identity_chain(10, DeviceModel::ibm_brisbane_like()))
 //!     .build()?;
-//! let outcome = run_session(&config, &identities, &mut rng_from_seed(42))?;
+//!
+//! let engine = SessionEngine::new(42);
+//! let honest = Scenario::new(config.clone(), identities.clone());
+//! let outcome = engine.run(&honest)?;
 //! assert!(outcome.is_delivered());
+//!
+//! // Attacked variants are one adversary away, and batches aggregate trials per scenario.
+//! let attacked = honest
+//!     .clone()
+//!     .with_label("impersonation")
+//!     .with_adversary(Adversary::ImpersonateBob);
+//! let summaries = engine.run_batch(&[honest, attacked], 3)?;
+//! assert_eq!(summaries[0].delivered, 3);
+//! assert!(summaries[1].detection_rate() > 0.9);
 //! # Ok(())
 //! # }
 //! ```

@@ -1,5 +1,6 @@
 //! Cross-crate integration tests for the security claims: every attack from the paper's
-//! Section III is detected by the protocol, and the classical channel leaks nothing.
+//! Section III is detected when its scenario runs through the `SessionEngine`, and the
+//! classical channel leaks nothing.
 
 use attacks::prelude::*;
 use ua_di_qsdc::prelude::*;
@@ -16,29 +17,30 @@ fn attack_config() -> SessionConfig {
 
 #[test]
 fn impersonation_of_either_party_is_detected_with_long_identities() {
-    let mut rng = rng_from_seed(11);
-    let identities = IdentityPair::generate(10, &mut rng);
-    for target in [Impersonation::OfAlice, Impersonation::OfBob] {
-        let summary =
-            run_impersonation_trials(&attack_config(), &identities, target, 10, &mut rng).unwrap();
+    let identities = IdentityPair::generate(10, &mut rng_from_seed(11));
+    let engine = SessionEngine::new(11);
+    for adversary in [Adversary::ImpersonateAlice, Adversary::ImpersonateBob] {
+        let scenario = Scenario::new(attack_config(), identities.clone())
+            .with_label(adversary.name())
+            .with_adversary(adversary);
+        let summary = engine.run_trials(&scenario, 10).unwrap();
         assert_eq!(
-            summary.undetected_deliveries, 0,
+            summary.delivered, 0,
             "an impersonator with a 10-qubit identity gap must never receive the message: {summary}"
         );
-        assert!(summary.detection_rate > 0.9, "{summary}");
+        assert!(summary.detection_rate() > 0.9, "{summary}");
     }
 }
 
 #[test]
 fn impersonation_detection_rate_follows_quarter_power_law() {
-    let mut rng = rng_from_seed(12);
-    let identities = IdentityPair::generate(1, &mut rng);
+    let identities = IdentityPair::generate(1, &mut rng_from_seed(12));
     let summary = run_impersonation_trials(
         &attack_config(),
         &identities,
         Impersonation::OfBob,
         300,
-        &mut rng,
+        &mut rng_from_seed(12),
     )
     .unwrap();
     // l = 1: analytic detection probability is 0.75.
@@ -47,91 +49,80 @@ fn impersonation_detection_rate_follows_quarter_power_law() {
 
 #[test]
 fn intercept_resend_never_delivers_and_kills_the_chsh_violation() {
-    let mut rng = rng_from_seed(13);
-    let identities = IdentityPair::generate(4, &mut rng);
-    let summary = run_attack_trials(
-        &attack_config(),
-        &identities,
-        InterceptResendAttack::computational,
-        5,
-        &mut rng,
-    )
-    .unwrap();
+    let identities = IdentityPair::generate(4, &mut rng_from_seed(13));
+    let scenario = Scenario::new(attack_config(), identities).with_adversary(
+        Adversary::InterceptResend(qchannel::taps::InterceptBasis::Computational),
+    );
+    let summary = SessionEngine::new(13).run_trials(&scenario, 5).unwrap();
     assert_eq!(summary.delivered, 0, "{summary}");
-    assert!(summary.mean_chsh_round1.unwrap() > 2.2, "round 1 precedes the attack");
+    assert!(
+        summary.mean_chsh_round1.unwrap() > 2.2,
+        "round 1 precedes the attack"
+    );
     if let Some(s2) = summary.mean_chsh_round2 {
-        assert!(s2 <= 2.1, "round 2 must not show a Bell violation, got {s2}");
+        assert!(
+            s2 <= 2.1,
+            "round 2 must not show a Bell violation, got {s2}"
+        );
     }
 }
 
 #[test]
 fn mitm_and_entangle_measure_are_detected_every_time() {
-    let mut rng = rng_from_seed(14);
-    let identities = IdentityPair::generate(4, &mut rng);
-    let mitm = run_attack_trials(
-        &attack_config(),
-        &identities,
-        ManInTheMiddleAttack::random_computational,
-        5,
-        &mut rng,
-    )
-    .unwrap();
-    assert_eq!(mitm.delivered, 0, "{mitm}");
-    let entangle = run_attack_trials(
-        &attack_config(),
-        &identities,
-        EntangleMeasureAttack::full,
-        5,
-        &mut rng,
-    )
-    .unwrap();
-    assert_eq!(entangle.delivered, 0, "{entangle}");
-    assert!(entangle.detection_rate() > 0.99);
+    let identities = IdentityPair::generate(4, &mut rng_from_seed(14));
+    let scenarios = [
+        Scenario::new(attack_config(), identities.clone())
+            .with_label("mitm")
+            .with_adversary(Adversary::ManInTheMiddle(
+                qchannel::taps::SubstituteState::RandomComputational,
+            )),
+        Scenario::new(attack_config(), identities)
+            .with_label("entangle-measure")
+            .with_adversary(Adversary::EntangleMeasure { strength: 1.0 }),
+    ];
+    let summaries = SessionEngine::new(14).run_batch(&scenarios, 5).unwrap();
+    for summary in &summaries {
+        assert_eq!(summary.delivered, 0, "{summary}");
+        assert!(summary.detection_rate() > 0.99, "{summary}");
+    }
 }
 
 #[test]
 fn weak_entangling_probes_may_pass_but_strong_ones_never_do() {
     // The information/disturbance trade-off: a weak probe gains little and may slip through;
     // the full CNOT probe (which would give Eve the whole computational value) is always caught.
-    let mut rng = rng_from_seed(15);
-    let identities = IdentityPair::generate(4, &mut rng);
-    let strong = run_attack_trials(
-        &attack_config(),
-        &identities,
-        EntangleMeasureAttack::full,
-        4,
-        &mut rng,
-    )
-    .unwrap();
-    assert_eq!(strong.delivered, 0);
-    let weak = run_attack_trials(
-        &attack_config(),
-        &identities,
-        || EntangleMeasureAttack::with_strength(0.05),
-        4,
-        &mut rng,
-    )
-    .unwrap();
+    let identities = IdentityPair::generate(4, &mut rng_from_seed(15));
+    let engine = SessionEngine::new(15);
+    let strong = Scenario::new(attack_config(), identities.clone())
+        .with_label("strong-probe")
+        .with_adversary(Adversary::EntangleMeasure { strength: 1.0 });
+    let strong_summary = engine.run_trials(&strong, 4).unwrap();
+    assert_eq!(strong_summary.delivered, 0);
+    let weak = Scenario::new(attack_config(), identities)
+        .with_label("weak-probe")
+        .with_adversary(Adversary::EntangleMeasure { strength: 0.05 });
+    let weak_summary = engine.run_trials(&weak, 4).unwrap();
     // A 5% probe barely disturbs the state; the protocol usually proceeds.
-    assert!(weak.delivered >= 2, "{weak}");
+    assert!(weak_summary.delivered >= 2, "{weak_summary}");
 }
 
 #[test]
 fn classical_transcripts_leak_nothing_across_many_sessions() {
-    let mut rng = rng_from_seed(16);
-    let identities = IdentityPair::generate(4, &mut rng);
-    let config = attack_config();
-    let transcripts: Vec<_> = (0..30)
-        .map(|_| {
-            run_session(&config, &identities, &mut rng)
-                .unwrap()
-                .transcript
-        })
+    let identities = IdentityPair::generate(4, &mut rng_from_seed(16));
+    let scenario = Scenario::new(attack_config(), identities.clone()).with_label("leakage");
+    let transcripts: Vec<_> = SessionEngine::new(16)
+        .run_outcomes(&scenario, 30)
+        .unwrap()
+        .into_iter()
+        .map(|outcome| outcome.transcript)
         .collect();
     let audit = LeakageAudit::with_identity(&transcripts, &identities.bob);
     assert!(audit.structurally_clean(), "{audit}");
     assert!(audit.bell_distribution_bias() < 0.12, "{audit}");
-    assert!(audit.mutual_information_with_id_b.unwrap() < 0.12, "{audit}");
+    assert!(
+        audit.mutual_information_with_id_b.unwrap() < 0.12,
+        "{audit}"
+    );
 }
 
 #[test]

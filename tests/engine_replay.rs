@@ -1,0 +1,122 @@
+//! Replay guarantees of the execution engine: scenarios serde round-trip, and a fixed master
+//! seed reproduces `run_batch` results bit for bit — independent of batch composition and
+//! order.
+
+use ua_di_qsdc::prelude::*;
+
+fn scenarios() -> Vec<Scenario> {
+    let mut rng = rng_from_seed(77);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let config = SessionConfig::builder()
+        .message_bits(8)
+        .check_bits(2)
+        .di_check_pairs(64)
+        .build()
+        .unwrap();
+    vec![
+        Scenario::new(config.clone(), identities.clone()).with_label("honest"),
+        Scenario::new(config.clone(), identities.clone())
+            .with_label("fixed-message")
+            .with_message(SecretMessage::from_bitstring("10110100").unwrap()),
+        Scenario::new(config.clone(), identities.clone())
+            .with_label("impersonation")
+            .with_adversary(Adversary::ImpersonateBob),
+        Scenario::new(config.clone(), identities.clone())
+            .with_label("intercept")
+            .with_adversary(Adversary::InterceptResend(
+                qchannel::taps::InterceptBasis::Computational,
+            )),
+        Scenario::new(config.clone(), identities.clone())
+            .with_label("mitm")
+            .with_adversary(Adversary::ManInTheMiddle(
+                qchannel::taps::SubstituteState::RandomBb84,
+            )),
+        Scenario::new(config, identities)
+            .with_label("weak-probe")
+            .with_adversary(Adversary::EntangleMeasure { strength: 0.3 }),
+    ]
+}
+
+#[test]
+fn scenario_serde_round_trips() {
+    for scenario in scenarios() {
+        let json = serde::json::to_string(&scenario);
+        let back: Scenario = serde::json::from_str(&json).expect("scenario deserializes");
+        assert_eq!(back, scenario, "via {json}");
+        assert_eq!(
+            back.fingerprint(),
+            scenario.fingerprint(),
+            "fingerprints must survive the round trip"
+        );
+    }
+}
+
+#[test]
+fn deserialized_scenarios_replay_identically() {
+    // A scenario shipped through its serialized form (e.g. to a remote worker) must produce
+    // exactly the outcomes of the original.
+    let engine = SessionEngine::new(2024);
+    for scenario in scenarios() {
+        let json = serde::json::to_string(&scenario);
+        let shipped: Scenario = serde::json::from_str(&json).unwrap();
+        let original = engine.run(&scenario).unwrap();
+        let replayed = engine.run(&shipped).unwrap();
+        assert_eq!(original, replayed, "scenario `{}`", scenario.label);
+    }
+}
+
+#[test]
+fn run_batch_replays_bit_for_bit_under_a_fixed_master_seed() {
+    let batch = scenarios();
+    let trials = 3;
+    let first = SessionEngine::new(424242)
+        .run_batch(&batch, trials)
+        .unwrap();
+    let second = SessionEngine::new(424242)
+        .run_batch(&batch, trials)
+        .unwrap();
+    assert_eq!(
+        first, second,
+        "identical master seeds must replay identically"
+    );
+    // Bit-for-bit extends to the serialized form.
+    assert_eq!(
+        serde::json::to_string(&first),
+        serde::json::to_string(&second)
+    );
+    // A different master seed gives a genuinely different execution.
+    let third = SessionEngine::new(424243)
+        .run_batch(&batch, trials)
+        .unwrap();
+    assert_ne!(first, third);
+}
+
+#[test]
+fn run_batch_results_do_not_depend_on_batch_shape() {
+    let batch = scenarios();
+    let engine = SessionEngine::new(9000);
+    let full = engine.run_batch(&batch, 2).unwrap();
+    // Reversed order: summaries follow their scenarios.
+    let reversed_batch: Vec<Scenario> = batch.iter().rev().cloned().collect();
+    let reversed = engine.run_batch(&reversed_batch, 2).unwrap();
+    for (summary, expected) in reversed.iter().zip(full.iter().rev()) {
+        assert_eq!(summary, expected);
+    }
+    // Single-scenario slices: identical to their position in the full batch.
+    for (scenario, expected) in batch.iter().zip(&full) {
+        let alone = engine.run_trials(scenario, 2).unwrap();
+        assert_eq!(&alone, expected);
+    }
+}
+
+#[test]
+fn trial_summaries_serde_round_trip() {
+    let summaries = SessionEngine::new(5)
+        .run_batch(&scenarios()[..2], 2)
+        .unwrap();
+    for summary in summaries {
+        let json = serde::json::to_string(&summary);
+        let back: TrialSummary = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, summary, "via {json}");
+    }
+}

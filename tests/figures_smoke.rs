@@ -55,7 +55,11 @@ fn fig3_shape_monotone_decay_and_sixty_percent_crossing() {
     let etas = [10usize, 200, 400, 700];
     let points = bench::fig3_experiment(&DeviceModel::ibm_brisbane_like(), &etas, 384, 202);
     assert_eq!(points.len(), 4);
-    assert!(points[0].accuracy > 0.9, "η=10 accuracy: {}", points[0].accuracy);
+    assert!(
+        points[0].accuracy > 0.9,
+        "η=10 accuracy: {}",
+        points[0].accuracy
+    );
     assert!(
         points[3].accuracy < points[0].accuracy - 0.2,
         "η=700 must be far below η=10: {points:?}"
@@ -86,7 +90,8 @@ fn impersonation_detection_curve_shape() {
 
 #[test]
 fn channel_attack_rows_shape() {
-    let (attacked, honest) = bench::channel_attack_experiment(bench::ChannelAttackKind::ManInTheMiddle, 4, 404);
+    let (attacked, honest) =
+        bench::channel_attack_experiment(bench::ChannelAttackKind::ManInTheMiddle, 4, 404);
     assert_eq!(attacked.delivered, 0);
     assert_eq!(honest.delivered, 4);
     assert!(attacked.detection_rate > 0.99);
@@ -104,6 +109,9 @@ fn chsh_estimation_spread_shrinks_with_more_pairs() {
     assert_eq!(points.len(), 2);
     let small = &points[0];
     let large = &points[1];
-    assert!(small.std_dev > large.std_dev, "more check pairs must tighten the estimate: {points:?}");
+    assert!(
+        small.std_dev > large.std_dev,
+        "more check pairs must tighten the estimate: {points:?}"
+    );
     assert!((large.mean_chsh - 2.0 * std::f64::consts::SQRT_2).abs() < 0.2);
 }
