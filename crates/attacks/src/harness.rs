@@ -1,14 +1,21 @@
-//! Legacy attack harness, now a thin compatibility layer over
-//! [`protocol::engine::SessionEngine`].
+//! Attack harness: a thin layer over [`protocol::engine::SessionEngine`].
 //!
-//! New code should build a [`protocol::engine::Scenario`] with the appropriate
+//! [`run_adversary_trials`] is the current entry point — it fans trials
+//! across worker threads under a caller-chosen [`Parallelism`] policy and
+//! reports both the
+//! [`AttackSummary`] and the executor's utilisation. New code can equally
+//! build a [`protocol::engine::Scenario`] with the appropriate
 //! [`protocol::engine::Adversary`] and call
 //! [`protocol::engine::SessionEngine::run_trials`] directly; the engine's
 //! [`protocol::engine::TrialSummary`] supersedes [`AttackSummary`] and adds
-//! deterministic, batch-stable replay.
+//! deterministic, batch-stable replay. The deprecated [`run_attack_trials`]
+//! remains only for callers that still thread their own RNG.
 
 use protocol::config::SessionConfig;
-use protocol::engine::{SessionEngine, TrialSummary, TrialSummaryBuilder};
+use protocol::engine::{
+    Adversary, ExecutorStats, Parallelism, Scenario, SessionEngine, TrialSummary,
+    TrialSummaryBuilder,
+};
 use protocol::error::ProtocolError;
 use protocol::identity::IdentityPair;
 use protocol::message::SecretMessage;
@@ -96,19 +103,51 @@ impl fmt::Display for AttackSummary {
     }
 }
 
+/// Runs `trials` sessions of one adversary through the parallel engine and reports the legacy
+/// [`AttackSummary`] shape plus the [`ExecutorStats`] of the fan-out — the engine-native
+/// replacement for [`run_attack_trials`].
+///
+/// Trials are distributed across worker threads according to `parallelism`; the summary is
+/// bit-identical under every policy because each trial draws from its own RNG stream derived
+/// from `(master_seed, scenario fingerprint, trial index)`.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the underlying sessions.
+pub fn run_adversary_trials(
+    config: &SessionConfig,
+    identities: &IdentityPair,
+    adversary: Adversary,
+    trials: usize,
+    master_seed: u64,
+    parallelism: Parallelism,
+) -> Result<(AttackSummary, ExecutorStats), ProtocolError> {
+    let scenario = Scenario::new(config.clone(), identities.clone())
+        .with_label("attack-trials")
+        .with_adversary(adversary);
+    let (summary, stats) = SessionEngine::new(master_seed)
+        .with_parallelism(parallelism)
+        .run_trials_with_stats(&scenario, trials)?;
+    Ok((AttackSummary::from(summary), stats))
+}
+
 /// Runs `trials` full-protocol sessions, each against a fresh attack instance produced by
 /// `make_attack`, and aggregates the outcomes.
 ///
 /// A fresh attack per session keeps per-session state (captured bits, counters) independent,
 /// matching how an adversary would attack separate protocol runs.
 ///
+/// This shim threads the caller's RNG through every session, which pins it to one thread; it
+/// cannot use the engine's parallel fan-out. Migrate to [`run_adversary_trials`] (or the
+/// engine directly) for multi-core execution.
+///
 /// # Errors
 ///
 /// Propagates configuration errors from the underlying sessions.
 #[deprecated(
     since = "0.2.0",
-    note = "use `protocol::engine::SessionEngine::run_trials` with a `Scenario` \
-            (wrap bespoke taps in `Adversary::custom`)"
+    note = "use `run_adversary_trials` or `protocol::engine::SessionEngine::run_trials` with \
+            a `Scenario` (wrap bespoke taps in `Adversary::custom`)"
 )]
 pub fn run_attack_trials<R, T, F>(
     config: &SessionConfig,
@@ -238,6 +277,36 @@ mod tests {
             .unwrap();
         assert_eq!(summary.delivered, 0, "{summary}");
         assert!(summary.detection_rate() > 0.99);
+    }
+
+    #[test]
+    fn run_adversary_trials_is_parallel_and_deterministic() {
+        let identities = IdentityPair::generate(3, &mut rng(9));
+        let adversary = Adversary::InterceptResend(InterceptBasis::Computational);
+        let (serial, serial_stats) = run_adversary_trials(
+            &config(),
+            &identities,
+            adversary.clone(),
+            6,
+            99,
+            Parallelism::Serial,
+        )
+        .unwrap();
+        let (threaded, threaded_stats) = run_adversary_trials(
+            &config(),
+            &identities,
+            adversary,
+            6,
+            99,
+            Parallelism::Threads(3),
+        )
+        .unwrap();
+        assert_eq!(serial, threaded, "parallelism must not change results");
+        assert_eq!(serial.delivered, 0);
+        assert_eq!(serial.attack, "intercept-and-resend");
+        assert_eq!(serial_stats.workers, 1);
+        assert!(threaded_stats.workers <= 3);
+        assert_eq!(threaded_stats.tasks_per_worker.iter().sum::<usize>(), 6);
     }
 
     #[test]

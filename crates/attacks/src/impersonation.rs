@@ -8,7 +8,7 @@
 
 use protocol::auth::impersonation_detection_probability;
 use protocol::config::SessionConfig;
-use protocol::engine::{Adversary, Scenario, SessionEngine};
+use protocol::engine::{Adversary, Parallelism, Scenario, SessionEngine};
 use protocol::error::ProtocolError;
 use protocol::identity::IdentityPair;
 use protocol::session::Impersonation;
@@ -64,9 +64,20 @@ impl fmt::Display for ImpersonationSummary {
 /// Alice catches her at the Bob-authentication step; when Eve impersonates Alice, the real Bob
 /// catches her at the Alice-authentication step.
 ///
+/// Trials fan out across all available cores ([`Parallelism::Auto`]) unless the
+/// [`Parallelism::ENV_VAR`] environment variable selects another policy; the engine's
+/// per-trial RNG streams keep the summary bit-identical under every policy.
+///
 /// # Errors
 ///
 /// Propagates configuration errors from the underlying sessions.
+///
+/// # Panics
+///
+/// Panics when `target` is [`Impersonation::None`], or when the
+/// [`Parallelism::ENV_VAR`] environment variable is set to an unparsable
+/// value (a misconfigured override fails loudly rather than silently running
+/// serial).
 pub fn run_impersonation_trials<R: Rng>(
     config: &SessionConfig,
     identities: &IdentityPair,
@@ -85,7 +96,9 @@ pub fn run_impersonation_trials<R: Rng>(
     let scenario = Scenario::new(config.clone(), identities.clone())
         .with_label("impersonation")
         .with_adversary(adversary);
-    let summary = SessionEngine::new(rng.next_u64()).run_trials(&scenario, trials)?;
+    let summary = SessionEngine::new(rng.next_u64())
+        .with_parallelism(Parallelism::from_env().unwrap_or(Parallelism::Auto))
+        .run_trials(&scenario, trials)?;
     let detected = summary.aborted_at(detection_stage);
     let l = identities.qubit_len();
     Ok(ImpersonationSummary {

@@ -187,7 +187,10 @@ mod tests {
             .build()
             .unwrap();
         let scenario = Scenario::new(config, identities.clone());
+        // Parallel on purpose: the audit must see identical transcripts no
+        // matter how the sessions were scheduled.
         SessionEngine::new(seed)
+            .with_parallelism(protocol::engine::Parallelism::Auto)
             .run_outcomes(&scenario, count)
             .expect("session runs")
             .into_iter()

@@ -1,20 +1,31 @@
-//! Criterion bench establishing the batching baseline: per-call legacy sessions versus
-//! `SessionEngine::run_batch` over the same workload. Future perf PRs (threaded fan-out,
-//! shared-state reuse) will be measured against these numbers.
+//! Criterion bench for the engine's batch execution: the legacy per-call shape versus
+//! `SessionEngine::run_batch`, and — since the parallel executor landed — serial versus
+//! `Threads(2)`, `Threads(4)` and `Threads(8)` fan-out over the standard scenario mix, so the
+//! speedup from multi-threaded trial execution is measured rather than asserted. Every mode
+//! produces bit-for-bit identical summaries (asserted once before timing); only wall time may
+//! differ.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use protocol::engine::{Scenario, SessionEngine};
+use protocol::engine::{Adversary, Parallelism, Scenario, SessionEngine};
 use protocol::identity::IdentityPair;
+use qchannel::taps::InterceptBasis;
 use rand::SeedableRng;
 use std::hint::black_box;
 
+/// The standard scenario mix: honest sessions plus one early-aborting attack, so the
+/// scheduler sees realistically uneven per-trial costs.
 fn scenarios(count: usize) -> Vec<Scenario> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let config = bench::attack_session_config();
     (0..count)
         .map(|i| {
-            Scenario::new(config.clone(), IdentityPair::generate(3, &mut rng))
-                .with_label(format!("bench-{i}"))
+            let scenario = Scenario::new(config.clone(), IdentityPair::generate(3, &mut rng))
+                .with_label(format!("bench-{i}"));
+            if i % 4 == 3 {
+                scenario.with_adversary(Adversary::InterceptResend(InterceptBasis::Computational))
+            } else {
+                scenario
+            }
         })
         .collect()
 }
@@ -60,5 +71,51 @@ fn bench_engine_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_batch);
+/// Serial vs threaded throughput over the standard scenario mix. The interesting number is
+/// trials/second by mode: with ≥ 4 cores, `threads:4` should clear 1.5× serial.
+fn bench_parallel_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_parallelism");
+    group.sample_size(10);
+    let batch = scenarios(4);
+    let trials = 4;
+
+    // Guard the claim the bench exists to quantify: identical results in every mode.
+    let reference = SessionEngine::new(7).run_batch(&batch, trials).unwrap();
+    for mode in [
+        Parallelism::Threads(2),
+        Parallelism::Threads(4),
+        Parallelism::Threads(8),
+    ] {
+        let threaded = SessionEngine::new(7)
+            .with_parallelism(mode)
+            .run_batch(&batch, trials)
+            .unwrap();
+        assert_eq!(threaded, reference, "{mode} diverged from serial");
+    }
+
+    for mode in [
+        Parallelism::Serial,
+        Parallelism::Threads(2),
+        Parallelism::Threads(4),
+        Parallelism::Threads(8),
+    ] {
+        group.bench_with_input(BenchmarkId::new("run_batch", mode), &batch, |b, batch| {
+            let engine = SessionEngine::new(7).with_parallelism(mode);
+            b.iter(|| black_box(engine.run_batch(batch, trials).unwrap()))
+        });
+    }
+    // One stats-carrying run per mode so `cargo bench` output shows the fan-out shape
+    // (per-worker trial counts, wall time) next to the timings.
+    for mode in [Parallelism::Serial, Parallelism::Threads(4)] {
+        let engine = SessionEngine::new(7).with_parallelism(mode);
+        let (_, stats) = engine.run_batch_with_stats(&batch, trials).unwrap();
+        println!(
+            "engine_parallelism/{mode}: {stats} ({:.1} trials/s)",
+            stats.throughput()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_batch, bench_parallel_modes);
 criterion_main!(benches);

@@ -28,7 +28,8 @@ use noise::{DeviceModel, NoisyExecutor};
 use protocol::config::SessionConfig;
 use protocol::descriptor::ProtocolDescriptor;
 use protocol::di_check::{run_di_check, DiCheckRound};
-use protocol::engine::{Adversary, Scenario, SessionEngine, TrialSummary};
+use protocol::engine::parallel::scatter;
+use protocol::engine::{Adversary, Parallelism, Scenario, SessionEngine, TrialSummary};
 use protocol::identity::IdentityPair;
 use protocol::session::Impersonation;
 use qchannel::epr::EprPair;
@@ -41,6 +42,32 @@ use rand::SeedableRng;
 
 /// The four 2-bit messages of Fig. 2 in panel order.
 pub const FIG2_MESSAGES: [&str; 4] = ["00", "01", "10", "11"];
+
+/// The execution policy every experiment in this crate runs under: the
+/// [`Parallelism::ENV_VAR`] environment variable when set (`serial`, `auto`,
+/// `threads:N`), all available cores otherwise.
+///
+/// Every experiment is deterministic *per point* — engine trials by the
+/// per-trial RNG stream contract, sweep points by [`derive_seed`] — so for a
+/// given seed the policy changes wall time only, never a number in a table.
+///
+/// Note that introducing the per-point streams was itself a one-time break:
+/// `fig2_experiment`, `fig3_experiment` and `chsh_baseline_experiment`
+/// previously threaded one sequential RNG through the whole sweep, so their
+/// outputs for a given seed differ from pre-parallel releases (the shapes the
+/// paper cares about are unchanged and remain covered by tests).
+pub fn engine_parallelism() -> Parallelism {
+    Parallelism::from_env().unwrap_or(Parallelism::Auto)
+}
+
+/// Derives an independent RNG seed for sweep point `index` of an experiment
+/// seeded with `seed` (one [`rand::splitmix64`] step — the same finalizer the
+/// engine derives trial streams with), so sweep points can execute on any
+/// worker in any order and still reproduce bit-for-bit.
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut state = seed ^ index.wrapping_mul(0xa24b_aed4_963e_e407);
+    rand::splitmix64(&mut state)
+}
 
 /// Builds the single-EPR-pair message-transfer circuit the paper runs on `ibm_brisbane`:
 /// prepare `|Φ+⟩`, apply the encoding Pauli for `message` on Alice's qubit, push it through
@@ -83,7 +110,8 @@ pub fn decode_readout_counts(raw: &Counts) -> Counts {
 }
 
 /// Runs the Fig. 2 experiment: for each of the four messages, transmit it over a channel of
-/// `eta` identity gates on the given device and histogram Bob's decoded outcomes.
+/// `eta` identity gates on the given device and histogram Bob's decoded outcomes. The four
+/// panels run in parallel (see [`engine_parallelism`]), each on its own derived seed.
 pub fn fig2_experiment(
     device: &DeviceModel,
     eta: usize,
@@ -91,22 +119,22 @@ pub fn fig2_experiment(
     seed: u64,
 ) -> Vec<HistogramRow> {
     let executor = NoisyExecutor::new(device.clone());
-    let mut rng = StdRng::seed_from_u64(seed);
-    FIG2_MESSAGES
-        .iter()
-        .map(|message| {
-            let circuit = message_transfer_circuit(message, eta);
-            let raw = executor
-                .sample(&circuit, shots, &mut rng)
-                .expect("fig2 circuit is well-formed");
-            let decoded = decode_readout_counts(&raw);
-            counts_to_row(message, &decoded)
-        })
-        .collect()
+    let (rows, _stats) = scatter(engine_parallelism(), FIG2_MESSAGES.len(), |index| {
+        let message = FIG2_MESSAGES[index];
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, index as u64));
+        let circuit = message_transfer_circuit(message, eta);
+        let raw = executor
+            .sample(&circuit, shots, &mut rng)
+            .expect("fig2 circuit is well-formed");
+        let decoded = decode_readout_counts(&raw);
+        counts_to_row(message, &decoded)
+    });
+    rows
 }
 
 /// Runs the Fig. 3 experiment: sweep the channel length `eta` over `eta_values` and measure
-/// the decoding accuracy (averaged over the four messages) at each point.
+/// the decoding accuracy (averaged over the four messages) at each point. Sweep points run in
+/// parallel (see [`engine_parallelism`]), each on its own derived seed.
 pub fn fig3_experiment(
     device: &DeviceModel,
     eta_values: &[usize],
@@ -114,33 +142,32 @@ pub fn fig3_experiment(
     seed: u64,
 ) -> Vec<AccuracyPoint> {
     let executor = NoisyExecutor::new(device.clone());
-    let mut rng = StdRng::seed_from_u64(seed);
-    eta_values
-        .iter()
-        .map(|&eta| {
-            let mut correct = 0u64;
-            let mut total = 0u64;
-            for message in FIG2_MESSAGES {
-                let circuit = message_transfer_circuit(message, eta);
-                let raw = executor
-                    .sample(&circuit, shots_per_message, &mut rng)
-                    .expect("fig3 circuit is well-formed");
-                let decoded = decode_readout_counts(&raw);
-                correct += decoded.get(message);
-                total += decoded.total();
-            }
-            AccuracyPoint {
-                eta,
-                duration_us: eta as f64 * device.identity_gate_time_ns() / 1000.0,
-                accuracy: if total == 0 {
-                    0.0
-                } else {
-                    correct as f64 / total as f64
-                },
-                shots: total,
-            }
-        })
-        .collect()
+    let (points, _stats) = scatter(engine_parallelism(), eta_values.len(), |index| {
+        let eta = eta_values[index];
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, index as u64));
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        for message in FIG2_MESSAGES {
+            let circuit = message_transfer_circuit(message, eta);
+            let raw = executor
+                .sample(&circuit, shots_per_message, &mut rng)
+                .expect("fig3 circuit is well-formed");
+            let decoded = decode_readout_counts(&raw);
+            correct += decoded.get(message);
+            total += decoded.total();
+        }
+        AccuracyPoint {
+            eta,
+            duration_us: eta as f64 * device.identity_gate_time_ns() / 1000.0,
+            accuracy: if total == 0 {
+                0.0
+            } else {
+                correct as f64 / total as f64
+            },
+            shots: total,
+        }
+    });
+    points
 }
 
 /// The η values of the paper's Fig. 3 sweep: 10 to 700 in steps of 10 (0.6 µs to 42 µs).
@@ -175,7 +202,9 @@ pub fn attack_session_config() -> SessionConfig {
 }
 
 /// Runs the impersonation experiment for each identity length in `l_values`, measuring the
-/// detection rate against the analytic `1 − (1/4)^l`.
+/// detection rate against the analytic `1 − (1/4)^l`. The per-`l` trial loops fan out across
+/// cores inside [`run_impersonation_trials`]; the sweep itself stays sequential because each
+/// point consumes the shared RNG stream (keeping historic outputs bit-identical).
 pub fn impersonation_experiment(
     l_values: &[usize],
     target: Impersonation,
@@ -247,6 +276,7 @@ pub fn channel_attack_experiment(
         Scenario::new(config, identities).with_label("honest control"),
     ];
     let summaries = SessionEngine::new(seed)
+        .with_parallelism(engine_parallelism())
         .run_batch(&scenarios, trials)
         .expect("attack trials run");
     let mut rows = summaries.into_iter().map(summary_to_row);
@@ -279,6 +309,7 @@ pub fn leakage_experiment(sessions: usize, seed: u64) -> LeakageAudit {
     let scenario =
         Scenario::new(attack_session_config(), identities.clone()).with_label("leakage-audit");
     let transcripts: Vec<_> = SessionEngine::new(seed)
+        .with_parallelism(engine_parallelism())
         .run_outcomes(&scenario, sessions)
         .expect("honest session runs")
         .into_iter()
@@ -303,43 +334,46 @@ pub struct ChshPoint {
 
 /// Estimates how the CHSH statistic behaves as a function of the check-pair budget `d` and the
 /// pair noise level — the supporting experiment behind the choice of `d` ("several hundred to
-/// a few thousand pairs", paper Section II step 1).
+/// a few thousand pairs", paper Section II step 1). Grid points run in parallel (see
+/// [`engine_parallelism`]), each on its own derived seed.
 pub fn chsh_baseline_experiment(
     d_values: &[usize],
     depolarizing_levels: &[f64],
     repetitions: usize,
     seed: u64,
 ) -> Vec<ChshPoint> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut points = Vec::new();
-    for &p in depolarizing_levels {
-        for &d in d_values {
-            let mut estimates = Vec::with_capacity(repetitions);
-            for _ in 0..repetitions {
-                let mut pairs: Vec<EprPair> = (0..d)
-                    .map(|_| {
-                        let mut pair = EprPair::ideal();
-                        if p > 0.0 {
-                            noise::KrausChannel::depolarizing(p).apply(pair.density_mut(), &[0]);
-                        }
-                        pair
-                    })
-                    .collect();
-                let (report, _) = run_di_check(DiCheckRound::First, &mut pairs, 2.0, &mut rng);
-                if let Some(s) = report.chsh {
-                    estimates.push(s);
-                }
+    let grid: Vec<(f64, usize)> = depolarizing_levels
+        .iter()
+        .flat_map(|&p| d_values.iter().map(move |&d| (p, d)))
+        .collect();
+    let (points, _stats) = scatter(engine_parallelism(), grid.len(), |index| {
+        let (p, d) = grid[index];
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, index as u64));
+        let mut estimates = Vec::with_capacity(repetitions);
+        for _ in 0..repetitions {
+            let mut pairs: Vec<EprPair> = (0..d)
+                .map(|_| {
+                    let mut pair = EprPair::ideal();
+                    if p > 0.0 {
+                        noise::KrausChannel::depolarizing(p).apply(pair.density_mut(), &[0]);
+                    }
+                    pair
+                })
+                .collect();
+            let (report, _) = run_di_check(DiCheckRound::First, &mut pairs, 2.0, &mut rng);
+            if let Some(s) = report.chsh {
+                estimates.push(s);
             }
-            let mean_chsh = mean(&estimates).unwrap_or(0.0);
-            let std_dev = analysis::stats::population_std_dev(&estimates).unwrap_or(0.0);
-            points.push(ChshPoint {
-                check_pairs: d,
-                depolarizing: p,
-                mean_chsh,
-                std_dev,
-            });
         }
-    }
+        let mean_chsh = mean(&estimates).unwrap_or(0.0);
+        let std_dev = analysis::stats::population_std_dev(&estimates).unwrap_or(0.0);
+        ChshPoint {
+            check_pairs: d,
+            depolarizing: p,
+            mean_chsh,
+            std_dev,
+        }
+    });
     points
 }
 

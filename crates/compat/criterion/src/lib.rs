@@ -129,7 +129,20 @@ impl Bencher {
     }
 }
 
+/// True when the bench binary was invoked with `--test` (as `cargo bench --
+/// --test` does): each benchmark then runs exactly once, untimed, so CI can
+/// verify every bench still compiles and executes without paying for samples.
+fn test_mode() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    if test_mode() {
+        let mut smoke = Bencher::default();
+        f(&mut smoke);
+        println!("Testing {id}: ok");
+        return;
+    }
     // One warm-up run that is not timed.
     let mut warmup = Bencher::default();
     f(&mut warmup);

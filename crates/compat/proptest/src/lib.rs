@@ -198,7 +198,7 @@ pub mod collection {
     use super::{SizeRange, Strategy, TestRng};
     use rand::Rng;
 
-    /// Strategy for `Vec<T>` with element strategy `S` (see [`vec`]).
+    /// Strategy for `Vec<T>` with element strategy `S` (see [`vec()`]).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

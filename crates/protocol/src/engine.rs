@@ -14,9 +14,14 @@
 //! Every trial draws its randomness from a stream derived from
 //! `(master seed, scenario fingerprint, trial index)`, so results are
 //! bit-for-bit reproducible, independent of execution order, and independent
-//! of which other scenarios share the batch — the property that will let a
-//! future engine fan trials out across threads or machines without changing
-//! any result.
+//! of which other scenarios share the batch. The [`parallel`] module turns
+//! that property into wall-clock speed: configure the engine with a
+//! [`Parallelism`] policy (e.g.
+//! [`with_parallelism(Parallelism::Auto)`](SessionEngine::with_parallelism))
+//! and `run_outcomes` / `run_trials` / `run_batch` fan trials and scenarios
+//! across worker threads while returning exactly the serial results; the
+//! `*_with_stats` variants additionally report an [`ExecutorStats`] with
+//! per-worker trial counts and wall time.
 //!
 //! ```rust
 //! use protocol::engine::{Adversary, Scenario, SessionEngine};
@@ -39,6 +44,10 @@
 //! # }
 //! ```
 
+pub mod parallel;
+
+pub use parallel::{ExecutorStats, Parallelism};
+
 use crate::auth::{self, AuthReport};
 use crate::config::SessionConfig;
 use crate::di_check::{run_di_check, DiCheckReport, DiCheckRound};
@@ -60,6 +69,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
 // ------------------------------------------------------------------ backend --
@@ -649,22 +659,19 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 // ------------------------------------------------------------------- engine --
 
 /// Executes [`Scenario`]s on a [`Backend`] with deterministic per-trial RNG
 /// streams derived from a master seed.
+///
+/// The engine is `Send + Sync`; its [`Parallelism`] policy (default
+/// [`Parallelism::Serial`]) controls whether trial loops fan out across
+/// worker threads. Every policy yields bit-for-bit identical results.
 #[derive(Debug, Clone)]
 pub struct SessionEngine {
     master_seed: u64,
     backend: Arc<dyn Backend>,
+    parallelism: Parallelism,
 }
 
 impl Default for SessionEngine {
@@ -674,11 +681,13 @@ impl Default for SessionEngine {
 }
 
 impl SessionEngine {
-    /// Creates an engine on the default [`DensityMatrixBackend`].
+    /// Creates an engine on the default [`DensityMatrixBackend`], running
+    /// serially.
     pub fn new(master_seed: u64) -> Self {
         Self {
             master_seed,
             backend: Arc::new(DensityMatrixBackend),
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -687,6 +696,20 @@ impl SessionEngine {
     pub fn with_backend(mut self, backend: Arc<dyn Backend>) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Sets the execution policy for `run_outcomes` / `run_trials` /
+    /// `run_batch`. Results are identical under every policy; only wall time
+    /// changes.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The engine's execution policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The master seed every trial stream is derived from.
@@ -703,9 +726,9 @@ impl SessionEngine {
     /// `(master seed, scenario fingerprint, trial index)` only.
     fn trial_rng(&self, fingerprint: u64, trial: u64) -> StdRng {
         let mut state = self.master_seed ^ fingerprint.wrapping_mul(0xa24b_aed4_963e_e407);
-        let _ = splitmix64(&mut state);
+        let _ = rand::splitmix64(&mut state);
         state ^= trial.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        StdRng::seed_from_u64(splitmix64(&mut state))
+        StdRng::seed_from_u64(rand::splitmix64(&mut state))
     }
 
     /// Runs trial 0 of the scenario.
@@ -762,7 +785,8 @@ impl SessionEngine {
     /// Runs trials `0..trials` of the scenario and returns every outcome —
     /// the per-outcome sibling of [`run_trials`](Self::run_trials), for
     /// callers that need more than the aggregate (e.g. transcripts). The
-    /// scenario is fingerprinted once for the whole loop.
+    /// scenario is fingerprinted once for the whole loop, and trials fan out
+    /// across workers under the engine's [`Parallelism`] policy.
     ///
     /// # Errors
     ///
@@ -772,13 +796,50 @@ impl SessionEngine {
         scenario: &Scenario,
         trials: usize,
     ) -> Result<Vec<SessionOutcome>, ProtocolError> {
+        self.run_outcomes_with_stats(scenario, trials)
+            .map(|(outcomes, _)| outcomes)
+    }
+
+    /// [`run_outcomes`](Self::run_outcomes) plus the [`ExecutorStats`] of the
+    /// fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first configuration error encountered.
+    pub fn run_outcomes_with_stats(
+        &self,
+        scenario: &Scenario,
+        trials: usize,
+    ) -> Result<(Vec<SessionOutcome>, ExecutorStats), ProtocolError> {
         let fingerprint = scenario.fingerprint();
-        (0..trials)
-            .map(|trial| self.run_fingerprinted(scenario, fingerprint, trial as u64))
-            .collect()
+        let mut outcomes = Vec::with_capacity(trials);
+        let mut first_error: Option<ProtocolError> = None;
+        let stats = parallel::scatter_visit(
+            self.parallelism,
+            trials,
+            |trial| self.run_fingerprinted(scenario, fingerprint, trial as u64),
+            |_, outcome| match outcome {
+                Ok(outcome) => {
+                    outcomes.push(outcome);
+                    ControlFlow::Continue(())
+                }
+                Err(error) => {
+                    // Fail fast: the first in-order error cancels the rest.
+                    first_error.get_or_insert(error);
+                    ControlFlow::Break(())
+                }
+            },
+        );
+        match first_error {
+            Some(error) => Err(error),
+            None => Ok((outcomes, stats)),
+        }
     }
 
     /// Runs `trials` sessions of the scenario and aggregates the outcomes.
+    /// Trials fan out across workers under the engine's [`Parallelism`]
+    /// policy; outcomes are folded in trial order, so the summary is
+    /// bit-identical to a serial run.
     ///
     /// # Errors
     ///
@@ -788,19 +849,36 @@ impl SessionEngine {
         scenario: &Scenario,
         trials: usize,
     ) -> Result<TrialSummary, ProtocolError> {
-        let fingerprint = scenario.fingerprint();
-        let mut builder =
-            TrialSummaryBuilder::new(scenario.label.clone(), scenario.adversary.name());
-        for trial in 0..trials {
-            let outcome = self.run_fingerprinted(scenario, fingerprint, trial as u64)?;
-            builder.record(&outcome);
-        }
-        Ok(builder.finish())
+        self.run_trials_with_stats(scenario, trials)
+            .map(|(summary, _)| summary)
+    }
+
+    /// [`run_trials`](Self::run_trials) plus the [`ExecutorStats`] of the
+    /// fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first configuration error encountered.
+    pub fn run_trials_with_stats(
+        &self,
+        scenario: &Scenario,
+        trials: usize,
+    ) -> Result<(TrialSummary, ExecutorStats), ProtocolError> {
+        // A single-scenario run is the one-element batch: same task order,
+        // same fold, same error semantics.
+        let (mut summaries, stats) =
+            self.run_batch_with_stats(std::slice::from_ref(scenario), trials)?;
+        let summary = summaries.pop().expect("one scenario yields one summary");
+        Ok((summary, stats))
     }
 
     /// Runs `trials` sessions of every scenario and returns one summary per
     /// scenario, in order. Summaries are identical to running each scenario
-    /// alone — results do not depend on batch composition or order.
+    /// alone — results do not depend on batch composition, order, or the
+    /// engine's [`Parallelism`] policy. Each scenario is fingerprinted once
+    /// for the whole batch, and the flattened `(scenario, trial)` task set
+    /// fans out across workers, so many-scenario/few-trial sweeps parallelize
+    /// as well as single-scenario/many-trial runs.
     ///
     /// # Errors
     ///
@@ -810,10 +888,61 @@ impl SessionEngine {
         scenarios: &[Scenario],
         trials: usize,
     ) -> Result<Vec<TrialSummary>, ProtocolError> {
-        scenarios
+        self.run_batch_with_stats(scenarios, trials)
+            .map(|(summaries, _)| summaries)
+    }
+
+    /// [`run_batch`](Self::run_batch) plus the [`ExecutorStats`] of the
+    /// fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first configuration error encountered.
+    pub fn run_batch_with_stats(
+        &self,
+        scenarios: &[Scenario],
+        trials: usize,
+    ) -> Result<(Vec<TrialSummary>, ExecutorStats), ProtocolError> {
+        let fingerprints: Vec<u64> = scenarios.iter().map(Scenario::fingerprint).collect();
+        let mut builders: Vec<TrialSummaryBuilder> = scenarios
             .iter()
-            .map(|scenario| self.run_trials(scenario, trials))
-            .collect()
+            .map(|s| TrialSummaryBuilder::new(s.label.clone(), s.adversary.name()))
+            .collect();
+        let mut first_error: Option<ProtocolError> = None;
+        // Scenario-major task order keeps the fold order identical to the
+        // nested serial loops; `trials == 0` produces no tasks, so the index
+        // arithmetic below never divides by zero.
+        let stats = parallel::scatter_visit(
+            self.parallelism,
+            scenarios.len() * trials,
+            |index| {
+                let scenario = index / trials;
+                self.run_fingerprinted(
+                    &scenarios[scenario],
+                    fingerprints[scenario],
+                    (index % trials) as u64,
+                )
+            },
+            |index, outcome| match outcome {
+                Ok(outcome) => {
+                    builders[index / trials].record(&outcome);
+                    ControlFlow::Continue(())
+                }
+                Err(error) => {
+                    // Fail fast: the first in-order error cancels the rest.
+                    first_error.get_or_insert(error);
+                    ControlFlow::Break(())
+                }
+            },
+        );
+        match first_error {
+            Some(error) => Err(error),
+            None => {
+                let mut summaries = Vec::with_capacity(builders.len());
+                summaries.extend(builders.into_iter().map(TrialSummaryBuilder::finish));
+                Ok((summaries, stats))
+            }
+        }
     }
 
     /// Runs one session with explicitly supplied parts and caller-controlled
@@ -1550,6 +1679,121 @@ mod tests {
         let custom = Adversary::custom("noop", || Box::new(NoTap));
         let json = serde::json::to_string(&custom);
         assert!(serde::json::from_str::<Adversary>(&json).is_err());
+    }
+
+    #[test]
+    fn every_parallelism_mode_replays_the_serial_results() {
+        let scenarios = [
+            small_scenario(501).with_label("honest"),
+            small_scenario(502)
+                .with_label("intercept")
+                .with_adversary(Adversary::InterceptResend(InterceptBasis::Computational)),
+            small_scenario(503)
+                .with_label("imp-bob")
+                .with_adversary(Adversary::ImpersonateBob),
+        ];
+        let serial_engine = SessionEngine::new(2025);
+        let serial_outcomes = serial_engine.run_outcomes(&scenarios[0], 4).unwrap();
+        let serial_batch = serial_engine.run_batch(&scenarios, 3).unwrap();
+        for parallelism in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(8),
+            Parallelism::Auto,
+        ] {
+            let engine = SessionEngine::new(2025).with_parallelism(parallelism);
+            assert_eq!(engine.parallelism(), parallelism);
+            assert_eq!(
+                engine.run_outcomes(&scenarios[0], 4).unwrap(),
+                serial_outcomes,
+                "{parallelism}"
+            );
+            assert_eq!(
+                engine.run_batch(&scenarios, 3).unwrap(),
+                serial_batch,
+                "{parallelism}"
+            );
+        }
+    }
+
+    #[test]
+    fn executor_stats_account_for_every_trial() {
+        let scenario = small_scenario(77);
+        let engine = SessionEngine::new(77).with_parallelism(Parallelism::Threads(3));
+        let (summary, stats) = engine.run_trials_with_stats(&scenario, 7).unwrap();
+        assert_eq!(summary.trials, 7);
+        assert_eq!(stats.tasks, 7);
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 7);
+        assert!(stats.workers <= 3);
+        assert!(stats.wall_time > std::time::Duration::ZERO);
+
+        let (summaries, batch_stats) = engine
+            .run_batch_with_stats(&[scenario.clone(), scenario.clone()], 2)
+            .unwrap();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(batch_stats.tasks, 4, "tasks = scenarios × trials");
+    }
+
+    #[test]
+    fn parallel_error_reporting_matches_serial() {
+        let scenario =
+            small_scenario(31).with_adversary(Adversary::EntangleMeasure { strength: 7.0 });
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let engine = SessionEngine::new(31).with_parallelism(parallelism);
+            assert!(matches!(
+                engine.run_trials(&scenario, 3),
+                Err(ProtocolError::InvalidConfig(_))
+            ));
+            assert!(matches!(
+                engine.run_batch(std::slice::from_ref(&scenario), 2),
+                Err(ProtocolError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn zero_trials_and_empty_batches_work_under_parallelism() {
+        let scenario = small_scenario(8);
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(8)] {
+            let engine = SessionEngine::new(8).with_parallelism(parallelism);
+            let summary = engine.run_trials(&scenario, 0).unwrap();
+            assert_eq!(summary.trials, 0);
+            assert_eq!(summary.detection_rate(), 0.0);
+            assert_eq!(summary.delivery_rate(), 0.0);
+            assert!(engine.run_batch(&[], 5).unwrap().is_empty());
+            let batch = engine
+                .run_batch(std::slice::from_ref(&scenario), 0)
+                .unwrap();
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0].trials, 0);
+        }
+    }
+
+    #[test]
+    fn custom_adversaries_run_in_parallel() {
+        // A stateful tap: per-session state must stay per-worker because the
+        // factory builds a fresh tap inside the worker that runs the trial.
+        struct FlipCounter {
+            flips: usize,
+        }
+        impl ChannelTap for FlipCounter {
+            fn on_transmit(&mut self, pair: &mut EprPair, _rng: &mut dyn RngCore) {
+                self.flips += 1;
+                noise::KrausChannel::phase_flip(0.5).apply(pair.density_mut(), &[0]);
+            }
+            fn name(&self) -> &str {
+                "flip-counter"
+            }
+        }
+        let scenario = small_scenario(64).with_adversary(Adversary::custom("flip-counter", || {
+            Box::new(FlipCounter { flips: 0 })
+        }));
+        let serial = SessionEngine::new(64).run_trials(&scenario, 4).unwrap();
+        let threaded = SessionEngine::new(64)
+            .with_parallelism(Parallelism::Threads(4))
+            .run_trials(&scenario, 4)
+            .unwrap();
+        assert_eq!(serial, threaded);
+        assert_eq!(serial.delivered, 0, "dephasing everything must abort");
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! [`engine::Adversary`] covering every eavesdropper of Section III), then hand it to an
 //! [`engine::SessionEngine`], which owns the simulation [`engine::Backend`] and derives a
 //! deterministic RNG stream per trial from its master seed — single runs, trial batches and
-//! multi-scenario sweeps all reproduce bit-for-bit from one seed.
+//! multi-scenario sweeps all reproduce bit-for-bit from one seed. Because each trial's RNG
+//! stream is independent of execution order, the engine also fans trials out across worker
+//! threads ([`engine::parallel`]): pick an [`engine::Parallelism`] policy (`Serial`,
+//! `Threads(n)`, or `Auto`) via [`engine::SessionEngine::with_parallelism`] and every mode
+//! returns bit-for-bit identical results, only faster.
 //!
 //! [`baselines`] adds a runnable DI-QSDC without authentication (the Zhou et al. 2020 shape)
 //! and [`descriptor`] carries the feature/cost rows of the paper's Table I. The legacy free
@@ -73,7 +77,10 @@ pub mod message;
 pub mod session;
 
 pub use config::{SessionConfig, SessionConfigBuilder};
-pub use engine::{Adversary, Backend, DensityMatrixBackend, Scenario, SessionEngine, TrialSummary};
+pub use engine::{
+    Adversary, Backend, DensityMatrixBackend, ExecutorStats, Parallelism, Scenario, SessionEngine,
+    TrialSummary,
+};
 pub use error::ProtocolError;
 pub use identity::{IdentityPair, IdentityString};
 pub use message::{PaddedMessage, SecretMessage};
@@ -89,7 +96,8 @@ pub mod prelude {
     pub use crate::descriptor::{DecodingMeasurement, ProtocolDescriptor, ResourceType};
     pub use crate::di_check::{DiCheckReport, DiCheckRound};
     pub use crate::engine::{
-        Adversary, Backend, DensityMatrixBackend, Scenario, SessionEngine, TrialSummary,
+        Adversary, Backend, DensityMatrixBackend, ExecutorStats, Parallelism, Scenario,
+        SessionEngine, TrialSummary,
     };
     pub use crate::error::ProtocolError;
     pub use crate::identity::{IdentityPair, IdentityString};

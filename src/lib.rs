@@ -18,7 +18,10 @@
 //! Execution is declarative: describe a [`prelude::Scenario`] (configuration, identities,
 //! optional fixed message, adversary), then hand it to a [`prelude::SessionEngine`], which
 //! derives a deterministic RNG stream per trial from its master seed — every run, trial
-//! batch, and multi-scenario sweep replays bit for bit.
+//! batch, and multi-scenario sweep replays bit for bit. Because each trial's stream is
+//! independent of execution order, the engine can fan trials out across worker threads
+//! ([`prelude::Parallelism`]) without changing a single bit of any result — serial and
+//! threaded runs are interchangeable, so pick threads for speed and serial for debugging.
 //!
 //! ```rust
 //! use ua_di_qsdc::prelude::*;
@@ -42,9 +45,15 @@
 //!     .clone()
 //!     .with_label("impersonation")
 //!     .with_adversary(Adversary::ImpersonateBob);
-//! let summaries = engine.run_batch(&[honest, attacked], 3)?;
+//! let summaries = engine.run_batch(&[honest.clone(), attacked.clone()], 3)?;
 //! assert_eq!(summaries[0].delivered, 3);
 //! assert!(summaries[1].detection_rate() > 0.9);
+//!
+//! // The same batch across all cores: bit-identical summaries, plus executor stats.
+//! let threaded = engine.with_parallelism(Parallelism::Auto);
+//! let (parallel_summaries, stats) = threaded.run_batch_with_stats(&[honest, attacked], 3)?;
+//! assert_eq!(parallel_summaries, summaries);
+//! assert_eq!(stats.tasks, 6); // 2 scenarios × 3 trials
 //! # Ok(())
 //! # }
 //! ```

@@ -1,8 +1,18 @@
 //! Replay guarantees of the execution engine: scenarios serde round-trip, and a fixed master
-//! seed reproduces `run_batch` results bit for bit — independent of batch composition and
-//! order.
+//! seed reproduces `run_batch` results bit for bit — independent of batch composition, order,
+//! and the number of worker threads.
+//!
+//! The CI `determinism` job runs this file several times with the `UA_DI_QSDC_PARALLELISM`
+//! environment variable set to `serial`, `threads:2` and `threads:8`; the env-selected tests
+//! below compare that mode's results against the serial baseline and fail on any divergence.
 
 use ua_di_qsdc::prelude::*;
+
+/// The parallelism mode under test: taken from `UA_DI_QSDC_PARALLELISM` when set (as the CI
+/// determinism matrix does), serial otherwise.
+fn env_parallelism() -> Parallelism {
+    Parallelism::from_env().unwrap_or(Parallelism::Serial)
+}
 
 fn scenarios() -> Vec<Scenario> {
     let mut rng = rng_from_seed(77);
@@ -107,6 +117,78 @@ fn run_batch_results_do_not_depend_on_batch_shape() {
         let alone = engine.run_trials(scenario, 2).unwrap();
         assert_eq!(&alone, expected);
     }
+}
+
+#[test]
+fn threaded_run_batch_is_byte_identical_to_serial() {
+    let batch = scenarios();
+    let trials = 3;
+    let serial = SessionEngine::new(77)
+        .run_batch(&batch, trials)
+        .expect("serial batch runs");
+    let serial_bytes = serde::json::to_string(&serial);
+    for n in [1usize, 2, 8] {
+        let threaded = SessionEngine::new(77)
+            .with_parallelism(Parallelism::Threads(n))
+            .run_batch(&batch, trials)
+            .expect("threaded batch runs");
+        assert_eq!(threaded, serial, "Threads({n}) diverged from Serial");
+        assert_eq!(
+            serde::json::to_string(&threaded),
+            serial_bytes,
+            "Threads({n}) serialized form diverged from Serial"
+        );
+    }
+    // The per-outcome path carries the same guarantee, down to transcripts.
+    let serial_outcomes = SessionEngine::new(77)
+        .run_outcomes(&batch[0], 4)
+        .expect("serial outcomes run");
+    for n in [2usize, 8] {
+        let threaded_outcomes = SessionEngine::new(77)
+            .with_parallelism(Parallelism::Threads(n))
+            .run_outcomes(&batch[0], 4)
+            .expect("threaded outcomes run");
+        assert_eq!(threaded_outcomes, serial_outcomes);
+    }
+}
+
+#[test]
+fn env_selected_parallelism_matches_serial() {
+    let mode = env_parallelism();
+    let batch = scenarios();
+    let serial = SessionEngine::new(20240916)
+        .run_batch(&batch, 2)
+        .expect("serial batch runs");
+    let selected = SessionEngine::new(20240916)
+        .with_parallelism(mode)
+        .run_batch(&batch, 2)
+        .expect("env-selected batch runs");
+    assert_eq!(
+        serde::json::to_string(&selected),
+        serde::json::to_string(&serial),
+        "parallelism mode {mode} diverged from the serial baseline"
+    );
+}
+
+#[test]
+fn env_selected_parallelism_replays_run_trials_with_stats() {
+    let mode = env_parallelism();
+    let scenario = &scenarios()[0];
+    let engine = SessionEngine::new(4242).with_parallelism(mode);
+    let (summary, stats) = engine
+        .run_trials_with_stats(scenario, 5)
+        .expect("trials run");
+    assert_eq!(summary.trials, 5);
+    assert_eq!(stats.tasks, 5);
+    assert_eq!(
+        stats.tasks_per_worker.iter().sum::<usize>(),
+        5,
+        "every trial must be accounted to exactly one worker: {stats}"
+    );
+    let reference = SessionEngine::new(4242)
+        .run_trials(scenario, 5)
+        .expect("serial trials run");
+    assert_eq!(summary, reference);
 }
 
 #[test]
