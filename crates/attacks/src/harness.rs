@@ -1,27 +1,21 @@
 //! Attack harness: a thin layer over [`protocol::engine::SessionEngine`].
 //!
-//! [`run_adversary_trials`] is the current entry point — it fans trials
-//! across worker threads under a caller-chosen [`Parallelism`] policy and
-//! reports both the
-//! [`AttackSummary`] and the executor's utilisation. New code can equally
-//! build a [`protocol::engine::Scenario`] with the appropriate
+//! [`run_adversary_trials`] is the entry point — it fans trials across
+//! worker threads under a caller-chosen [`Parallelism`] policy and reports
+//! both the [`AttackSummary`] and the executor's utilisation. New code can
+//! equally build a [`protocol::engine::Scenario`] with the appropriate
 //! [`protocol::engine::Adversary`] and call
 //! [`protocol::engine::SessionEngine::run_trials`] directly; the engine's
 //! [`protocol::engine::TrialSummary`] supersedes [`AttackSummary`] and adds
-//! deterministic, batch-stable replay. The deprecated [`run_attack_trials`]
-//! remains only for callers that still thread their own RNG.
+//! deterministic, batch-stable replay (and, via
+//! [`protocol::engine::shard`], multi-process sharding).
 
 use protocol::config::SessionConfig;
 use protocol::engine::{
     Adversary, ExecutorStats, Parallelism, Scenario, SessionEngine, TrialSummary,
-    TrialSummaryBuilder,
 };
 use protocol::error::ProtocolError;
 use protocol::identity::IdentityPair;
-use protocol::message::SecretMessage;
-use protocol::session::Impersonation;
-use qchannel::quantum::ChannelTap;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -29,7 +23,7 @@ use std::fmt;
 /// [`TrialSummary`] for the engine-native equivalent).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AttackSummary {
-    /// Name of the attack (from [`ChannelTap::name`]).
+    /// Name of the attack (the [`Adversary`]'s display name).
     pub attack: String,
     /// Number of sessions attempted.
     pub trials: usize,
@@ -104,8 +98,7 @@ impl fmt::Display for AttackSummary {
 }
 
 /// Runs `trials` sessions of one adversary through the parallel engine and reports the legacy
-/// [`AttackSummary`] shape plus the [`ExecutorStats`] of the fan-out — the engine-native
-/// replacement for [`run_attack_trials`].
+/// [`AttackSummary`] shape plus the [`ExecutorStats`] of the fan-out.
 ///
 /// Trials are distributed across worker threads according to `parallelism`; the summary is
 /// bit-identical under every policy because each trial draws from its own RNG stream derived
@@ -131,71 +124,11 @@ pub fn run_adversary_trials(
     Ok((AttackSummary::from(summary), stats))
 }
 
-/// Runs `trials` full-protocol sessions, each against a fresh attack instance produced by
-/// `make_attack`, and aggregates the outcomes.
-///
-/// A fresh attack per session keeps per-session state (captured bits, counters) independent,
-/// matching how an adversary would attack separate protocol runs.
-///
-/// This shim threads the caller's RNG through every session, which pins it to one thread; it
-/// cannot use the engine's parallel fan-out. Migrate to [`run_adversary_trials`] (or the
-/// engine directly) for multi-core execution.
-///
-/// # Errors
-///
-/// Propagates configuration errors from the underlying sessions.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_adversary_trials` or `protocol::engine::SessionEngine::run_trials` with \
-            a `Scenario` (wrap bespoke taps in `Adversary::custom`)"
-)]
-pub fn run_attack_trials<R, T, F>(
-    config: &SessionConfig,
-    identities: &IdentityPair,
-    mut make_attack: F,
-    trials: usize,
-    rng: &mut R,
-) -> Result<AttackSummary, ProtocolError>
-where
-    R: Rng,
-    T: ChannelTap,
-    F: FnMut() -> T,
-{
-    // Thread the caller's RNG through every session (the legacy contract)
-    // while routing execution through the engine's session body.
-    let engine = SessionEngine::default();
-    let mut builder = TrialSummaryBuilder::new("attack-trials", "");
-    let mut name = String::new();
-    for _ in 0..trials {
-        let mut attack = make_attack();
-        if name.is_empty() {
-            name = attack.name().to_string();
-        }
-        let message = SecretMessage::random(config.message_bits(), rng);
-        let outcome = engine.run_with(
-            config,
-            identities,
-            &message,
-            Impersonation::None,
-            &mut attack,
-            rng,
-        )?;
-        builder.record(&outcome);
-    }
-    let mut summary = AttackSummary::from(builder.finish());
-    summary.attack = name;
-    Ok(summary)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use protocol::engine::{Adversary, Scenario};
-    use qchannel::quantum::NoTap;
-    use qchannel::taps::{
-        EntangleMeasureAttack, InterceptBasis, InterceptResendAttack, ManInTheMiddleAttack,
-        SubstituteState,
-    };
+    use qchannel::taps::{InterceptBasis, SubstituteState};
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -310,44 +243,33 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_engine_semantics() {
-        // The shim must keep working for not-yet-migrated callers: NoTap
-        // delivers, a real attack is detected, and the summary converts
-        // faithfully from the engine's TrialSummary.
-        let identities = IdentityPair::generate(2, &mut rng(5));
-        let honest = run_attack_trials(&config(), &identities, || NoTap, 2, &mut rng(50)).unwrap();
-        assert_eq!(honest.delivered, 2);
-        assert_eq!(honest.attack, "none");
-        assert!(honest.to_string().contains("trials"));
-        let attacked = run_attack_trials(
-            &config(),
+    fn sharded_adversary_trials_merge_to_the_single_process_summary() {
+        // The engine's shard pipeline applies unchanged to attacked
+        // scenarios: split, execute shards on independent engines, merge —
+        // byte-identical to the whole run.
+        use protocol::engine::{merge_shard_results, ShardOutput};
+        let identities = IdentityPair::generate(3, &mut rng(6));
+        let scenario = scenario(
             &identities,
-            InterceptResendAttack::computational,
-            3,
-            &mut rng(51),
-        )
-        .unwrap();
-        assert_eq!(attacked.delivered, 0, "{attacked}");
-        assert_eq!(attacked.attack, "intercept-and-resend");
-        assert_eq!(attacked.total_aborts(), 3);
-        let mitm = run_attack_trials(
-            &config(),
-            &identities,
-            ManInTheMiddleAttack::random_computational,
-            2,
-            &mut rng(52),
-        )
-        .unwrap();
-        assert_eq!(mitm.delivered, 0, "{mitm}");
-        let entangle = run_attack_trials(
-            &config(),
-            &identities,
-            EntangleMeasureAttack::full,
-            2,
-            &mut rng(53),
-        )
-        .unwrap();
-        assert_eq!(entangle.delivered, 0, "{entangle}");
+            Adversary::ManInTheMiddle(SubstituteState::RandomComputational),
+        );
+        let engine = SessionEngine::new(31);
+        let whole = engine.run_trials(&scenario, 5).unwrap();
+        let results = engine
+            .plan(&scenario, 5)
+            .split_into(3)
+            .iter()
+            .map(|plan| {
+                SessionEngine::new(0)
+                    .execute_shard(plan, ShardOutput::Summary)
+                    .unwrap()
+            })
+            .collect::<Vec<_>>();
+        let merged = merge_shard_results(results)
+            .unwrap()
+            .into_summary()
+            .unwrap();
+        assert_eq!(merged, whole);
+        assert_eq!(merged.delivered, 0, "{merged}");
     }
 }

@@ -13,7 +13,8 @@
 //!
 //! Attacked sessions are executed through [`protocol::engine::SessionEngine`]: pick an
 //! [`protocol::engine::Adversary`], put it in a [`protocol::engine::Scenario`], and ask the
-//! engine for trials. The legacy [`harness::run_attack_trials`] remains as a deprecated shim.
+//! engine for trials ([`harness::run_adversary_trials`] wraps exactly that and reports the
+//! legacy [`harness::AttackSummary`] shape).
 //!
 //! ## Example
 //!
@@ -45,9 +46,7 @@ pub mod leakage;
 pub mod mitm;
 
 pub use entangle_measure::EntangleMeasureAttack;
-#[allow(deprecated)]
-pub use harness::run_attack_trials;
-pub use harness::AttackSummary;
+pub use harness::{run_adversary_trials, AttackSummary};
 pub use impersonation::{run_impersonation_trials, ImpersonationSummary};
 pub use intercept_resend::InterceptResendAttack;
 pub use leakage::LeakageAudit;
@@ -56,9 +55,7 @@ pub use mitm::ManInTheMiddleAttack;
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::entangle_measure::EntangleMeasureAttack;
-    #[allow(deprecated)]
-    pub use crate::harness::run_attack_trials;
-    pub use crate::harness::AttackSummary;
+    pub use crate::harness::{run_adversary_trials, AttackSummary};
     pub use crate::impersonation::{run_impersonation_trials, ImpersonationSummary};
     pub use crate::intercept_resend::InterceptResendAttack;
     pub use crate::leakage::LeakageAudit;

@@ -8,6 +8,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use protocol::engine::{Adversary, Parallelism, Scenario, SessionEngine};
 use protocol::identity::IdentityPair;
+use protocol::message::SecretMessage;
+use protocol::session::Impersonation;
+use qchannel::quantum::NoTap;
 use qchannel::taps::InterceptBasis;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -36,23 +39,29 @@ fn bench_engine_batch(c: &mut Criterion) {
     for count in [1usize, 4] {
         let batch = scenarios(count);
         group.bench_with_input(
-            BenchmarkId::new("legacy_per_call", count),
+            BenchmarkId::new("manual_per_call", count),
             &batch,
             |b, batch| {
                 b.iter(|| {
-                    // The pre-engine shape: every consumer hand-rolls its own loop with
-                    // one deprecated call per session.
+                    // The pre-engine shape: every consumer hand-rolls its own loop,
+                    // threading one sequential RNG through `run_with` per session.
+                    let engine = SessionEngine::default();
                     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-                    #[allow(deprecated)]
                     for scenario in batch {
                         for _ in 0..2 {
+                            let message =
+                                SecretMessage::random(scenario.config.message_bits(), &mut rng);
                             black_box(
-                                protocol::session::run_session(
-                                    &scenario.config,
-                                    &scenario.identities,
-                                    &mut rng,
-                                )
-                                .unwrap(),
+                                engine
+                                    .run_with(
+                                        &scenario.config,
+                                        &scenario.identities,
+                                        &message,
+                                        Impersonation::None,
+                                        &mut NoTap,
+                                        &mut rng,
+                                    )
+                                    .unwrap(),
                             );
                         }
                     }

@@ -4,12 +4,7 @@ use analysis::report::render_markdown_table;
 use bench::ChannelAttackKind;
 
 fn main() {
-    let parallelism = bench::engine_parallelism();
-    eprintln!(
-        "engine parallelism: {parallelism} ({} worker threads; override via {})",
-        parallelism.worker_count(),
-        protocol::engine::Parallelism::ENV_VAR
-    );
+    bench::announce_parallelism();
     let (attacked, honest) =
         bench::channel_attack_experiment(ChannelAttackKind::EntangleMeasure, 20, 17);
     println!("# Entangle-and-measure attack vs honest channel\n");

@@ -5,12 +5,7 @@ use analysis::report::render_markdown_table;
 use protocol::session::Impersonation;
 
 fn main() {
-    let parallelism = bench::engine_parallelism();
-    eprintln!(
-        "engine parallelism: {parallelism} ({} worker threads; override via {})",
-        parallelism.worker_count(),
-        protocol::engine::Parallelism::ENV_VAR
-    );
+    bench::announce_parallelism();
     println!("# Impersonation attack — detection probability vs identity length\n");
     for (target, label) in [
         (Impersonation::OfBob, "Eve impersonates Bob (Alice detects)"),

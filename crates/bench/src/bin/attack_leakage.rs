@@ -2,12 +2,7 @@
 //! many honest sessions and reports what an eavesdropper could learn from them.
 
 fn main() {
-    let parallelism = bench::engine_parallelism();
-    eprintln!(
-        "engine parallelism: {parallelism} ({} worker threads; override via {})",
-        parallelism.worker_count(),
-        protocol::engine::Parallelism::ENV_VAR
-    );
+    bench::announce_parallelism();
     let audit = bench::leakage_experiment(40, 2024);
     println!("# Information-leakage audit of the classical channel\n");
     println!("transcripts audited       : {}", audit.transcripts);

@@ -5,12 +5,7 @@
 use analysis::report::render_markdown_table;
 
 fn main() {
-    let parallelism = bench::engine_parallelism();
-    eprintln!(
-        "engine parallelism: {parallelism} ({} worker threads; override via {})",
-        parallelism.worker_count(),
-        protocol::engine::Parallelism::ENV_VAR
-    );
+    bench::announce_parallelism();
     let points =
         bench::chsh_baseline_experiment(&[50, 100, 200, 400, 800], &[0.0, 0.05, 0.2], 8, 99);
     println!("# CHSH estimation vs check-pair budget and noise\n");

@@ -5,12 +5,7 @@ use analysis::report::render_markdown_table;
 use noise::DeviceModel;
 
 fn main() {
-    let parallelism = bench::engine_parallelism();
-    eprintln!(
-        "engine parallelism: {parallelism} ({} worker threads; override via {})",
-        parallelism.worker_count(),
-        protocol::engine::Parallelism::ENV_VAR
-    );
+    bench::announce_parallelism();
     let device = DeviceModel::ibm_brisbane_like();
     let rows = bench::fig2_experiment(&device, 10, 1024, 20240916);
     println!(

@@ -5,12 +5,7 @@ use analysis::report::render_csv;
 use noise::DeviceModel;
 
 fn main() {
-    let parallelism = bench::engine_parallelism();
-    eprintln!(
-        "engine parallelism: {parallelism} ({} worker threads; override via {})",
-        parallelism.worker_count(),
-        protocol::engine::Parallelism::ENV_VAR
-    );
+    bench::announce_parallelism();
     let device = DeviceModel::ibm_brisbane_like();
     let points = bench::fig3_experiment(&device, &bench::fig3_eta_values(), 256, 424242);
     println!(

@@ -1,0 +1,264 @@
+//! `shardctl` — ship the engine's plan / execute / merge stages between
+//! processes (and machines) as JSON.
+//!
+//! The per-trial RNG stream contract makes every trial location-independent,
+//! so a sweep split into shards, executed by separate `shardctl run`
+//! processes, and merged reproduces the single-process results byte for byte.
+//!
+//! ```text
+//! # One process, one pipe:
+//! shardctl scenario --preset intercept --seed 7 \
+//!   | shardctl plan --trials 1000 --seed 42 --shards 4 \
+//!   | shardctl run \
+//!   | shardctl merge
+//!
+//! # Or one process per shard (e.g. one per machine):
+//! shardctl scenario --preset intercept --seed 7 > scenario.json
+//! shardctl plan --scenario scenario.json --trials 1000 --seed 42 --shards 4 > plans.json
+//! for i in 0 1 2 3; do shardctl run --plans plans.json --index $i > result-$i.json; done
+//! shardctl merge result-*.json
+//! ```
+//!
+//! `run` honours the `UA_DI_QSDC_PARALLELISM` environment variable, so each
+//! worker process additionally fans its shard's trials across its own cores.
+
+use protocol::engine::{
+    merge_shard_results, Adversary, MergedRun, Scenario, SessionEngine, ShardOutput, ShardPlan,
+    ShardResult,
+};
+use protocol::identity::IdentityPair;
+use protocol::SessionConfig;
+use qchannel::taps::{InterceptBasis, SubstituteState};
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+shardctl — plan / run / merge sharded UA-DI-QSDC sweeps as JSON
+
+USAGE:
+    shardctl scenario [--preset NAME] [--seed N]
+        Write a deterministic demo scenario to stdout.
+        Presets: honest, impersonate-alice, impersonate-bob, intercept,
+        mitm, entangle (default: honest).
+
+    shardctl plan --trials N [--seed N] [--shards K | --shard-trials M]
+                  [--scenario FILE]
+        Read a scenario (FILE or stdin), split a run of N trials under
+        master seed N into shards, write a JSON array of shard plans.
+        Default: --seed 0, --shards 1.
+
+    shardctl run [--plans FILE] [--index I] [--output summary|outcomes]
+        Read a JSON array of shard plans (FILE or stdin), execute them (or
+        only plan I), write a JSON array of shard results. Trials fan out
+        per the UA_DI_QSDC_PARALLELISM environment variable.
+        Default: --output summary.
+
+    shardctl merge [FILE...]
+        Read one or more JSON arrays of shard results (FILEs or stdin),
+        merge them in trial order, write the merged run: a TrialSummary
+        for summary payloads, an outcome array for outcome payloads.
+";
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("shardctl: {message}");
+    std::process::exit(2)
+}
+
+fn read_input(path: Option<&str>) -> String {
+    match path {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}"))),
+        None => std::io::read_to_string(std::io::stdin())
+            .unwrap_or_else(|e| fail(format_args!("cannot read stdin: {e}"))),
+    }
+}
+
+/// One `--flag value` pair puller over the raw argument list.
+struct Args {
+    args: Vec<String>,
+}
+
+impl Args {
+    fn take_flag(&mut self, flag: &str) -> Option<String> {
+        let position = self.args.iter().position(|a| a == flag)?;
+        if position + 1 >= self.args.len() {
+            fail(format_args!("{flag} requires a value"));
+        }
+        self.args.remove(position);
+        Some(self.args.remove(position))
+    }
+
+    fn take_parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Option<T> {
+        self.take_flag(flag).map(|raw| {
+            raw.parse()
+                .unwrap_or_else(|_| fail(format_args!("invalid value `{raw}` for {flag}")))
+        })
+    }
+
+    fn finish_positional(self) -> Vec<String> {
+        if let Some(stray) = self.args.iter().find(|a| a.starts_with("--")) {
+            fail(format_args!("unknown option `{stray}`"));
+        }
+        self.args
+    }
+
+    fn finish(self) {
+        if let Some(stray) = self.args.first() {
+            fail(format_args!("unexpected argument `{stray}`"));
+        }
+    }
+}
+
+fn scenario_cmd(mut args: Args) {
+    let preset = args
+        .take_flag("--preset")
+        .unwrap_or_else(|| "honest".into());
+    let seed: u64 = args.take_parsed("--seed").unwrap_or(7);
+    args.finish();
+    let adversary = match preset.as_str() {
+        "honest" => Adversary::Honest,
+        "impersonate-alice" => Adversary::ImpersonateAlice,
+        "impersonate-bob" => Adversary::ImpersonateBob,
+        "intercept" => Adversary::InterceptResend(InterceptBasis::Computational),
+        "mitm" => Adversary::ManInTheMiddle(SubstituteState::RandomComputational),
+        "entangle" => Adversary::EntangleMeasure { strength: 1.0 },
+        other => fail(format_args!("unknown preset `{other}`")),
+    };
+    let config = SessionConfig::builder()
+        .message_bits(8)
+        .check_bits(2)
+        .di_check_pairs(64)
+        .build()
+        .unwrap_or_else(|e| fail(e));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let scenario = Scenario::new(config, identities)
+        .with_label(format!("shardctl-{preset}"))
+        .with_adversary(adversary);
+    println!("{}", serde::json::to_string(&scenario));
+}
+
+fn plan_cmd(mut args: Args) {
+    let trials: usize = args
+        .take_parsed("--trials")
+        .unwrap_or_else(|| fail("plan requires --trials"));
+    let seed: u64 = args.take_parsed("--seed").unwrap_or(0);
+    let shards: Option<usize> = args.take_parsed("--shards");
+    let shard_trials: Option<usize> = args.take_parsed("--shard-trials");
+    let scenario_path = args.take_flag("--scenario");
+    args.finish();
+    let scenario: Scenario = serde::json::from_str(&read_input(scenario_path.as_deref()))
+        .unwrap_or_else(|e| fail(format_args!("invalid scenario JSON: {e}")));
+    let whole = SessionEngine::new(seed).plan(&scenario, trials);
+    let plans = match (shards, shard_trials) {
+        (Some(_), Some(_)) => fail("--shards and --shard-trials are mutually exclusive"),
+        (_, Some(0)) => fail("--shard-trials must be at least 1"),
+        (Some(0), _) => fail("--shards must be at least 1"),
+        (None, Some(per_shard)) => whole.split_max(per_shard),
+        (count, None) => whole.split_into(count.unwrap_or(1)),
+    };
+    eprintln!(
+        "planned {} trials of `{}` (seed {seed}) into {} shard(s)",
+        trials,
+        scenario.label,
+        plans.len()
+    );
+    println!("{}", serde::json::to_string(&plans));
+}
+
+fn run_cmd(mut args: Args) {
+    let plans_path = args.take_flag("--plans");
+    let index: Option<usize> = args.take_parsed("--index");
+    let output = match args
+        .take_flag("--output")
+        .unwrap_or_else(|| "summary".into())
+        .as_str()
+    {
+        "summary" => ShardOutput::Summary,
+        "outcomes" => ShardOutput::Outcomes,
+        other => fail(format_args!(
+            "invalid --output `{other}` (expected `summary` or `outcomes`)"
+        )),
+    };
+    args.finish();
+    let plans: Vec<ShardPlan> = serde::json::from_str(&read_input(plans_path.as_deref()))
+        .unwrap_or_else(|e| fail(format_args!("invalid shard plan JSON: {e}")));
+    let selected: Vec<&ShardPlan> = match index {
+        Some(index) => vec![plans.get(index).unwrap_or_else(|| {
+            fail(format_args!(
+                "--index {index} out of range (plans: {})",
+                plans.len()
+            ))
+        })],
+        None => plans.iter().collect(),
+    };
+    let parallelism = bench::announce_parallelism();
+    // The engine's own seed is irrelevant: each plan carries the run's seed.
+    let engine = SessionEngine::new(0).with_parallelism(parallelism);
+    let results: Vec<ShardResult> = selected
+        .into_iter()
+        .map(|plan| {
+            let (result, stats) = engine
+                .execute_shard_with_stats(plan, output)
+                .unwrap_or_else(|e| fail(format_args!("shard execution failed: {e}")));
+            eprintln!(
+                "executed trials {}..{}: {stats} ({:.1} trials/s)",
+                plan.trial_start,
+                plan.trial_end(),
+                stats.throughput()
+            );
+            result
+        })
+        .collect();
+    println!("{}", serde::json::to_string(&results));
+}
+
+fn merge_cmd(args: Args) {
+    let files = args.finish_positional();
+    let mut results: Vec<ShardResult> = Vec::new();
+    if files.is_empty() {
+        results = serde::json::from_str(&read_input(None))
+            .unwrap_or_else(|e| fail(format_args!("invalid shard result JSON: {e}")));
+    } else {
+        for file in &files {
+            let mut batch: Vec<ShardResult> = serde::json::from_str(&read_input(Some(file)))
+                .unwrap_or_else(|e| fail(format_args!("invalid shard result JSON in {file}: {e}")));
+            results.append(&mut batch);
+        }
+    }
+    let shard_count = results.len();
+    let merged =
+        merge_shard_results(results).unwrap_or_else(|e| fail(format_args!("merge failed: {e}")));
+    match merged {
+        MergedRun::Summary(summary) => {
+            eprintln!("merged {shard_count} shard(s): {summary}");
+            println!("{}", serde::json::to_string(&summary));
+        }
+        MergedRun::Outcomes(outcomes) => {
+            eprintln!("merged {shard_count} shard(s): {} outcomes", outcomes.len());
+            println!("{}", serde::json::to_string(&outcomes));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if raw.is_empty() {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let command = raw.remove(0);
+    let args = Args { args: raw };
+    match command.as_str() {
+        "scenario" => scenario_cmd(args),
+        "plan" => plan_cmd(args),
+        "run" => run_cmd(args),
+        "merge" => merge_cmd(args),
+        other => fail(format_args!("unknown subcommand `{other}`; see --help")),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,9 +1,16 @@
 //! Regenerates Table I: comparison between state-of-the-art DI-QSDC protocols and the
-//! proposed UA-DI-QSDC protocol.
+//! proposed UA-DI-QSDC protocol. The static descriptor rows are cross-checked against a live
+//! engine run: the measured per-session resource accounting must reproduce the UA-DI-QSDC
+//! row's qubits-per-message-bit figure.
 
 use analysis::report::render_markdown_table;
+use protocol::engine::{Scenario, SessionEngine};
+use protocol::identity::IdentityPair;
+use protocol::SessionConfig;
+use rand::SeedableRng;
 
 fn main() {
+    let parallelism = bench::announce_parallelism();
     let rows = bench::table1_rows();
     let cells: Vec<Vec<String>> = rows
         .iter()
@@ -30,5 +37,37 @@ fn main() {
             ],
             &cells
         )
+    );
+
+    // Cross-check the UA-DI-QSDC row against the engine's measured resource
+    // accounting, run under the env-selectable parallelism policy.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20240916);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let config = SessionConfig::builder()
+        .message_bits(16)
+        .check_bits(4)
+        .di_check_pairs(64)
+        .build()
+        .expect("table1 verification config is valid");
+    let scenario = Scenario::new(config, identities).with_label("table1-verification");
+    let outcomes = SessionEngine::new(20240916)
+        .with_parallelism(parallelism)
+        .run_outcomes(&scenario, 4)
+        .expect("table1 verification sessions run");
+    let measured = outcomes[0].resources.qubits_per_message_bit;
+    let claimed = rows
+        .iter()
+        .find(|r| r.user_authentication)
+        .expect("Table I contains the UA-DI-QSDC row")
+        .qubits_per_bit;
+    println!(
+        "\nEngine cross-check ({} sessions, {} EPR pairs each): measured {measured} \
+         qubits per message bit, Table I claims {claimed}.",
+        outcomes.len(),
+        outcomes[0].resources.total_pairs
+    );
+    assert!(
+        (measured - claimed).abs() < f64::EPSILON,
+        "measured qubits/bit {measured} diverges from the descriptor's {claimed}"
     );
 }

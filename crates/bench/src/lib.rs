@@ -60,6 +60,19 @@ pub fn engine_parallelism() -> Parallelism {
     Parallelism::from_env().unwrap_or(Parallelism::Auto)
 }
 
+/// [`engine_parallelism`] plus the standard stderr banner every binary in
+/// this crate prints: the selected policy, the resolved worker count, and the
+/// environment variable that overrides it.
+pub fn announce_parallelism() -> Parallelism {
+    let parallelism = engine_parallelism();
+    eprintln!(
+        "engine parallelism: {parallelism} ({} worker threads; override via {})",
+        parallelism.worker_count(),
+        Parallelism::ENV_VAR
+    );
+    parallelism
+}
+
 /// Derives an independent RNG seed for sweep point `index` of an experiment
 /// seeded with `seed` (one [`rand::splitmix64`] step — the same finalizer the
 /// engine derives trial streams with), so sweep points can execute on any

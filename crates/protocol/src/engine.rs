@@ -23,6 +23,14 @@
 //! `*_with_stats` variants additionally report an [`ExecutorStats`] with
 //! per-worker trial counts and wall time.
 //!
+//! The same contract extends beyond one process: every run decomposes into
+//! the explicit plan → execute → merge stages of the [`shard`] module — a
+//! serde [`ShardPlan`] splits a trial range across workers or machines,
+//! [`SessionEngine::execute_shard`] turns one shard into a [`ShardResult`],
+//! and a [`ShardMerger`] folds results back in trial order, byte-identical to
+//! the unsharded run. `run_outcomes` / `run_trials` are the whole-run special
+//! case of that pipeline.
+//!
 //! ```rust
 //! use protocol::engine::{Adversary, Scenario, SessionEngine};
 //! use protocol::prelude::*;
@@ -45,8 +53,13 @@
 //! ```
 
 pub mod parallel;
+pub mod shard;
 
 pub use parallel::{ExecutorStats, Parallelism};
+pub use shard::{
+    merge_shard_results, MergeError, MergedRun, ShardMerger, ShardOutput, ShardPayload, ShardPlan,
+    ShardResult,
+};
 
 use crate::auth::{self, AuthReport};
 use crate::config::SessionConfig;
@@ -572,8 +585,17 @@ impl fmt::Display for TrialSummary {
 }
 
 /// Streaming accumulator behind [`TrialSummary`]: record outcomes one at a
-/// time (O(1) memory — means are kept as running sums), then
-/// [`finish`](TrialSummaryBuilder::finish).
+/// time, then [`finish`](TrialSummaryBuilder::finish).
+///
+/// The builder doubles as the *mergeable partial* of the shard pipeline
+/// ([`shard`]): it is serde round-trippable, and
+/// [`merge`](TrialSummaryBuilder::merge) folds another partial onto this one.
+/// To make merged partials bit-identical to serial accumulation for *any*
+/// partition of a trial range, the mean accumulators keep their samples in
+/// trial order (O(trials) memory, a few `f64` per trial) and defer the
+/// left-to-right sum to `finish` — the identical addition sequence a serial
+/// `sum += x` loop performs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrialSummaryBuilder {
     summary: TrialSummary,
     chsh1: MeanAccumulator,
@@ -581,24 +603,30 @@ pub struct TrialSummaryBuilder {
     accuracies: MeanAccumulator,
 }
 
-/// Running sum/count pair for a mean over optionally-present samples.
-#[derive(Default)]
+/// Ordered sample log for a mean over optionally-present values. The sum is
+/// computed left-to-right at [`mean`](Self::mean) time, so concatenating two
+/// logs and summing equals summing while streaming — the property that makes
+/// shard partials merge exactly.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 struct MeanAccumulator {
-    sum: f64,
-    count: usize,
+    samples: Vec<f64>,
 }
 
 impl MeanAccumulator {
     fn push(&mut self, value: f64) {
-        self.sum += value;
-        self.count += 1;
+        self.samples.push(value);
+    }
+
+    fn append(&mut self, mut other: MeanAccumulator) {
+        self.samples.append(&mut other.samples);
     }
 
     fn mean(&self) -> Option<f64> {
-        if self.count == 0 {
+        if self.samples.is_empty() {
             None
         } else {
-            Some(self.sum / self.count as f64)
+            let sum = self.samples.iter().fold(0.0f64, |acc, &x| acc + x);
+            Some(sum / self.samples.len() as f64)
         }
     }
 }
@@ -639,6 +667,38 @@ impl TrialSummaryBuilder {
         if let Some(accuracy) = outcome.message_accuracy() {
             self.accuracies.push(accuracy);
         }
+    }
+
+    /// Folds the partial accumulated by `other` onto this one, **in trial
+    /// order**: `other` must hold the trials immediately following this
+    /// builder's. Under that contract the merged builder is field-for-field
+    /// and bit-for-bit identical to one that recorded every outcome serially
+    /// — counts add, and the sample logs concatenate so the deferred mean
+    /// sums run over the exact same sequence. Order bookkeeping (which trial
+    /// range a partial covers, gaps, overlaps) is the job of
+    /// [`ShardMerger`]; this method only
+    /// performs the fold.
+    pub fn merge(&mut self, other: TrialSummaryBuilder) {
+        self.summary.trials += other.summary.trials;
+        self.summary.delivered += other.summary.delivered;
+        self.summary.aborted_di_check1 += other.summary.aborted_di_check1;
+        self.summary.aborted_bob_auth += other.summary.aborted_bob_auth;
+        self.summary.aborted_alice_auth += other.summary.aborted_alice_auth;
+        self.summary.aborted_di_check2 += other.summary.aborted_di_check2;
+        self.summary.aborted_integrity += other.summary.aborted_integrity;
+        self.chsh1.append(other.chsh1);
+        self.chsh2.append(other.chsh2);
+        self.accuracies.append(other.accuracies);
+    }
+
+    /// Number of outcomes recorded so far (including merged partials).
+    pub fn trials_recorded(&self) -> usize {
+        self.summary.trials
+    }
+
+    /// The scenario label this partial aggregates for.
+    pub fn label(&self) -> &str {
+        &self.summary.label
     }
 
     /// Finalises the means and returns the summary.
@@ -811,29 +871,21 @@ impl SessionEngine {
         scenario: &Scenario,
         trials: usize,
     ) -> Result<(Vec<SessionOutcome>, ExecutorStats), ProtocolError> {
-        let fingerprint = scenario.fingerprint();
-        let mut outcomes = Vec::with_capacity(trials);
-        let mut first_error: Option<ProtocolError> = None;
-        let stats = parallel::scatter_visit(
-            self.parallelism,
+        // The whole-run special case of the shard pipeline: same executor
+        // stage as `execute_shard`, with the plan elided (the scenario is
+        // borrowed and fingerprinted exactly once; the merge is the identity).
+        let (payload, stats) = self.execute_trials(
+            scenario,
+            scenario.fingerprint(),
+            self.master_seed,
+            0,
             trials,
-            |trial| self.run_fingerprinted(scenario, fingerprint, trial as u64),
-            |_, outcome| match outcome {
-                Ok(outcome) => {
-                    outcomes.push(outcome);
-                    ControlFlow::Continue(())
-                }
-                Err(error) => {
-                    // Fail fast: the first in-order error cancels the rest.
-                    first_error.get_or_insert(error);
-                    ControlFlow::Break(())
-                }
-            },
-        );
-        match first_error {
-            Some(error) => Err(error),
-            None => Ok((outcomes, stats)),
-        }
+            ShardOutput::Outcomes,
+        )?;
+        let ShardPayload::Outcomes(outcomes) = payload else {
+            unreachable!("an Outcomes execution produces an Outcomes payload")
+        };
+        Ok((outcomes, stats))
     }
 
     /// Runs `trials` sessions of the scenario and aggregates the outcomes.
@@ -864,12 +916,22 @@ impl SessionEngine {
         scenario: &Scenario,
         trials: usize,
     ) -> Result<(TrialSummary, ExecutorStats), ProtocolError> {
-        // A single-scenario run is the one-element batch: same task order,
-        // same fold, same error semantics.
-        let (mut summaries, stats) =
-            self.run_batch_with_stats(std::slice::from_ref(scenario), trials)?;
-        let summary = summaries.pop().expect("one scenario yields one summary");
-        Ok((summary, stats))
+        // The whole-run special case of the shard pipeline with a summary
+        // payload: task order, fold order and error semantics are exactly
+        // those of the sharded path, so a single-machine summary is
+        // byte-identical to any merged multi-shard execution of the same run.
+        let (payload, stats) = self.execute_trials(
+            scenario,
+            scenario.fingerprint(),
+            self.master_seed,
+            0,
+            trials,
+            ShardOutput::Summary,
+        )?;
+        let ShardPayload::Summary(builder) = payload else {
+            unreachable!("a Summary execution produces a Summary payload")
+        };
+        Ok((builder.finish(), stats))
     }
 
     /// Runs `trials` sessions of every scenario and returns one summary per
@@ -903,24 +965,33 @@ impl SessionEngine {
         scenarios: &[Scenario],
         trials: usize,
     ) -> Result<(Vec<TrialSummary>, ExecutorStats), ProtocolError> {
-        let fingerprints: Vec<u64> = scenarios.iter().map(Scenario::fingerprint).collect();
-        let mut builders: Vec<TrialSummaryBuilder> = scenarios
+        // Stage 1 — plan: one whole-run ShardPlan per scenario, so each
+        // scenario is fingerprinted exactly once for the batch.
+        let plans: Vec<ShardPlan> = scenarios.iter().map(|s| self.plan(s, trials)).collect();
+        // Stage 2 — execute: the plans' task sets are fused into a single
+        // scenario-major scatter, so many-scenario/few-trial sweeps fan out
+        // as well as single-scenario/many-trial runs. Stage 3 — merge: every
+        // outcome folds into its plan's summary partial in trial order (the
+        // in-process shortcut for `TrialSummaryBuilder::merge` over one-trial
+        // partials), so summaries are bit-identical to serial accumulation.
+        let mut builders: Vec<TrialSummaryBuilder> = plans
             .iter()
-            .map(|s| TrialSummaryBuilder::new(s.label.clone(), s.adversary.name()))
+            .map(|p| {
+                TrialSummaryBuilder::new(p.scenario.label.clone(), p.scenario.adversary.name())
+            })
             .collect();
         let mut first_error: Option<ProtocolError> = None;
-        // Scenario-major task order keeps the fold order identical to the
-        // nested serial loops; `trials == 0` produces no tasks, so the index
-        // arithmetic below never divides by zero.
+        // `trials == 0` produces no tasks, so the index arithmetic below
+        // never divides by zero.
         let stats = parallel::scatter_visit(
             self.parallelism,
-            scenarios.len() * trials,
+            plans.len() * trials,
             |index| {
-                let scenario = index / trials;
+                let plan = &plans[index / trials];
                 self.run_fingerprinted(
-                    &scenarios[scenario],
-                    fingerprints[scenario],
-                    (index % trials) as u64,
+                    &plan.scenario,
+                    plan.fingerprint,
+                    plan.trial_start + (index % trials) as u64,
                 )
             },
             |index, outcome| match outcome {

@@ -25,9 +25,16 @@
 //! `Threads(n)`, or `Auto`) via [`engine::SessionEngine::with_parallelism`] and every mode
 //! returns bit-for-bit identical results, only faster.
 //!
+//! Runs also decompose into the explicit **plan → execute → merge** stages of
+//! [`engine::shard`]: a serde [`engine::ShardPlan`] carves a trial range into shippable
+//! shards, [`engine::SessionEngine::execute_shard`] turns one shard into an
+//! [`engine::ShardResult`], and an [`engine::ShardMerger`] folds results back in trial order —
+//! byte-identical to the unsharded run, whether the shards ran on one machine or twenty (see
+//! the `shardctl` binary in the `bench` crate for the multi-process form).
+//!
 //! [`baselines`] adds a runnable DI-QSDC without authentication (the Zhou et al. 2020 shape)
-//! and [`descriptor`] carries the feature/cost rows of the paper's Table I. The legacy free
-//! functions in [`session`] remain as deprecated shims over the engine.
+//! and [`descriptor`] carries the feature/cost rows of the paper's Table I. [`session`] keeps
+//! the observable vocabulary of a run ([`SessionOutcome`], [`SessionStatus`], …).
 //!
 //! ## Example
 //!
@@ -61,6 +68,20 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Sharded sweeps
+//!
+//! Because a [`engine::ShardPlan`] fully determines its trials, a sweep can be split, executed
+//! by independent processes, and merged back byte-identically — in-process via
+//! [`engine::SessionEngine::plan`] / [`engine::SessionEngine::execute_shard`] /
+//! [`engine::ShardMerger`], or between processes with the `bench` crate's `shardctl` binary:
+//!
+//! ```text
+//! shardctl scenario --preset intercept > scenario.json
+//! shardctl plan --scenario scenario.json --trials 1000 --seed 42 --shards 4 > plans.json
+//! for i in 0 1 2 3; do shardctl run --plans plans.json --index $i > result-$i.json; done
+//! shardctl merge result-*.json     # == the unsharded run, byte for byte
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,14 +99,12 @@ pub mod session;
 
 pub use config::{SessionConfig, SessionConfigBuilder};
 pub use engine::{
-    Adversary, Backend, DensityMatrixBackend, ExecutorStats, Parallelism, Scenario, SessionEngine,
-    TrialSummary,
+    Adversary, Backend, DensityMatrixBackend, ExecutorStats, MergedRun, Parallelism, Scenario,
+    SessionEngine, ShardMerger, ShardOutput, ShardPlan, ShardResult, TrialSummary,
 };
 pub use error::ProtocolError;
 pub use identity::{IdentityPair, IdentityString};
 pub use message::{PaddedMessage, SecretMessage};
-#[allow(deprecated)]
-pub use session::{run_session, run_session_with_message};
 pub use session::{Impersonation, SessionOutcome, SessionStatus};
 
 /// Convenience re-exports for downstream crates.
@@ -96,13 +115,12 @@ pub mod prelude {
     pub use crate::descriptor::{DecodingMeasurement, ProtocolDescriptor, ResourceType};
     pub use crate::di_check::{DiCheckReport, DiCheckRound};
     pub use crate::engine::{
-        Adversary, Backend, DensityMatrixBackend, ExecutorStats, Parallelism, Scenario,
-        SessionEngine, TrialSummary,
+        merge_shard_results, Adversary, Backend, DensityMatrixBackend, ExecutorStats, MergeError,
+        MergedRun, Parallelism, Scenario, SessionEngine, ShardMerger, ShardOutput, ShardPayload,
+        ShardPlan, ShardResult, TrialSummary,
     };
     pub use crate::error::ProtocolError;
     pub use crate::identity::{IdentityPair, IdentityString};
     pub use crate::message::{PaddedMessage, SecretMessage};
-    #[allow(deprecated)]
-    pub use crate::session::{run_session, run_session_with_message};
     pub use crate::session::{AbortStage, Impersonation, SessionOutcome, SessionStatus};
 }

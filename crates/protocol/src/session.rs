@@ -1,21 +1,16 @@
-//! Session outcome types and the deprecated free-function entry points.
+//! Session outcome types: the observable vocabulary of a run.
 //!
 //! The six-phase session orchestration lives in [`crate::engine`]; this module
-//! keeps the observable vocabulary of a run — [`SessionOutcome`],
-//! [`SessionStatus`], [`AbortStage`], [`ResourceUsage`], [`Impersonation`] —
-//! plus thin `#[deprecated]` shims ([`run_session`],
-//! [`run_session_with_message`], [`run_session_full`]) for code that has not
-//! yet migrated to [`crate::engine::SessionEngine`].
+//! keeps what a finished session *looks like* — [`SessionOutcome`],
+//! [`SessionStatus`], [`AbortStage`], [`ResourceUsage`], [`Impersonation`].
+//! All execution entry points live on [`crate::engine::SessionEngine`]
+//! (callers that thread their own RNG use
+//! [`run_with`](crate::engine::SessionEngine::run_with)).
 
 use crate::auth::AuthReport;
-use crate::config::SessionConfig;
 use crate::di_check::DiCheckReport;
-use crate::error::ProtocolError;
-use crate::identity::IdentityPair;
 use crate::message::SecretMessage;
 use qchannel::classical::Transcript;
-use qchannel::quantum::{ChannelTap, NoTap};
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -178,95 +173,14 @@ impl fmt::Display for SessionOutcome {
     }
 }
 
-/// Runs an honest session with a freshly generated random message of the configured length.
-///
-/// # Errors
-///
-/// Returns a [`ProtocolError`] on configuration misuse; protocol aborts are reported inside
-/// the [`SessionOutcome`], not as errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `protocol::engine::SessionEngine::run` with a `Scenario`"
-)]
-pub fn run_session<R: Rng>(
-    config: &SessionConfig,
-    identities: &IdentityPair,
-    rng: &mut R,
-) -> Result<SessionOutcome, ProtocolError> {
-    let message = SecretMessage::random(config.message_bits(), rng);
-    crate::engine::execute_session(
-        &crate::engine::DensityMatrixBackend,
-        config,
-        identities,
-        &message,
-        Impersonation::None,
-        &mut NoTap,
-        rng,
-    )
-}
-
-/// Runs an honest session delivering the given message.
-///
-/// # Errors
-///
-/// Returns a [`ProtocolError`] on configuration misuse (e.g. message length mismatch).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `protocol::engine::SessionEngine::run` with `Scenario::with_message`"
-)]
-pub fn run_session_with_message<R: Rng>(
-    config: &SessionConfig,
-    identities: &IdentityPair,
-    message: &SecretMessage,
-    rng: &mut R,
-) -> Result<SessionOutcome, ProtocolError> {
-    crate::engine::execute_session(
-        &crate::engine::DensityMatrixBackend,
-        config,
-        identities,
-        message,
-        Impersonation::None,
-        &mut NoTap,
-        rng,
-    )
-}
-
-/// Runs a session with full control over the adversarial setting: an arbitrary channel tap
-/// (eavesdropper) and optional impersonation of either party.
-///
-/// # Errors
-///
-/// Returns a [`ProtocolError`] on configuration misuse; aborts triggered by the adversary are
-/// part of the normal [`SessionOutcome`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `protocol::engine::SessionEngine` with `Scenario::with_adversary` \
-            (or `SessionEngine::run_with` for caller-controlled RNG)"
-)]
-pub fn run_session_full<R: Rng>(
-    config: &SessionConfig,
-    identities: &IdentityPair,
-    message: &SecretMessage,
-    impersonation: Impersonation,
-    tap: &mut dyn ChannelTap,
-    rng: &mut R,
-) -> Result<SessionOutcome, ProtocolError> {
-    crate::engine::execute_session(
-        &crate::engine::DensityMatrixBackend,
-        config,
-        identities,
-        message,
-        impersonation,
-        tap,
-        rng,
-    )
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::config::SessionConfig;
     use crate::engine::{Scenario, SessionEngine};
+    use crate::error::ProtocolError;
+    use crate::identity::IdentityPair;
+    use qchannel::quantum::NoTap;
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -283,42 +197,37 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_run_honest_sessions() {
-        let mut r = rng(11);
-        let identities = IdentityPair::generate(5, &mut r);
-        let config = small_config();
-        let message = SecretMessage::from_bitstring("1010011100101101").unwrap();
-        let outcome = run_session_with_message(&config, &identities, &message, &mut r).unwrap();
-        assert!(outcome.is_delivered(), "{}", outcome.status);
-        assert_eq!(outcome.received_message.as_ref().unwrap(), &message);
-        let outcome = run_session(&config, &identities, &mut r).unwrap();
-        assert!(outcome.is_delivered());
-    }
-
-    #[test]
-    fn shims_and_engine_agree_for_the_same_caller_rng() {
-        // The deprecated entry points are thin wrappers over the engine's
-        // session body; with identical RNG streams they must produce
-        // identical outcomes.
+    fn run_with_executes_a_session_under_caller_controlled_rng() {
+        // `run_with` is the escape hatch for callers that thread their own
+        // RNG: identical streams must produce identical outcomes, and the
+        // scenario path accepts the same configuration.
         let identities = IdentityPair::generate(4, &mut rng(21));
         let config = small_config();
         let message = SecretMessage::random(config.message_bits(), &mut rng(22));
-        let legacy =
-            run_session_with_message(&config, &identities, &message, &mut rng(23)).unwrap();
         let engine = SessionEngine::default();
-        let mut tap = NoTap;
-        let via_engine = engine
+        let first = engine
             .run_with(
                 &config,
                 &identities,
                 &message,
                 Impersonation::None,
-                &mut tap,
+                &mut NoTap,
                 &mut rng(23),
             )
             .unwrap();
-        assert_eq!(legacy, via_engine);
-        // And the scenario path accepts the same configuration.
+        let second = engine
+            .run_with(
+                &config,
+                &identities,
+                &message,
+                Impersonation::None,
+                &mut NoTap,
+                &mut rng(23),
+            )
+            .unwrap();
+        assert_eq!(first, second);
+        assert!(first.is_delivered(), "{}", first.status);
+        assert_eq!(first.received_message.as_ref().unwrap(), &message);
         let scenario = Scenario::new(config, identities).with_message(message);
         assert!(engine.run(&scenario).unwrap().is_delivered());
     }
@@ -328,7 +237,14 @@ mod tests {
         let mut r = rng(5);
         let identities = IdentityPair::generate(3, &mut r);
         let message = SecretMessage::from_bitstring("101").unwrap();
-        let err = run_session_with_message(&small_config(), &identities, &message, &mut r);
+        let err = SessionEngine::default().run_with(
+            &small_config(),
+            &identities,
+            &message,
+            Impersonation::None,
+            &mut NoTap,
+            &mut r,
+        );
         assert!(matches!(
             err,
             Err(ProtocolError::MessageLengthMismatch {
@@ -339,7 +255,7 @@ mod tests {
     }
 
     #[test]
-    fn impersonation_still_flows_through_the_shim() {
+    fn impersonation_flows_through_run_with() {
         let mut r = rng(71);
         let identities = IdentityPair::generate(8, &mut r);
         let config = SessionConfig::builder()
@@ -350,16 +266,16 @@ mod tests {
             .build()
             .unwrap();
         let message = SecretMessage::random(8, &mut r);
-        let mut tap = NoTap;
-        let outcome = run_session_full(
-            &config,
-            &identities,
-            &message,
-            Impersonation::OfBob,
-            &mut tap,
-            &mut r,
-        )
-        .unwrap();
+        let outcome = SessionEngine::default()
+            .run_with(
+                &config,
+                &identities,
+                &message,
+                Impersonation::OfBob,
+                &mut NoTap,
+                &mut r,
+            )
+            .unwrap();
         assert!(
             outcome.aborted_at(AbortStage::BobAuthentication),
             "{}",

@@ -57,6 +57,48 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Sharded sweeps
+//!
+//! The same determinism contract extends across processes and machines: every run decomposes
+//! into explicit **plan → execute → merge** stages (`protocol::engine::shard`). A
+//! [`prelude::ShardPlan`] is plain serde data — scenario, master seed, fingerprint, trial
+//! range — so a sweep splits into shards that execute anywhere and merge back byte-identically:
+//!
+//! ```rust
+//! use ua_di_qsdc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let identities = IdentityPair::generate(4, &mut rng_from_seed(7));
+//! let config = SessionConfig::builder()
+//!     .message_bits(8)
+//!     .check_bits(2)
+//!     .di_check_pairs(24)
+//!     .build()?;
+//! let scenario = Scenario::new(config, identities);
+//!
+//! let engine = SessionEngine::new(42);
+//! let whole = engine.run_trials(&scenario, 8)?;
+//!
+//! // Split the run; execute each shard on an unrelated engine (as another
+//! // machine would — the plan alone determines every trial); merge in order.
+//! let mut merger = ShardMerger::new();
+//! for plan in engine.plan(&scenario, 8).split_into(4) {
+//!     merger.push(SessionEngine::new(0).execute_shard(&plan, ShardOutput::Summary)?)?;
+//! }
+//! assert_eq!(merger.finish()?.into_summary().unwrap(), whole);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The `shardctl` binary (in the `bench` crate) ships the three stages between processes as
+//! JSON — `run` workers can live on different machines, and the merge still reproduces the
+//! single-process sweep byte for byte:
+//!
+//! ```text
+//! shardctl scenario --preset intercept | shardctl plan --trials 1000 --seed 42 --shards 4 \
+//!   | shardctl run | shardctl merge
+//! ```
 
 pub use analysis;
 pub use attacks;

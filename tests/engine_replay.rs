@@ -192,6 +192,62 @@ fn env_selected_parallelism_replays_run_trials_with_stats() {
 }
 
 #[test]
+fn shards_shipped_as_json_merge_to_the_single_process_run() {
+    // The full multi-process story in miniature, exactly as `shardctl
+    // plan | run | merge` ships it: plans leave as JSON, every shard is
+    // executed by a *fresh* engine built only from the deserialized plan,
+    // results come back as JSON, and the merge reproduces the single-process
+    // run byte for byte — for summary and outcome payloads alike.
+    for scenario in scenarios() {
+        let trials = 4;
+        let engine = SessionEngine::new(777);
+        let whole_summary = engine.run_trials(&scenario, trials).unwrap();
+        let whole_outcomes = engine.run_outcomes(&scenario, trials).unwrap();
+
+        let plans_json = serde::json::to_string(&engine.plan(&scenario, trials).split_into(3));
+        let plans: Vec<ShardPlan> = serde::json::from_str(&plans_json).unwrap();
+        for (output, expected) in [
+            (ShardOutput::Summary, None),
+            (ShardOutput::Outcomes, Some(&whole_outcomes)),
+        ] {
+            let results_json: Vec<String> = plans
+                .iter()
+                .map(|plan| {
+                    // Worker process: any engine, any seed — the plan governs.
+                    let result = SessionEngine::new(1).execute_shard(plan, output).unwrap();
+                    serde::json::to_string(&result)
+                })
+                .collect();
+            let results: Vec<ShardResult> = results_json
+                .iter()
+                .map(|json| serde::json::from_str(json).unwrap())
+                .collect();
+            match merge_shard_results(results).unwrap() {
+                MergedRun::Summary(summary) => {
+                    assert_eq!(summary, whole_summary, "scenario `{}`", scenario.label);
+                    assert_eq!(
+                        serde::json::to_string(&summary),
+                        serde::json::to_string(&whole_summary)
+                    );
+                }
+                MergedRun::Outcomes(outcomes) => {
+                    assert_eq!(
+                        &outcomes,
+                        expected.unwrap(),
+                        "scenario `{}`",
+                        scenario.label
+                    );
+                    assert_eq!(
+                        serde::json::to_string(&outcomes),
+                        serde::json::to_string(expected.unwrap())
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn trial_summaries_serde_round_trip() {
     let summaries = SessionEngine::new(5)
         .run_batch(&scenarios()[..2], 2)
