@@ -4,10 +4,11 @@ use analysis::report::render_markdown_table;
 use bench::ChannelAttackKind;
 
 fn main() {
+    let backend = bench::backend_from_args();
     bench::announce_parallelism();
     let (attacked, honest) =
-        bench::channel_attack_experiment(ChannelAttackKind::InterceptResend, 20, 11);
-    println!("# Intercept-and-resend attack vs honest channel\n");
+        bench::channel_attack_experiment_on(ChannelAttackKind::InterceptResend, backend, 20, 11);
+    println!("# Intercept-and-resend attack vs honest channel ({backend} backend)\n");
     let cells: Vec<Vec<String>> = [attacked, honest]
         .iter()
         .map(|r| {

@@ -23,8 +23,8 @@
 //! worker process additionally fans its shard's trials across its own cores.
 
 use protocol::engine::{
-    merge_shard_results, Adversary, MergedRun, Scenario, SessionEngine, ShardOutput, ShardPlan,
-    ShardResult,
+    Adversary, BackendKind, MergedRun, Scenario, SessionEngine, ShardMerger, ShardOutput,
+    ShardPlan, ShardResult,
 };
 use protocol::identity::IdentityPair;
 use protocol::SessionConfig;
@@ -36,27 +36,34 @@ const USAGE: &str = "\
 shardctl — plan / run / merge sharded UA-DI-QSDC sweeps as JSON
 
 USAGE:
-    shardctl scenario [--preset NAME] [--seed N]
+    shardctl scenario [--preset NAME] [--seed N] [--backend KIND]
         Write a deterministic demo scenario to stdout.
         Presets: honest, impersonate-alice, impersonate-bob, intercept,
         mitm, entangle (default: honest).
+        Backends: density-matrix (default), statevector.
 
     shardctl plan --trials N [--seed N] [--shards K | --shard-trials M]
-                  [--scenario FILE]
+                  [--scenario FILE] [--backend KIND]
         Read a scenario (FILE or stdin), split a run of N trials under
         master seed N into shards, write a JSON array of shard plans.
+        --backend overrides the scenario's simulation substrate before
+        planning (the substrate is part of the run's fingerprint).
         Default: --seed 0, --shards 1.
 
     shardctl run [--plans FILE] [--index I] [--output summary|outcomes]
         Read a JSON array of shard plans (FILE or stdin), execute them (or
-        only plan I), write a JSON array of shard results. Trials fan out
-        per the UA_DI_QSDC_PARALLELISM environment variable.
+        only plan I) on the substrate each plan declares, write a JSON
+        array of shard results. Trials fan out per the
+        UA_DI_QSDC_PARALLELISM environment variable.
         Default: --output summary.
 
     shardctl merge [FILE...]
         Read one or more JSON arrays of shard results (FILEs or stdin),
         merge them in trial order, write the merged run: a TrialSummary
         for summary payloads, an outcome array for outcome payloads.
+        Results from different backends never merge, a merge failure
+        names the offending file, and listing the same file twice is a
+        duplicate-shard error.
 ";
 
 fn fail(message: impl std::fmt::Display) -> ! {
@@ -114,6 +121,7 @@ fn scenario_cmd(mut args: Args) {
         .take_flag("--preset")
         .unwrap_or_else(|| "honest".into());
     let seed: u64 = args.take_parsed("--seed").unwrap_or(7);
+    let backend: BackendKind = args.take_parsed("--backend").unwrap_or_default();
     args.finish();
     let adversary = match preset.as_str() {
         "honest" => Adversary::Honest,
@@ -134,7 +142,8 @@ fn scenario_cmd(mut args: Args) {
     let identities = IdentityPair::generate(4, &mut rng);
     let scenario = Scenario::new(config, identities)
         .with_label(format!("shardctl-{preset}"))
-        .with_adversary(adversary);
+        .with_adversary(adversary)
+        .with_backend(backend);
     println!("{}", serde::json::to_string(&scenario));
 }
 
@@ -146,9 +155,15 @@ fn plan_cmd(mut args: Args) {
     let shards: Option<usize> = args.take_parsed("--shards");
     let shard_trials: Option<usize> = args.take_parsed("--shard-trials");
     let scenario_path = args.take_flag("--scenario");
+    let backend: Option<BackendKind> = args.take_parsed("--backend");
     args.finish();
-    let scenario: Scenario = serde::json::from_str(&read_input(scenario_path.as_deref()))
+    let mut scenario: Scenario = serde::json::from_str(&read_input(scenario_path.as_deref()))
         .unwrap_or_else(|e| fail(format_args!("invalid scenario JSON: {e}")));
+    if let Some(backend) = backend {
+        // Before planning: the substrate is part of the fingerprint the plan
+        // pins, so every derived shard carries (and reproduces on) it.
+        scenario.backend = backend;
+    }
     let whole = SessionEngine::new(seed).plan(&scenario, trials);
     let plans = match (shards, shard_trials) {
         (Some(_), Some(_)) => fail("--shards and --shard-trials are mutually exclusive"),
@@ -158,9 +173,10 @@ fn plan_cmd(mut args: Args) {
         (count, None) => whole.split_into(count.unwrap_or(1)),
     };
     eprintln!(
-        "planned {} trials of `{}` (seed {seed}) into {} shard(s)",
+        "planned {} trials of `{}` (seed {seed}, backend {}) into {} shard(s)",
         trials,
         scenario.label,
+        scenario.backend,
         plans.len()
     );
     println!("{}", serde::json::to_string(&plans));
@@ -202,9 +218,10 @@ fn run_cmd(mut args: Args) {
                 .execute_shard_with_stats(plan, output)
                 .unwrap_or_else(|e| fail(format_args!("shard execution failed: {e}")));
             eprintln!(
-                "executed trials {}..{}: {stats} ({:.1} trials/s)",
+                "executed trials {}..{} on the {} backend: {stats} ({:.1} trials/s)",
                 plan.trial_start,
                 plan.trial_end(),
+                plan.backend(),
                 stats.throughput()
             );
             result
@@ -213,22 +230,57 @@ fn run_cmd(mut args: Args) {
     println!("{}", serde::json::to_string(&results));
 }
 
+/// The first file that appears twice in the list, if any. Merging the same
+/// result file twice would double-count its trials (surfacing, at best, as an
+/// opaque overlap error), so it is rejected up front by name.
+fn find_duplicate_file(files: &[String]) -> Option<&String> {
+    files
+        .iter()
+        .enumerate()
+        .find(|(i, file)| files[..*i].contains(file))
+        .map(|(_, file)| file)
+}
+
+/// Merges shard results with per-shard provenance: the same trial-order fold
+/// as `protocol::engine::merge_shard_results`, but a failure names the source
+/// (file) whose shard was rejected.
+fn merge_sources(mut sources: Vec<(String, ShardResult)>) -> Result<MergedRun, String> {
+    // Sort exactly as `merge_shard_results` does (empty shards share their
+    // start with the following shard; the count key orders them first).
+    sources.sort_by(|(_, a), (_, b)| {
+        (a.trial_start, a.trial_count).cmp(&(b.trial_start, b.trial_count))
+    });
+    let mut merger = ShardMerger::new();
+    for (source, result) in sources {
+        let range = format!("trials {}..{}", result.trial_start, result.trial_end());
+        merger
+            .push(result)
+            .map_err(|e| format!("cannot merge {source} ({range}): {e}"))?;
+    }
+    merger.finish().map_err(|e| format!("merge failed: {e}"))
+}
+
 fn merge_cmd(args: Args) {
     let files = args.finish_positional();
-    let mut results: Vec<ShardResult> = Vec::new();
+    if let Some(duplicate) = find_duplicate_file(&files) {
+        fail(format_args!(
+            "duplicate shard result file `{duplicate}`: each result may be merged only once"
+        ));
+    }
+    let mut sources: Vec<(String, ShardResult)> = Vec::new();
     if files.is_empty() {
-        results = serde::json::from_str(&read_input(None))
-            .unwrap_or_else(|e| fail(format_args!("invalid shard result JSON: {e}")));
+        let results: Vec<ShardResult> = serde::json::from_str(&read_input(None))
+            .unwrap_or_else(|e| fail(format_args!("invalid shard result JSON on stdin: {e}")));
+        sources.extend(results.into_iter().map(|r| ("<stdin>".to_string(), r)));
     } else {
         for file in &files {
-            let mut batch: Vec<ShardResult> = serde::json::from_str(&read_input(Some(file)))
+            let batch: Vec<ShardResult> = serde::json::from_str(&read_input(Some(file)))
                 .unwrap_or_else(|e| fail(format_args!("invalid shard result JSON in {file}: {e}")));
-            results.append(&mut batch);
+            sources.extend(batch.into_iter().map(|r| (file.clone(), r)));
         }
     }
-    let shard_count = results.len();
-    let merged =
-        merge_shard_results(results).unwrap_or_else(|e| fail(format_args!("merge failed: {e}")));
+    let shard_count = sources.len();
+    let merged = merge_sources(sources).unwrap_or_else(|e| fail(e));
     match merged {
         MergedRun::Summary(summary) => {
             eprintln!("merged {shard_count} shard(s): {summary}");
@@ -261,4 +313,71 @@ fn main() -> ExitCode {
         other => fail(format_args!("unknown subcommand `{other}`; see --help")),
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protocol::SessionConfig;
+
+    fn results(backend: BackendKind) -> Vec<ShardResult> {
+        let config = SessionConfig::builder()
+            .message_bits(8)
+            .check_bits(2)
+            .di_check_pairs(24)
+            .build()
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let identities = IdentityPair::generate(2, &mut rng);
+        let scenario = Scenario::new(config, identities).with_backend(backend);
+        let engine = SessionEngine::new(5);
+        engine
+            .plan(&scenario, 4)
+            .split_into(2)
+            .iter()
+            .map(|p| engine.execute_shard(p, ShardOutput::Summary).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn duplicate_files_are_found_by_name() {
+        let files = vec!["a.json".to_string(), "b.json".to_string()];
+        assert_eq!(find_duplicate_file(&files), None);
+        let twice = vec![
+            "a.json".to_string(),
+            "b.json".to_string(),
+            "a.json".to_string(),
+        ];
+        assert_eq!(find_duplicate_file(&twice), Some(&"a.json".to_string()));
+    }
+
+    #[test]
+    fn merge_sources_names_the_offending_file() {
+        let shards = results(BackendKind::DensityMatrix);
+        // Clean merge works out of order.
+        let ok = merge_sources(vec![
+            ("b.json".into(), shards[1].clone()),
+            ("a.json".into(), shards[0].clone()),
+        ]);
+        assert!(ok.is_ok());
+        // Duplicate shard *content* (same range from two files) is an
+        // overlap naming the second file.
+        let err = merge_sources(vec![
+            ("a.json".into(), shards[0].clone()),
+            ("copy-of-a.json".into(), shards[0].clone()),
+            ("b.json".into(), shards[1].clone()),
+        ])
+        .unwrap_err();
+        assert!(err.contains("copy-of-a.json"), "{err}");
+        assert!(err.contains("overlap"), "{err}");
+        // A cross-backend shard is rejected naming its file and substrate.
+        let alien = results(BackendKind::Statevector);
+        let err = merge_sources(vec![
+            ("a.json".into(), shards[0].clone()),
+            ("sv.json".into(), alien[1].clone()),
+        ])
+        .unwrap_err();
+        assert!(err.contains("sv.json"), "{err}");
+        assert!(err.contains("statevector"), "{err}");
+    }
 }

@@ -15,6 +15,12 @@
 //! | Entangle-measure sim (Sec. III-D/IV) | [`channel_attack_experiment`] | `attack_entangle` |
 //! | Info-leakage audit (Sec. III-E) | [`leakage_experiment`] | `attack_leakage` |
 //! | CHSH behaviour (Sec. II) | [`chsh_baseline_experiment`] | `chsh_baseline` |
+//! | Backend ablation (Sec. IV emulation vs trajectories) | [`backend_ablation_experiment`] | `ablation_backend` |
+//!
+//! The engine-driven attack binaries additionally accept `--backend
+//! density-matrix|statevector` to re-run their sweep on either simulation
+//! substrate ([`backend_from_args`]); `shardctl` takes the same flag on its
+//! `scenario` and `plan` subcommands.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,10 +35,13 @@ use protocol::config::SessionConfig;
 use protocol::descriptor::ProtocolDescriptor;
 use protocol::di_check::{run_di_check, DiCheckRound};
 use protocol::engine::parallel::scatter;
-use protocol::engine::{Adversary, Parallelism, Scenario, SessionEngine, TrialSummary};
+use protocol::engine::{
+    Adversary, BackendKind, Parallelism, Scenario, SessionEngine, TrialSummary,
+};
 use protocol::identity::IdentityPair;
 use protocol::session::Impersonation;
 use qchannel::epr::EprPair;
+use qchannel::quantum::ChannelSpec;
 use qchannel::taps::{InterceptBasis, SubstituteState};
 use qsim::circuit::{Circuit, CircuitBuilder};
 use qsim::counts::Counts;
@@ -71,6 +80,37 @@ pub fn announce_parallelism() -> Parallelism {
         Parallelism::ENV_VAR
     );
     parallelism
+}
+
+/// Parses the optional `--backend KIND` (or `--backend=KIND`) flag from the
+/// process arguments — the shared CLI of the engine-driven sweep binaries.
+/// Defaults to the density-matrix substrate; exits with a usage error on an
+/// unknown kind or any unrecognised argument, so a typo can never silently
+/// fall back to the default substrate.
+pub fn backend_from_args() -> BackendKind {
+    fn parse_kind(raw: &str) -> BackendKind {
+        raw.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2)
+        })
+    }
+    let mut backend = BackendKind::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--backend" {
+            let raw = args.next().unwrap_or_else(|| {
+                eprintln!("--backend requires a value (density-matrix or statevector)");
+                std::process::exit(2)
+            });
+            backend = parse_kind(&raw);
+        } else if let Some(raw) = flag.strip_prefix("--backend=") {
+            backend = parse_kind(raw);
+        } else {
+            eprintln!("unknown option `{flag}` (supported: --backend KIND)");
+            std::process::exit(2);
+        }
+    }
+    backend
 }
 
 /// Derives an independent RNG seed for sweep point `index` of an experiment
@@ -254,9 +294,23 @@ pub enum ChannelAttackKind {
 }
 
 /// Runs `trials` protocol sessions against the given channel attack and also reports the
-/// honest (no-attack) control with the same configuration.
+/// honest (no-attack) control with the same configuration, on the default
+/// density-matrix substrate.
 pub fn channel_attack_experiment(
     kind: ChannelAttackKind,
+    trials: usize,
+    seed: u64,
+) -> (AttackRow, AttackRow) {
+    channel_attack_experiment_on(kind, BackendKind::DensityMatrix, trials, seed)
+}
+
+/// [`channel_attack_experiment`] on an explicit simulation substrate (the
+/// `--backend` flag of the attack binaries). Scenarios on different backends
+/// carry different fingerprints, so the two substrates draw independent trial
+/// streams by construction.
+pub fn channel_attack_experiment_on(
+    kind: ChannelAttackKind,
+    backend: BackendKind,
     trials: usize,
     seed: u64,
 ) -> (AttackRow, AttackRow) {
@@ -285,8 +339,11 @@ pub fn channel_attack_experiment(
     let scenarios = [
         Scenario::new(config.clone(), identities.clone())
             .with_label("attacked")
-            .with_adversary(adversary),
-        Scenario::new(config, identities).with_label("honest control"),
+            .with_adversary(adversary)
+            .with_backend(backend),
+        Scenario::new(config, identities)
+            .with_label("honest control")
+            .with_backend(backend),
     ];
     let summaries = SessionEngine::new(seed)
         .with_parallelism(engine_parallelism())
@@ -312,6 +369,98 @@ fn summary_to_row(summary: TrialSummary) -> AttackRow {
         mean_chsh_round1: summary.mean_chsh_round1,
         mean_chsh_round2: summary.mean_chsh_round2,
     }
+}
+
+/// One grid point of the backend-ablation sweep: one adversary, one channel
+/// length, one simulation substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendAblationRow {
+    /// Adversary display name (`honest`, `intercept-resend`, `mitm`).
+    pub adversary: &'static str,
+    /// Channel length in identity gates (the paper's η, the Fig. 3 axis).
+    pub eta: usize,
+    /// The substrate the sessions ran on.
+    pub backend: BackendKind,
+    /// Sessions executed.
+    pub trials: usize,
+    /// Sessions in which the message was delivered.
+    pub delivered: usize,
+    /// Fraction of sessions that aborted (the adversary was detected).
+    pub detection_rate: f64,
+    /// Mean CHSH value of the second check, where it was estimated.
+    pub mean_chsh_round2: Option<f64>,
+}
+
+/// The adversaries the backend ablation sweeps, in row order: the honest
+/// control plus the two channel attacks whose detection-rate curves the paper
+/// plots (intercept-resend and MITM).
+pub const ABLATION_ADVERSARIES: [&str; 3] = ["honest", "intercept-resend", "mitm"];
+
+/// Runs the backend ablation: the Fig. 2/3 channel-length grid (`etas`
+/// identity gates on an `ibm_brisbane`-like device) for the honest control,
+/// intercept-resend and MITM adversaries, on **every** production substrate
+/// ([`BackendKind::ALL`]). Rows come back grid-major (η, then adversary, then
+/// backend), so consecutive row pairs compare the exact density-matrix
+/// emulation against the sampled statevector trajectories on an otherwise
+/// identical scenario — the divergence the `ablation_backend` binary reports.
+pub fn backend_ablation_experiment(
+    etas: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Vec<BackendAblationRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let adversary_for = |name: &str| match name {
+        "honest" => Adversary::Honest,
+        "intercept-resend" => Adversary::InterceptResend(InterceptBasis::Computational),
+        "mitm" => Adversary::ManInTheMiddle(SubstituteState::RandomComputational),
+        other => unreachable!("unknown ablation adversary `{other}`"),
+    };
+    let mut grid: Vec<(usize, &'static str, BackendKind)> = Vec::new();
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for &eta in etas {
+        // As in `channel_attack_experiment`: a generous DI budget keeps honest
+        // aborts negligible, and the relaxed authentication tolerance lets the
+        // CHSH mechanism (not the auth mismatch) do the detecting.
+        let config = SessionConfig::builder()
+            .message_bits(8)
+            .check_bits(2)
+            .di_check_pairs(220)
+            .auth_error_tolerance(1.0)
+            .channel(ChannelSpec::noisy_identity_chain(
+                eta,
+                DeviceModel::ibm_brisbane_like(),
+            ))
+            .build()
+            .expect("ablation config is valid");
+        for adversary in ABLATION_ADVERSARIES {
+            for backend in BackendKind::ALL {
+                grid.push((eta, adversary, backend));
+                scenarios.push(
+                    Scenario::new(config.clone(), identities.clone())
+                        .with_label(format!("{adversary} η={eta} on {backend}"))
+                        .with_adversary(adversary_for(adversary))
+                        .with_backend(backend),
+                );
+            }
+        }
+    }
+    let summaries = SessionEngine::new(seed)
+        .with_parallelism(engine_parallelism())
+        .run_batch(&scenarios, trials)
+        .expect("ablation sessions run");
+    grid.into_iter()
+        .zip(summaries)
+        .map(|((eta, adversary, backend), summary)| BackendAblationRow {
+            adversary,
+            eta,
+            backend,
+            trials: summary.trials,
+            delivered: summary.delivered,
+            detection_rate: summary.detection_rate(),
+            mean_chsh_round2: summary.mean_chsh_round2,
+        })
+        .collect()
 }
 
 /// Runs the information-leakage audit (Section III-E): executes `sessions` honest sessions
@@ -491,6 +640,49 @@ mod tests {
             assert_eq!(attacked.delivered, 0, "{kind:?} must never deliver");
             assert!(attacked.detection_rate > 0.99);
             assert_eq!(honest.delivered, 3);
+        }
+    }
+
+    #[test]
+    fn channel_attack_experiment_runs_on_both_backends() {
+        for backend in BackendKind::ALL {
+            let (attacked, honest) =
+                channel_attack_experiment_on(ChannelAttackKind::InterceptResend, backend, 3, 8);
+            assert_eq!(attacked.delivered, 0, "{backend} must detect the attack");
+            assert!(attacked.detection_rate > 0.99, "{backend}");
+            assert_eq!(honest.delivered, 3, "{backend} honest control delivers");
+        }
+    }
+
+    #[test]
+    fn backend_ablation_covers_the_full_grid() {
+        let rows = backend_ablation_experiment(&[0], 3, 9);
+        // One η × three adversaries × both backends.
+        assert_eq!(
+            rows.len(),
+            ABLATION_ADVERSARIES.len() * BackendKind::ALL.len()
+        );
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].adversary, pair[1].adversary);
+            assert_eq!(pair[0].eta, pair[1].eta);
+            assert_eq!(pair[0].backend, BackendKind::DensityMatrix);
+            assert_eq!(pair[1].backend, BackendKind::Statevector);
+        }
+        for row in &rows {
+            assert_eq!(row.trials, 3);
+            match row.adversary {
+                "honest" => assert_eq!(
+                    row.delivered, 3,
+                    "honest control must deliver on {}",
+                    row.backend
+                ),
+                _ => assert!(
+                    row.detection_rate > 0.99,
+                    "{} on {} must be detected",
+                    row.adversary,
+                    row.backend
+                ),
+            }
         }
     }
 

@@ -154,7 +154,9 @@ impl CVector {
     /// Panics if the vector has zero norm.
     pub fn normalized(&self) -> CVector {
         let n = self.norm();
-        assert!(n > 0.0, "cannot normalise the zero vector");
+        // `is_finite` guards NaN/infinite norms: `1/n` would silently poison
+        // every entry instead of failing loudly here.
+        assert!(n.is_finite() && n > 0.0, "cannot normalise the zero vector");
         self.scale(Complex64::real(1.0 / n))
     }
 

@@ -8,7 +8,10 @@
 use mathkit::complex::Complex64;
 use mathkit::matrix::CMatrix;
 use qsim::density::DensityMatrix;
+use qsim::error::QsimError;
 use qsim::gates;
+use qsim::statevector::StateVector;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -276,6 +279,66 @@ impl KrausChannel {
     /// Panics if the target list length does not match the channel arity or the targets are
     /// invalid for the register.
     pub fn apply(&self, rho: &mut DensityMatrix, qubits: &[usize]) {
+        self.check_arity(qubits);
+        rho.apply_kraus(&self.operators, qubits);
+    }
+
+    /// Applies one **sampled trajectory step** of this channel to a pure
+    /// state: Born-samples a single Kraus branch (probability `‖K_i|ψ⟩‖²`)
+    /// and renormalises, instead of summing every branch into a density
+    /// matrix. Averaging over many samples reproduces the exact channel — the
+    /// Monte-Carlo wavefunction unravelling used by the engine's sampled
+    /// statevector backend. Exactly one `f64` is drawn from `rng` per call.
+    ///
+    /// Returns the selected branch index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target list length does not match the channel arity
+    /// (the same contract as [`KrausChannel::apply`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QsimError`] from
+    /// [`StateVector::apply_kraus_sampled`] — notably
+    /// [`QsimError::ZeroNorm`] when every branch has vanishing probability.
+    pub fn sample_on_statevector<R: Rng + ?Sized>(
+        &self,
+        psi: &mut StateVector,
+        qubits: &[usize],
+        rng: &mut R,
+    ) -> Result<usize, QsimError> {
+        self.check_arity(qubits);
+        psi.apply_kraus_sampled(&self.operators, qubits, rng)
+    }
+
+    /// The mixed-state sibling of
+    /// [`sample_on_statevector`](Self::sample_on_statevector): Born-samples a
+    /// single Kraus branch (probability `Tr(K_i ρ K_i†)`) and renormalises.
+    /// Agrees with the statevector unravelling in distribution on pure
+    /// states, and stays well-defined on mixed ones.
+    ///
+    /// Returns the selected branch index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target list length does not match the channel arity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QsimError`] from
+    /// [`DensityMatrix::apply_kraus_sampled`].
+    pub fn sample_on_density<R: Rng + ?Sized>(
+        &self,
+        rho: &mut DensityMatrix,
+        qubits: &[usize],
+        rng: &mut R,
+    ) -> Result<usize, QsimError> {
+        self.check_arity(qubits);
+        rho.apply_kraus_sampled(&self.operators, qubits, rng)
+    }
+
+    fn check_arity(&self, qubits: &[usize]) {
         assert_eq!(
             qubits.len(),
             self.num_qubits(),
@@ -283,7 +346,6 @@ impl KrausChannel {
             self.num_qubits(),
             qubits.len()
         );
-        rho.apply_kraus(&self.operators, qubits);
     }
 
     /// Average gate fidelity of this single-qubit channel with respect to the identity,
@@ -503,6 +565,76 @@ mod tests {
         assert!(text.contains('4'));
         assert_eq!(c.num_qubits(), 1);
         assert_eq!(KrausChannel::depolarizing_two_qubit(0.1).num_qubits(), 2);
+    }
+
+    #[test]
+    fn trajectory_step_matches_channel_statistics_on_statevectors() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let channel = KrausChannel::bit_flip(0.3);
+        let mut flips = 0;
+        let n = 4000;
+        for _ in 0..n {
+            let mut psi = StateVector::new(1);
+            if channel
+                .sample_on_statevector(&mut psi, &[0], &mut rng)
+                .unwrap()
+                == 1
+            {
+                flips += 1;
+            }
+            assert!(psi.is_normalized(1e-12));
+        }
+        let frac = flips as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.03, "flip fraction {frac}");
+    }
+
+    #[test]
+    fn trajectory_mean_approximates_the_exact_channel_on_densities() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let channel = KrausChannel::thermal_relaxation(233.04, 145.75, 6000.0);
+        let bell = BellState::PhiPlus.statevector();
+        let mut exact = DensityMatrix::from_statevector(&bell);
+        channel.apply(&mut exact, &[0]);
+        let n = 3000;
+        let mut mean = mathkit::CMatrix::zeros(4, 4);
+        for _ in 0..n {
+            let mut rho = DensityMatrix::from_statevector(&bell);
+            channel.sample_on_density(&mut rho, &[0], &mut rng).unwrap();
+            mean = &mean + rho.matrix();
+        }
+        mean = mean.scale(Complex64::real(1.0 / n as f64));
+        assert!(
+            mean.approx_eq(exact.matrix(), 0.03),
+            "trajectory mean must approximate the exact channel"
+        );
+    }
+
+    #[test]
+    fn zero_probability_trajectory_branches_are_never_selected() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        // bit_flip(0.0) carries an exactly-zero X branch: the trajectory step
+        // must never pick it (picking it would renormalise a zero vector).
+        let channel = KrausChannel::bit_flip(0.0);
+        for _ in 0..200 {
+            let mut psi = StateVector::new(1);
+            assert_eq!(
+                channel.sample_on_statevector(&mut psi, &[0], &mut rng),
+                Ok(0)
+            );
+            assert!(psi.is_normalized(1e-12), "no NaN poisoning");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel acts on")]
+    fn trajectory_step_with_wrong_arity_panics() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut psi = StateVector::new(2);
+        let _ = KrausChannel::depolarizing(0.1).sample_on_statevector(&mut psi, &[0, 1], &mut rng);
     }
 
     #[test]

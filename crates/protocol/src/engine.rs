@@ -69,13 +69,14 @@ use crate::identity::IdentityPair;
 use crate::message::{PaddedMessage, SecretMessage};
 use crate::session::{AbortStage, Impersonation, ResourceUsage, SessionOutcome, SessionStatus};
 use qchannel::classical::{ClassicalChannel, ClassicalMessage, Party};
-use qchannel::epr::EprPair;
+use qchannel::epr::{EprPair, ALICE_QUBIT, BOB_QUBIT};
 use qchannel::quantum::{ChannelTap, NoTap, QuantumChannel};
 use qchannel::taps::{
     EntangleMeasureAttack, InterceptBasis, InterceptResendAttack, ManInTheMiddleAttack,
     SubstituteState,
 };
 use qsim::bell::BellState;
+use qsim::density::DensityMatrix;
 use qsim::pauli::Pauli;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -146,6 +147,184 @@ impl Backend for DensityMatrixBackend {
         rng: &mut dyn RngCore,
     ) {
         channel.transmit_tapped(pair, tap, rng);
+    }
+}
+
+/// The sampled pure-state backend: Monte-Carlo wavefunction trajectories.
+///
+/// Where [`DensityMatrixBackend`] applies every noise channel exactly
+/// (`ρ → Σᵢ Kᵢ ρ Kᵢ†`), this backend Born-samples **one** Kraus branch per
+/// channel application and renormalises (`|ψ⟩ → Kᵢ|ψ⟩/√pᵢ`), so noisy EPR
+/// emission and η-gate transmission evolve as a single stochastic pure-state
+/// trajectory per pair. Averaged over trials the substrates agree; per trial
+/// the sampled substrate is an approximation whose detection-rate curves the
+/// `ablation_backend` binary (bench crate) quantifies against the exact
+/// emulation.
+///
+/// Channel taps keep acting on the pair's density representation, exactly as
+/// on the default backend. When a tap leaves a pair mixed (e.g.
+/// entangle-and-measure traces out its ancilla), transmission falls back to
+/// branch-sampling on the density matrix — the same one-branch-per-step
+/// unravelling, without requiring purity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatevectorBackend;
+
+/// Purity tolerance under which a pair still counts as pure for trajectory
+/// extraction.
+const PURITY_TOL: f64 = 1e-9;
+
+impl Backend for StatevectorBackend {
+    fn name(&self) -> &str {
+        "statevector"
+    }
+
+    fn emit_pair(
+        &self,
+        channel: &QuantumChannel,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) -> EprPair {
+        let device = channel.spec().device();
+        let mut psi = BellState::PhiPlus.statevector();
+        if !device.is_ideal() {
+            device
+                .two_qubit_gate_channel()
+                .sample_on_statevector(&mut psi, &[ALICE_QUBIT, BOB_QUBIT], rng)
+                .expect("source-noise trajectory step on a normalised pair");
+            let prep = device.state_prep_channel();
+            for qubit in [ALICE_QUBIT, BOB_QUBIT] {
+                prep.sample_on_statevector(&mut psi, &[qubit], rng)
+                    .expect("state-prep trajectory step on a normalised pair");
+            }
+        }
+        let mut pair = EprPair::from_density(DensityMatrix::from_statevector(&psi));
+        channel.distribute_tapped(&mut pair, tap, rng);
+        pair
+    }
+
+    fn transmit(
+        &self,
+        channel: &QuantumChannel,
+        pair: &mut EprPair,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) {
+        // Same tap contract as the physical channel: Eve acts at the channel
+        // entrance, then the (here: sampled) noise applies.
+        tap.on_transmit(pair, rng);
+        let spec = channel.spec();
+        let device = spec.device();
+        if device.is_ideal() || spec.length() == 0 {
+            return;
+        }
+        let gate = device.identity_gate_channel();
+        let idle = device
+            .idle_partner_noise()
+            .then(|| device.idle_channel(device.identity_gate_time_ns()));
+        if let Some(mut psi) = pair.density().as_pure_state(PURITY_TOL) {
+            for _ in 0..spec.length() {
+                gate.sample_on_statevector(&mut psi, &[ALICE_QUBIT], rng)
+                    .expect("gate-noise trajectory step on a normalised pair");
+                if let Some(idle) = &idle {
+                    idle.sample_on_statevector(&mut psi, &[BOB_QUBIT], rng)
+                        .expect("idle-noise trajectory step on a normalised pair");
+                }
+            }
+            *pair = EprPair::from_density(DensityMatrix::from_statevector(&psi));
+        } else {
+            for _ in 0..spec.length() {
+                gate.sample_on_density(pair.density_mut(), &[ALICE_QUBIT], rng)
+                    .expect("gate-noise trajectory step on a unit-trace pair");
+                if let Some(idle) = &idle {
+                    idle.sample_on_density(pair.density_mut(), &[BOB_QUBIT], rng)
+                        .expect("idle-noise trajectory step on a unit-trace pair");
+                }
+            }
+        }
+    }
+}
+
+/// Names one of the production simulation substrates — the serde face of the
+/// [`Backend`] seam.
+///
+/// Every [`Scenario`] carries a `BackendKind` (and every [`ShardPlan`] /
+/// [`ShardResult`] inherits it), and any non-default kind is folded into
+/// [`Scenario::fingerprint`], so plans, shard results and per-trial RNG
+/// streams are pinned to the substrate that produced them; the
+/// [`ShardMerger`] rejects cross-backend merges with
+/// [`MergeError::BackendMismatch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Exact density-matrix evolution — the paper's Section IV emulation
+    /// ([`DensityMatrixBackend`]; the default).
+    #[default]
+    DensityMatrix,
+    /// Sampled pure-state trajectories ([`StatevectorBackend`]).
+    Statevector,
+}
+
+impl BackendKind {
+    /// Every production substrate, in ablation order.
+    pub const ALL: [BackendKind; 2] = [BackendKind::DensityMatrix, BackendKind::Statevector];
+
+    /// The canonical CLI / serde name (`density-matrix` / `statevector`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::DensityMatrix => "density-matrix",
+            BackendKind::Statevector => "statevector",
+        }
+    }
+
+    /// The backend implementation this kind names.
+    pub fn backend(self) -> &'static dyn Backend {
+        match self {
+            BackendKind::DensityMatrix => &DensityMatrixBackend,
+            BackendKind::Statevector => &StatevectorBackend,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        match name {
+            "density-matrix" | "density" | "dm" => Ok(BackendKind::DensityMatrix),
+            "statevector" | "sv" | "trajectory" => Ok(BackendKind::Statevector),
+            other => Err(format!(
+                "unknown backend `{other}` (expected `density-matrix` or `statevector`)"
+            )),
+        }
+    }
+}
+
+impl Serialize for BackendKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().into())
+    }
+}
+
+impl Deserialize for BackendKind {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            // Scenario/ShardPlan/ShardResult JSON written before the backend
+            // selector existed has no `backend` field (the derived
+            // deserializer hands us Null): those runs were density-matrix by
+            // construction, matching the fingerprint rule that omits the
+            // default kind so pre-backend runs stay valid.
+            serde::Value::Null => Ok(BackendKind::default()),
+            serde::Value::Str(name) => name.parse().map_err(serde::Error::new),
+            other => Err(serde::Error::new(format!(
+                "expected a backend name, got {}",
+                other.kind()
+            ))),
+        }
     }
 }
 
@@ -415,10 +594,16 @@ pub struct Scenario {
     pub message: Option<SecretMessage>,
     /// The adversarial setting.
     pub adversary: Adversary,
+    /// The simulation substrate trials of this scenario run on. Part of the
+    /// physical fingerprint: two scenarios differing only in backend draw
+    /// disjoint per-trial RNG streams and their shard results can never be
+    /// merged into one run.
+    pub backend: BackendKind,
 }
 
 impl Scenario {
-    /// An honest scenario with a fresh random message per trial.
+    /// An honest scenario with a fresh random message per trial, on the
+    /// default [`BackendKind::DensityMatrix`] substrate.
     pub fn new(config: SessionConfig, identities: IdentityPair) -> Self {
         Self {
             label: "session".into(),
@@ -426,6 +611,7 @@ impl Scenario {
             identities,
             message: None,
             adversary: Adversary::Honest,
+            backend: BackendKind::default(),
         }
     }
 
@@ -450,21 +636,36 @@ impl Scenario {
         self
     }
 
+    /// Sets the simulation substrate.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// A stable 64-bit fingerprint of the scenario's *physical* content —
-    /// configuration, identities, message and adversary — used to derive
-    /// per-trial RNG streams that do not depend on batch order.
+    /// configuration, identities, message, adversary and (non-default)
+    /// backend — used to derive per-trial RNG streams that do not depend on
+    /// batch order.
     ///
     /// The display [`label`](Scenario::label) is deliberately excluded:
     /// renaming a scenario for reporting purposes must not change any
-    /// simulated result.
+    /// simulated result. The default [`BackendKind::DensityMatrix`] is
+    /// likewise omitted (rather than hashed as an explicit field) so
+    /// fingerprints — and therefore the recorded RNG streams — of every
+    /// scenario that predates the backend selector stay valid; any other
+    /// backend hashes in and forces disjoint streams.
     pub fn fingerprint(&self) -> u64 {
-        let physical = serde::Value::Map(vec![
+        let mut physical = vec![
             ("config".into(), self.config.to_value()),
             ("identities".into(), self.identities.to_value()),
             ("message".into(), self.message.to_value()),
             ("adversary".into(), self.adversary.to_value()),
-        ]);
-        fnv1a64(serde::json::to_string(&physical).as_bytes())
+        ];
+        if self.backend != BackendKind::default() {
+            physical.push(("backend".into(), self.backend.to_value()));
+        }
+        fnv1a64(serde::json::to_string(&serde::Value::Map(physical)).as_bytes())
     }
 }
 
@@ -472,8 +673,8 @@ impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scenario `{}` vs {} ({})",
-            self.label, self.adversary, self.config
+            "scenario `{}` vs {} ({}) on {}",
+            self.label, self.adversary, self.config, self.backend
         )
     }
 }
@@ -730,7 +931,9 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 #[derive(Debug, Clone)]
 pub struct SessionEngine {
     master_seed: u64,
-    backend: Arc<dyn Backend>,
+    /// `None` resolves the backend per scenario from its [`BackendKind`];
+    /// `Some` is a fixed override for custom substrates.
+    backend: Option<Arc<dyn Backend>>,
     parallelism: Parallelism,
 }
 
@@ -741,21 +944,40 @@ impl Default for SessionEngine {
 }
 
 impl SessionEngine {
-    /// Creates an engine on the default [`DensityMatrixBackend`], running
-    /// serially.
+    /// Creates an engine that runs serially and resolves the simulation
+    /// substrate per scenario from its [`BackendKind`] (so a deserialized
+    /// [`ShardPlan`] reproduces on the right substrate without any engine
+    /// configuration).
     pub fn new(master_seed: u64) -> Self {
         Self {
             master_seed,
-            backend: Arc::new(DensityMatrixBackend),
+            backend: None,
             parallelism: Parallelism::Serial,
         }
     }
 
-    /// Replaces the simulation backend.
+    /// Installs a fixed simulation backend, overriding every scenario's
+    /// declared [`BackendKind`] — the escape hatch for custom substrates
+    /// (sparse simulators, GPU batches, hardware adapters) that have no
+    /// `BackendKind` name.
+    ///
+    /// Because fingerprints and shard metadata keep advertising the
+    /// *scenario's* kind, do not combine a custom override with the shard
+    /// pipeline: results produced under an override would carry another
+    /// substrate's identity.
     #[must_use]
     pub fn with_backend(mut self, backend: Arc<dyn Backend>) -> Self {
-        self.backend = backend;
+        self.backend = Some(backend);
         self
+    }
+
+    /// The backend a given scenario's trials run on: the fixed override when
+    /// one was installed, the scenario's [`BackendKind`] otherwise.
+    fn backend_for<'a>(&'a self, scenario: &Scenario) -> &'a dyn Backend {
+        match &self.backend {
+            Some(fixed) => fixed.as_ref(),
+            None => scenario.backend.backend(),
+        }
     }
 
     /// Sets the execution policy for `run_outcomes` / `run_trials` /
@@ -777,9 +999,15 @@ impl SessionEngine {
         self.master_seed
     }
 
-    /// The active backend's name.
+    /// The active backend's name: the fixed override's when one was installed
+    /// via [`with_backend`](Self::with_backend), `"scenario-selected"`
+    /// otherwise (each scenario's [`BackendKind`] then chooses the
+    /// substrate).
     pub fn backend_name(&self) -> &str {
-        self.backend.name()
+        match &self.backend {
+            Some(fixed) => fixed.name(),
+            None => "scenario-selected",
+        }
     }
 
     /// The RNG for one trial of one scenario: a deterministic function of
@@ -832,7 +1060,7 @@ impl SessionEngine {
         };
         let mut tap = scenario.adversary.make_tap();
         execute_session(
-            self.backend.as_ref(),
+            self.backend_for(scenario),
             &scenario.config,
             &scenario.identities,
             &message,
@@ -1018,6 +1246,8 @@ impl SessionEngine {
 
     /// Runs one session with explicitly supplied parts and caller-controlled
     /// RNG — the escape hatch the deprecated free functions are shimmed on.
+    /// With no scenario to consult, the backend is the fixed override when
+    /// one was installed, the default [`DensityMatrixBackend`] otherwise.
     ///
     /// # Errors
     ///
@@ -1032,7 +1262,9 @@ impl SessionEngine {
         rng: &mut R,
     ) -> Result<SessionOutcome, ProtocolError> {
         execute_session(
-            self.backend.as_ref(),
+            self.backend
+                .as_deref()
+                .unwrap_or(BackendKind::DensityMatrix.backend()),
             config,
             identities,
             message,
@@ -1865,6 +2097,144 @@ mod tests {
             .unwrap();
         assert_eq!(serial, threaded);
         assert_eq!(serial.delivered, 0, "dephasing everything must abort");
+    }
+
+    #[test]
+    fn statevector_backend_delivers_and_replays() {
+        let identities = IdentityPair::generate(5, &mut rng(43));
+        let config = SessionConfig::builder()
+            .message_bits(24)
+            .check_bits(8)
+            .di_check_pairs(220)
+            .channel(ChannelSpec::noisy_identity_chain(
+                10,
+                DeviceModel::ibm_brisbane_like(),
+            ))
+            .build()
+            .unwrap();
+        let scenario = Scenario::new(config, identities).with_backend(BackendKind::Statevector);
+        let outcome = SessionEngine::new(43).run(&scenario).unwrap();
+        assert!(outcome.is_delivered(), "{}", outcome.status);
+        assert!(
+            outcome.message_accuracy().unwrap() > 0.8,
+            "sampled trajectories keep a short channel usable, got {:?}",
+            outcome.message_accuracy()
+        );
+        let s2 = outcome.di_check_round2.as_ref().unwrap().chsh.unwrap();
+        assert!(s2 > 2.0, "honest sampled channel keeps S2 > 2, got {s2}");
+        // Bit-for-bit replay on a fresh engine.
+        let replay = SessionEngine::new(43).run(&scenario).unwrap();
+        assert_eq!(outcome, replay);
+    }
+
+    #[test]
+    fn statevector_backend_on_an_ideal_channel_delivers_exactly() {
+        let message = SecretMessage::from_bitstring("1010011100101101").unwrap();
+        let scenario = small_scenario(44)
+            .with_message(message.clone())
+            .with_backend(BackendKind::Statevector);
+        let outcome = SessionEngine::new(44).run(&scenario).unwrap();
+        assert!(outcome.is_delivered(), "{}", outcome.status);
+        assert_eq!(outcome.received_message.as_ref().unwrap(), &message);
+        assert_eq!(outcome.message_accuracy(), Some(1.0));
+    }
+
+    #[test]
+    fn statevector_backend_detects_channel_adversaries() {
+        let identities = IdentityPair::generate(4, &mut rng(45));
+        let config = SessionConfig::builder()
+            .message_bits(8)
+            .check_bits(2)
+            .di_check_pairs(220)
+            .auth_error_tolerance(1.0)
+            .build()
+            .unwrap();
+        let engine = SessionEngine::new(45);
+        for adversary in [
+            Adversary::InterceptResend(InterceptBasis::Computational),
+            Adversary::ManInTheMiddle(SubstituteState::RandomComputational),
+            Adversary::EntangleMeasure { strength: 1.0 },
+        ] {
+            let scenario = Scenario::new(config.clone(), identities.clone())
+                .with_label(adversary.name())
+                .with_adversary(adversary)
+                .with_backend(BackendKind::Statevector);
+            let summary = engine.run_trials(&scenario, 3).unwrap();
+            assert_eq!(summary.delivered, 0, "{summary}");
+            assert!(summary.detection_rate() > 0.99, "{summary}");
+        }
+    }
+
+    #[test]
+    fn backend_kind_round_trips_and_resolves() {
+        assert_eq!(BackendKind::default(), BackendKind::DensityMatrix);
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.backend().name(), kind.as_str());
+            assert_eq!(kind.to_string(), kind.as_str());
+            let parsed: BackendKind = kind.as_str().parse().unwrap();
+            assert_eq!(parsed, kind);
+            let json = serde::json::to_string(&kind);
+            let back: BackendKind = serde::json::from_str(&json).unwrap();
+            assert_eq!(back, kind, "via {json}");
+        }
+        assert_eq!("dm".parse::<BackendKind>(), Ok(BackendKind::DensityMatrix));
+        assert_eq!("sv".parse::<BackendKind>(), Ok(BackendKind::Statevector));
+        assert!("quantum-annealer".parse::<BackendKind>().is_err());
+        assert!(serde::json::from_str::<BackendKind>("\"nope\"").is_err());
+        assert!(serde::json::from_str::<BackendKind>("3").is_err());
+    }
+
+    #[test]
+    fn backend_choice_is_part_of_the_fingerprint() {
+        let density = small_scenario(46);
+        // An explicit default is the same physical scenario (streams and
+        // fingerprints of pre-BackendKind runs stay valid).
+        assert_eq!(
+            density.fingerprint(),
+            density
+                .clone()
+                .with_backend(BackendKind::DensityMatrix)
+                .fingerprint()
+        );
+        let statevector = density.clone().with_backend(BackendKind::Statevector);
+        assert_ne!(
+            density.fingerprint(),
+            statevector.fingerprint(),
+            "substrates must draw disjoint trial streams"
+        );
+        assert_ne!(density, statevector);
+        // The backend survives the serde round trip, fingerprint included.
+        let json = serde::json::to_string(&statevector);
+        let back: Scenario = serde::json::from_str(&json).unwrap();
+        assert_eq!(back.backend, BackendKind::Statevector);
+        assert_eq!(back.fingerprint(), statevector.fingerprint());
+        assert!(statevector.to_string().contains("statevector"));
+    }
+
+    #[test]
+    fn scenarios_without_a_backend_field_deserialize_as_density_matrix() {
+        // JSON written before the backend selector existed must keep parsing
+        // (and keep its fingerprint): those runs were density-matrix by
+        // construction.
+        let scenario = small_scenario(48);
+        let json = serde::json::to_string(&scenario);
+        let legacy = json.replace(",\"backend\":\"density-matrix\"", "");
+        assert_ne!(legacy, json, "the backend field must have been serialized");
+        let back: Scenario = serde::json::from_str(&legacy).unwrap();
+        assert_eq!(back, scenario);
+        assert_eq!(back.backend, BackendKind::DensityMatrix);
+        assert_eq!(back.fingerprint(), scenario.fingerprint());
+    }
+
+    #[test]
+    fn statevector_trials_fan_out_deterministically() {
+        let scenario = small_scenario(47).with_backend(BackendKind::Statevector);
+        let serial = SessionEngine::new(47).run_trials(&scenario, 4).unwrap();
+        let threaded = SessionEngine::new(47)
+            .with_parallelism(Parallelism::Threads(4))
+            .run_trials(&scenario, 4)
+            .unwrap();
+        assert_eq!(serial, threaded);
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //!    engine's backend): the engine's own master seed is ignored in favour of
 //!    the plan's, so a shard reproduces bit-for-bit wherever it runs.
 //! 3. **Merge** — [`ShardMerger`] folds results back together in trial order,
-//!    detecting gaps, overlaps, fingerprint/seed mismatches, mixed payloads
-//!    and incomplete coverage. Because [`TrialSummaryBuilder::merge`] is
+//!    detecting gaps, overlaps, backend/fingerprint/seed mismatches, mixed
+//!    payloads and incomplete coverage. Because [`TrialSummaryBuilder::merge`] is
 //!    order-respecting and exact, the merged [`TrialSummary`] is bit-for-bit
 //!    the summary of the unsharded run; the same holds trivially for merged
 //!    outcome lists.
@@ -63,7 +63,7 @@
 //! ```
 
 use super::parallel::{self, ExecutorStats};
-use super::{Scenario, SessionEngine, TrialSummary, TrialSummaryBuilder};
+use super::{BackendKind, Scenario, SessionEngine, TrialSummary, TrialSummaryBuilder};
 use crate::error::ProtocolError;
 use crate::session::SessionOutcome;
 use serde::{Deserialize, Serialize};
@@ -109,6 +109,13 @@ impl ShardPlan {
     /// `true` when the shard covers no trials.
     pub fn is_empty(&self) -> bool {
         self.trial_count == 0
+    }
+
+    /// The simulation substrate this shard's trials run on (declared by the
+    /// plan's scenario and covered by the fingerprint, so a worker process
+    /// reconstructs the right backend from the plan alone).
+    pub fn backend(&self) -> BackendKind {
+        self.scenario.backend
     }
 
     /// Checks internal consistency: the stored fingerprint must match the
@@ -279,6 +286,11 @@ pub struct ShardResult {
     pub master_seed: u64,
     /// The scenario fingerprint, copied from the plan.
     pub fingerprint: u64,
+    /// The substrate the shard was executed on, copied from the plan's
+    /// scenario. The merger rejects results whose backends disagree, so
+    /// results computed on different substrates can never be folded into one
+    /// "byte-identical" run.
+    pub backend: BackendKind,
     /// First trial index of the executed range.
     pub trial_start: u64,
     /// Number of trials executed.
@@ -316,12 +328,16 @@ impl SessionEngine {
 
     /// Stage 2 of the pipeline: executes one shard and returns its result.
     ///
-    /// Execution is a pure function of the *plan* plus this engine's backend:
-    /// the plan's master seed governs every trial stream (the engine's own
-    /// seed is deliberately ignored), so any engine on any machine reproduces
-    /// the same `ShardResult` bit for bit. The engine contributes the
-    /// [`Backend`](super::Backend) and the [`Parallelism`](super::Parallelism)
-    /// policy the shard's trials fan out under.
+    /// Execution is a pure function of the *plan*: the plan's master seed
+    /// governs every trial stream (the engine's own seed is deliberately
+    /// ignored) and the plan's scenario declares the
+    /// [`BackendKind`] to simulate on, so any engine on any machine
+    /// reproduces the same `ShardResult` bit for bit. The engine contributes
+    /// only the [`Parallelism`](super::Parallelism) policy the shard's trials
+    /// fan out under — unless a fixed custom backend override was installed
+    /// via [`SessionEngine::with_backend`], which takes precedence and must
+    /// not be mixed with the shard pipeline (the result would still advertise
+    /// the scenario's kind).
     ///
     /// # Errors
     ///
@@ -361,6 +377,7 @@ impl SessionEngine {
             ShardResult {
                 master_seed: plan.master_seed,
                 fingerprint: plan.fingerprint,
+                backend: plan.backend(),
                 trial_start: plan.trial_start,
                 trial_count: plan.trial_count,
                 total_trials: plan.total_trials,
@@ -434,6 +451,15 @@ impl SessionEngine {
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum MergeError {
+    /// A shard was executed on a different simulation substrate than the
+    /// run's other shards — results from different backends approximate the
+    /// same physics differently and must never be folded into one run.
+    BackendMismatch {
+        /// Substrate established by the first shard.
+        expected: BackendKind,
+        /// The offending shard's substrate.
+        found: BackendKind,
+    },
     /// A shard's scenario fingerprint differs from the first shard's — the
     /// results belong to different runs.
     FingerprintMismatch {
@@ -496,6 +522,11 @@ pub enum MergeError {
 impl fmt::Display for MergeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            MergeError::BackendMismatch { expected, found } => write!(
+                f,
+                "shard was executed on the {found} backend, but the run's shards were \
+                 executed on {expected}"
+            ),
             MergeError::FingerprintMismatch { expected, found } => write!(
                 f,
                 "shard fingerprint {found:#018x} does not match the run's {expected:#018x}"
@@ -577,8 +608,8 @@ impl MergedRun {
 /// trial order**.
 ///
 /// [`push`](Self::push) requires results in ascending trial order and rejects
-/// gaps, overlaps, fingerprint/seed/total mismatches, corrupt payloads and
-/// mixed payload kinds; [`finish`](Self::finish) additionally rejects
+/// gaps, overlaps, backend/fingerprint/seed/total mismatches, corrupt
+/// payloads and mixed payload kinds; [`finish`](Self::finish) additionally rejects
 /// incomplete coverage. For results collected out of order, use
 /// [`merge_shard_results`], which sorts first.
 #[derive(Debug, Default)]
@@ -592,6 +623,7 @@ pub struct ShardMerger {
 struct RunHeader {
     master_seed: u64,
     fingerprint: u64,
+    backend: BackendKind,
     total_trials: usize,
 }
 
@@ -618,6 +650,14 @@ impl ShardMerger {
         // leave the merger exactly as it was (in particular, a bad *first*
         // shard must not establish the run's identity).
         if let Some(header) = &self.expected {
+            // Backend first: two backends imply two fingerprints as well, and
+            // the substrate mismatch is the actionable diagnosis.
+            if result.backend != header.backend {
+                return Err(MergeError::BackendMismatch {
+                    expected: header.backend,
+                    found: result.backend,
+                });
+            }
             if result.fingerprint != header.fingerprint {
                 return Err(MergeError::FingerprintMismatch {
                     expected: header.fingerprint,
@@ -668,6 +708,7 @@ impl ShardMerger {
             self.expected = Some(RunHeader {
                 master_seed: result.master_seed,
                 fingerprint: result.fingerprint,
+                backend: result.backend,
                 total_trials: result.total_trials,
             });
         }
@@ -1004,6 +1045,60 @@ mod tests {
         ] {
             assert!(!error.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn cross_backend_merges_are_rejected() {
+        // Regression test: a ShardPlan/ShardResult used to identify a run by
+        // scenario + seed + trial range only, so the merger would silently
+        // fold shards computed on different simulation substrates into one
+        // "byte-identical" run. The backend is now part of the scenario
+        // fingerprint AND carried explicitly on every result.
+        let density = scenario(12);
+        let statevector = density.clone().with_backend(BackendKind::Statevector);
+        let engine = SessionEngine::new(12);
+        let density_plans = engine.plan(&density, 4).split_into(2);
+        let statevector_plans = engine.plan(&statevector, 4).split_into(2);
+        assert_eq!(density_plans[0].backend(), BackendKind::DensityMatrix);
+        assert_eq!(statevector_plans[1].backend(), BackendKind::Statevector);
+        assert_ne!(
+            density_plans[0].fingerprint, statevector_plans[0].fingerprint,
+            "the backend must be covered by the fingerprint"
+        );
+        for output in [ShardOutput::Summary, ShardOutput::Outcomes] {
+            let first = engine.execute_shard(&density_plans[0], output).unwrap();
+            assert_eq!(first.backend, BackendKind::DensityMatrix);
+            let second = engine.execute_shard(&statevector_plans[1], output).unwrap();
+            assert_eq!(second.backend, BackendKind::Statevector);
+
+            let mut merger = ShardMerger::new();
+            merger.push(first.clone()).unwrap();
+            let err = merger.push(second.clone()).unwrap_err();
+            assert_eq!(
+                err,
+                MergeError::BackendMismatch {
+                    expected: BackendKind::DensityMatrix,
+                    found: BackendKind::Statevector,
+                }
+            );
+            assert!(err.to_string().contains("statevector"), "{err}");
+            assert!(err.to_string().contains("density-matrix"), "{err}");
+            // The order-insensitive entry point rejects the mix as well.
+            assert!(matches!(
+                merge_shard_results([first, second]),
+                Err(MergeError::BackendMismatch { .. })
+            ));
+        }
+        // A consistent statevector run still merges byte-identically.
+        let results: Vec<ShardResult> = statevector_plans
+            .iter()
+            .map(|p| engine.execute_shard(p, ShardOutput::Summary).unwrap())
+            .collect();
+        let merged = merge_shard_results(results)
+            .unwrap()
+            .into_summary()
+            .unwrap();
+        assert_eq!(merged, engine.run_trials(&statevector, 4).unwrap());
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //! All execution goes through [`engine`]: describe *what* to run as a declarative
 //! [`engine::Scenario`] (configuration, identities, optional fixed message, and a single
 //! [`engine::Adversary`] covering every eavesdropper of Section III), then hand it to an
-//! [`engine::SessionEngine`], which owns the simulation [`engine::Backend`] and derives a
-//! deterministic RNG stream per trial from its master seed — single runs, trial batches and
+//! [`engine::SessionEngine`], which resolves the simulation [`engine::Backend`] from the
+//! scenario's [`engine::BackendKind`] and derives a deterministic RNG stream per trial from
+//! its master seed — single runs, trial batches and
 //! multi-scenario sweeps all reproduce bit-for-bit from one seed. Because each trial's RNG
 //! stream is independent of execution order, the engine also fans trials out across worker
 //! threads ([`engine::parallel`]): pick an [`engine::Parallelism`] policy (`Serial`,
@@ -82,6 +83,19 @@
 //! for i in 0 1 2 3; do shardctl run --plans plans.json --index $i > result-$i.json; done
 //! shardctl merge result-*.json     # == the unsharded run, byte for byte
 //! ```
+//!
+//! ## Simulation backends
+//!
+//! Two production substrates implement the [`engine::Backend`] seam, selected per scenario by
+//! [`engine::BackendKind`] ([`engine::Scenario::with_backend`], or `--backend` on `shardctl`
+//! and the attack sweep binaries): the default [`engine::DensityMatrixBackend`] applies every
+//! noise channel exactly (the paper's emulation), while [`engine::StatevectorBackend`] runs
+//! sessions as sampled pure-state trajectories (one Born-sampled Kraus branch per noise
+//! application). The kind is folded into [`engine::Scenario::fingerprint`], so the substrates
+//! draw disjoint RNG streams, shipped plans reproduce on the right backend cross-process, and
+//! [`engine::ShardMerger`] rejects any attempt to fold results from different substrates into
+//! one run. The `bench` crate's `ablation_backend` binary quantifies where the sampled
+//! substrate's detection-rate curves diverge from the exact emulation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -99,8 +113,9 @@ pub mod session;
 
 pub use config::{SessionConfig, SessionConfigBuilder};
 pub use engine::{
-    Adversary, Backend, DensityMatrixBackend, ExecutorStats, MergedRun, Parallelism, Scenario,
-    SessionEngine, ShardMerger, ShardOutput, ShardPlan, ShardResult, TrialSummary,
+    Adversary, Backend, BackendKind, DensityMatrixBackend, ExecutorStats, MergedRun, Parallelism,
+    Scenario, SessionEngine, ShardMerger, ShardOutput, ShardPlan, ShardResult, StatevectorBackend,
+    TrialSummary,
 };
 pub use error::ProtocolError;
 pub use identity::{IdentityPair, IdentityString};
@@ -115,9 +130,9 @@ pub mod prelude {
     pub use crate::descriptor::{DecodingMeasurement, ProtocolDescriptor, ResourceType};
     pub use crate::di_check::{DiCheckReport, DiCheckRound};
     pub use crate::engine::{
-        merge_shard_results, Adversary, Backend, DensityMatrixBackend, ExecutorStats, MergeError,
-        MergedRun, Parallelism, Scenario, SessionEngine, ShardMerger, ShardOutput, ShardPayload,
-        ShardPlan, ShardResult, TrialSummary,
+        merge_shard_results, Adversary, Backend, BackendKind, DensityMatrixBackend, ExecutorStats,
+        MergeError, MergedRun, Parallelism, Scenario, SessionEngine, ShardMerger, ShardOutput,
+        ShardPayload, ShardPlan, ShardResult, StatevectorBackend, TrialSummary,
     };
     pub use crate::error::ProtocolError;
     pub use crate::identity::{IdentityPair, IdentityString};

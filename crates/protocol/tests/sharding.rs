@@ -1,18 +1,23 @@
-//! Property tests for the plan / execute / merge pipeline: *any* partition of
-//! a run into shards — including empty and single-trial shards — executed on
-//! independent engines and merged in trial order, must be byte-identical to
-//! the unsharded run, and `TrialSummaryBuilder::merge` must match serial
-//! accumulation bit for bit.
+//! Property tests for the plan / execute / merge pipeline: for **either
+//! production backend**, *any* partition of a run into shards — including
+//! empty and single-trial shards — executed on independent engines and merged
+//! in trial order, must be byte-identical to the unsharded run on that
+//! backend, and `TrialSummaryBuilder::merge` must match serial accumulation
+//! bit for bit.
 
 use proptest::prelude::*;
 use protocol::engine::{
-    merge_shard_results, Adversary, Scenario, SessionEngine, ShardMerger, ShardOutput, ShardPlan,
-    TrialSummary,
+    merge_shard_results, Adversary, BackendKind, Scenario, SessionEngine, ShardMerger, ShardOutput,
+    ShardPlan, TrialSummary,
 };
 use protocol::identity::IdentityPair;
 use protocol::SessionConfig;
 use qchannel::taps::{InterceptBasis, SubstituteState};
 use rand::SeedableRng;
+
+fn backend(backend_index: usize) -> BackendKind {
+    BackendKind::ALL[backend_index % BackendKind::ALL.len()]
+}
 
 fn scenario(adversary_index: usize, identity_seed: u64) -> Scenario {
     let config = SessionConfig::builder()
@@ -46,16 +51,42 @@ fn partition(whole: &ShardPlan, trials: usize, cuts: &[usize]) -> Vec<ShardPlan>
         .collect()
 }
 
+/// Regression: shard results produced on different simulation substrates must
+/// never fold into one run (the backend used to be invisible to the
+/// plan fingerprint and the merger).
+#[test]
+fn mixing_backends_in_one_merge_is_rejected() {
+    use protocol::engine::MergeError;
+    let base = scenario(0, 99);
+    let engine = SessionEngine::new(99);
+    let mut results = Vec::new();
+    for (index, kind) in BackendKind::ALL.into_iter().enumerate() {
+        let plans = engine
+            .plan(&base.clone().with_backend(kind), 4)
+            .split_into(2);
+        results.push(
+            engine
+                .execute_shard(&plans[index], ShardOutput::Summary)
+                .expect("shard executes"),
+        );
+    }
+    assert!(matches!(
+        merge_shard_results(results),
+        Err(MergeError::BackendMismatch { .. })
+    ));
+}
+
 proptest! {
     #[test]
     fn any_partition_merges_to_the_unsharded_run(
         trials in 0usize..6,
         cuts in proptest::collection::vec(0usize..64, 0..5),
         adversary_index in 0usize..5,
+        backend_index in 0usize..2,
         identity_seed in 0u64..1_000_000,
         master_seed in 0u64..1_000_000,
     ) {
-        let scenario = scenario(adversary_index, identity_seed);
+        let scenario = scenario(adversary_index, identity_seed).with_backend(backend(backend_index));
         let engine = SessionEngine::new(master_seed);
         let whole_outcomes = engine.run_outcomes(&scenario, trials).expect("whole run");
         let whole_summary = engine.run_trials(&scenario, trials).expect("whole summary");
@@ -110,11 +141,12 @@ proptest! {
         trials in 0usize..6,
         cuts in proptest::collection::vec(0usize..64, 0..5),
         adversary_index in 0usize..5,
+        backend_index in 0usize..2,
         identity_seed in 0u64..1_000_000,
         master_seed in 0u64..1_000_000,
     ) {
         use protocol::engine::TrialSummaryBuilder;
-        let scenario = scenario(adversary_index, identity_seed);
+        let scenario = scenario(adversary_index, identity_seed).with_backend(backend(backend_index));
         let engine = SessionEngine::new(master_seed);
         let outcomes = engine.run_outcomes(&scenario, trials).expect("outcomes");
 

@@ -233,6 +233,76 @@ impl DensityMatrix {
             .expect("apply_kraus: invalid channel application");
     }
 
+    /// Applies one **sampled trajectory step** of the CPTP map `{K_i}`:
+    /// selects branch `i` with probability `p_i = Tr(K_i ρ K_i†)` and replaces
+    /// the state with the renormalised branch `K_i ρ K_i† / p_i`. Averaging
+    /// over many samples reproduces the exact channel action — the
+    /// mixed-state generalisation of
+    /// [`StateVector::apply_kraus_sampled`], with which it agrees in
+    /// distribution on pure states.
+    ///
+    /// Exactly one `f64` is drawn from `rng` per call; branches with
+    /// probability at or below [`StateVector::MIN_NORM`] are never selected.
+    ///
+    /// Returns the index of the selected Kraus operator.
+    ///
+    /// # Errors
+    ///
+    /// The target-validation errors of [`DensityMatrix::try_apply_kraus`],
+    /// plus [`QsimError::ZeroNorm`] when every branch has vanishing
+    /// probability. The state is left untouched on error.
+    pub fn apply_kraus_sampled<R: Rng + ?Sized>(
+        &mut self,
+        kraus_ops: &[CMatrix],
+        qubits: &[usize],
+        rng: &mut R,
+    ) -> Result<usize, QsimError> {
+        let mut branches: Vec<CMatrix> = Vec::with_capacity(kraus_ops.len());
+        let mut probabilities: Vec<f64> = Vec::with_capacity(kraus_ops.len());
+        for op in kraus_ops {
+            self.validate_targets(op, qubits)?;
+            let full = embed_operator(op, qubits, self.num_qubits);
+            let branch = full.matmul(&self.rho).matmul(&full.adjoint());
+            probabilities.push(branch.trace().re);
+            branches.push(branch);
+        }
+        let index = crate::statevector::sample_branch_index(&probabilities, rng)?;
+        let probability = probabilities[index];
+        self.rho = branches
+            .swap_remove(index)
+            .scale(Complex64::real(1.0 / probability));
+        Ok(index)
+    }
+
+    /// Extracts the statevector of a (numerically) pure state: `Some(|ψ⟩)`
+    /// with `|ψ⟩⟨ψ| ≈ ρ` when the purity `Tr(ρ²)` is within `tol` of 1,
+    /// `None` for mixed states. The returned state is normalised; its global
+    /// phase is fixed by the column used for extraction and is physically
+    /// irrelevant.
+    pub fn as_pure_state(&self, tol: f64) -> Option<StateVector> {
+        if (self.purity() - 1.0).abs() > tol {
+            return None;
+        }
+        // For ρ = |ψ⟩⟨ψ| the column j equals ψ · ψ_j*, so the column under
+        // the largest diagonal entry, renormalised, recovers ψ up to phase.
+        let dim = self.dim();
+        let mut best = 0;
+        let mut best_weight = f64::NEG_INFINITY;
+        for i in 0..dim {
+            let weight = self.rho[(i, i)].re;
+            if weight > best_weight {
+                best_weight = weight;
+                best = i;
+            }
+        }
+        let column = mathkit::vector::CVector::new((0..dim).map(|r| self.rho[(r, best)]).collect());
+        let norm = column.norm();
+        if !norm.is_finite() || norm <= StateVector::MIN_NORM {
+            return None;
+        }
+        StateVector::from_amplitudes(column.scale(Complex64::real(1.0 / norm))).ok()
+    }
+
     fn validate_targets(&self, op: &CMatrix, qubits: &[usize]) -> Result<(), QsimError> {
         let k = qubits.len();
         let expected = 1usize << k;
@@ -539,6 +609,97 @@ mod tests {
         assert!((probs[0] - 0.5).abs() < 1e-12);
         assert!((probs[3] - 0.5).abs() < 1e-12);
         assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sampled_kraus_step_matches_channel_statistics() {
+        // bit_flip(0.25)-style Kraus pair applied as trajectory steps.
+        let ops = vec![
+            gates::identity().scale(Complex64::real(0.75f64.sqrt())),
+            gates::pauli_x().scale(Complex64::real(0.25f64.sqrt())),
+        ];
+        let mut r = rng();
+        let mut flips = 0;
+        let n = 4000;
+        for _ in 0..n {
+            let mut rho = DensityMatrix::new(1);
+            let branch = rho.apply_kraus_sampled(&ops, &[0], &mut r).unwrap();
+            assert!((rho.trace() - 1.0).abs() < 1e-10, "branches renormalise");
+            if branch == 1 {
+                flips += 1;
+                assert!((rho.probability_one(0) - 1.0).abs() < 1e-10);
+            }
+        }
+        let frac = flips as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "flip fraction {frac}");
+    }
+
+    #[test]
+    fn sampled_kraus_step_works_on_mixed_states() {
+        // On the maximally mixed state every Pauli branch is equally likely
+        // and leaves the state maximally mixed — the mixed-state case the
+        // statevector unravelling cannot represent.
+        let p: f64 = 0.8;
+        let ops = vec![
+            gates::identity().scale(Complex64::real((1.0 - 3.0 * p / 4.0).sqrt())),
+            gates::pauli_x().scale(Complex64::real((p / 4.0).sqrt())),
+            gates::pauli_y().scale(Complex64::real((p / 4.0).sqrt())),
+            gates::pauli_z().scale(Complex64::real((p / 4.0).sqrt())),
+        ];
+        let mut r = rng();
+        let mut rho = DensityMatrix::maximally_mixed(1);
+        for _ in 0..20 {
+            rho.apply_kraus_sampled(&ops, &[0], &mut r).unwrap();
+            assert!((rho.trace() - 1.0).abs() < 1e-10);
+            assert!((rho.purity() - 0.5).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sampled_kraus_step_rejects_vanishing_and_invalid_branches() {
+        let mut rho = bell_density();
+        let before = rho.clone();
+        let mut r = rng();
+        assert_eq!(
+            rho.apply_kraus_sampled(&[gates::identity().scale(Complex64::ZERO)], &[0], &mut r),
+            Err(QsimError::ZeroNorm)
+        );
+        assert_eq!(rho, before, "a failed step leaves the state untouched");
+        assert!(matches!(
+            rho.apply_kraus_sampled(&[gates::identity()], &[7], &mut r),
+            Err(QsimError::QubitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn pure_states_round_trip_through_as_pure_state() {
+        let mut psi = StateVector::new(2);
+        psi.apply_single(&gates::hadamard(), 0);
+        psi.apply_two(&gates::cnot(), 0, 1);
+        psi.apply_single(&gates::pauli_z(), 1); // give an amplitude a sign
+        let rho = DensityMatrix::from_statevector(&psi);
+        let extracted = rho.as_pure_state(1e-9).expect("state is pure");
+        // Equal up to global phase ⇒ fidelity 1 and identical density matrix.
+        assert!((extracted.fidelity(&psi) - 1.0).abs() < 1e-10);
+        assert!(DensityMatrix::from_statevector(&extracted)
+            .matrix()
+            .approx_eq(rho.matrix(), 1e-10));
+    }
+
+    #[test]
+    fn mixed_states_have_no_pure_extraction() {
+        assert!(DensityMatrix::maximally_mixed(2)
+            .as_pure_state(1e-9)
+            .is_none());
+        let mut slightly_mixed = bell_density();
+        slightly_mixed.apply_kraus(
+            &[
+                gates::identity().scale(Complex64::real(0.9f64.sqrt())),
+                gates::pauli_z().scale(Complex64::real(0.1f64.sqrt())),
+            ],
+            &[0],
+        );
+        assert!(slightly_mixed.as_pure_state(1e-9).is_none());
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub enum QsimError {
     ),
     /// An operation required a normalised state but the register was not normalised.
     NotNormalized,
+    /// A state (or a sampled Kraus branch) had vanishing norm, so it cannot be
+    /// renormalised without poisoning every amplitude with NaN or infinity.
+    ZeroNorm,
     /// A supplied matrix was not unitary within tolerance.
     NotUnitary,
     /// A circuit referenced more qubits than the register provides.
@@ -56,6 +59,9 @@ impl fmt::Display for QsimError {
             }
             QsimError::DuplicateQubit(q) => write!(f, "duplicate qubit index {q}"),
             QsimError::NotNormalized => write!(f, "state is not normalised"),
+            QsimError::ZeroNorm => {
+                write!(f, "state has (near-)zero norm and cannot be renormalised")
+            }
             QsimError::NotUnitary => write!(f, "matrix is not unitary"),
             QsimError::CircuitTooWide {
                 circuit_qubits,

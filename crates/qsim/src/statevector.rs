@@ -113,9 +113,81 @@ impl StateVector {
         self.amplitudes.is_normalized(tol)
     }
 
-    /// Renormalises the state in place (used after noise injection in tests).
+    /// Renormalises the state in place (used after noise injection and by the
+    /// sampled trajectory step).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state has (near-)zero norm; use
+    /// [`StateVector::try_renormalize`] for the fallible variant.
     pub fn renormalize(&mut self) {
-        self.amplitudes = self.amplitudes.normalized();
+        self.try_renormalize()
+            .expect("renormalize: state has (near-)zero norm");
+    }
+
+    /// Renormalises the state in place, guarding against the zero vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::ZeroNorm`] when the norm is below
+    /// [`MIN_NORM`](Self::MIN_NORM) (or not finite): dividing by it would
+    /// poison every amplitude with NaN or infinity. The state is left
+    /// untouched in that case.
+    pub fn try_renormalize(&mut self) -> Result<(), QsimError> {
+        let norm = self.amplitudes.norm();
+        if !norm.is_finite() || norm <= Self::MIN_NORM {
+            return Err(QsimError::ZeroNorm);
+        }
+        self.amplitudes = self.amplitudes.scale(Complex64::real(1.0 / norm));
+        Ok(())
+    }
+
+    /// Smallest norm [`try_renormalize`](Self::try_renormalize) accepts, and
+    /// the probability floor below which a Kraus branch counts as impossible
+    /// in [`apply_kraus_sampled`](Self::apply_kraus_sampled).
+    pub const MIN_NORM: f64 = 1e-12;
+
+    /// Applies one **sampled trajectory step** of the CPTP map `{K_i}` to the
+    /// given qubits: selects branch `i` with the Born probability
+    /// `p_i = ‖K_i|ψ⟩‖²` and replaces the state with the renormalised branch
+    /// state `K_i|ψ⟩ / √p_i`. Averaging `|ψ⟩⟨ψ|` over many samples reproduces
+    /// the exact channel action `Σ_i K_i ρ K_i†` — the Monte-Carlo
+    /// wavefunction (quantum-trajectory) unravelling of the channel.
+    ///
+    /// Exactly one `f64` is drawn from `rng` per call, so a caller's RNG
+    /// stream advances identically no matter which branch wins. Branches with
+    /// probability at or below [`MIN_NORM`](Self::MIN_NORM) are never
+    /// selected, so a ≈ 0-probability Kraus operator (e.g. the flip branch of
+    /// `bit_flip(0.0)`) cannot zero out the state.
+    ///
+    /// Returns the index of the selected Kraus operator.
+    ///
+    /// # Errors
+    ///
+    /// - The target-validation errors of [`StateVector::try_apply_unitary`]
+    ///   (dimension mismatch, out-of-range or duplicate qubits).
+    /// - [`QsimError::ZeroNorm`] when every branch has vanishing probability
+    ///   (an empty or numerically annihilating operator set); the state is
+    ///   left untouched.
+    pub fn apply_kraus_sampled<R: Rng + ?Sized>(
+        &mut self,
+        operators: &[CMatrix],
+        qubits: &[usize],
+        rng: &mut R,
+    ) -> Result<usize, QsimError> {
+        let mut branches: Vec<StateVector> = Vec::with_capacity(operators.len());
+        let mut probabilities: Vec<f64> = Vec::with_capacity(operators.len());
+        for op in operators {
+            let mut branch = self.clone();
+            branch.try_apply_unitary(op, qubits)?;
+            probabilities.push(branch.amplitudes.norm_sqr());
+            branches.push(branch);
+        }
+        let index = sample_branch_index(&probabilities, rng)?;
+        let mut chosen = branches.swap_remove(index);
+        chosen.try_renormalize()?;
+        *self = chosen;
+        Ok(index)
     }
 
     /// Bit position (shift amount) of `qubit` in a basis index.
@@ -381,6 +453,45 @@ impl StateVector {
     }
 }
 
+/// Born-samples one Kraus branch from the given weights — the selection core
+/// shared by [`StateVector::apply_kraus_sampled`] and
+/// [`DensityMatrix::apply_kraus_sampled`](crate::density::DensityMatrix::apply_kraus_sampled),
+/// so the two substrates can never diverge in branch statistics.
+///
+/// Draws exactly one `f64` from `rng` (one uniform draw over the total
+/// weight); the first viable branch — probability above
+/// [`StateVector::MIN_NORM`] — whose cumulative weight exceeds the draw wins,
+/// and the last viable branch absorbs floating-point shortfall at the top of
+/// the range.
+///
+/// # Errors
+///
+/// [`QsimError::ZeroNorm`] when the total weight vanishes (or is not finite)
+/// or no branch is individually viable.
+pub(crate) fn sample_branch_index<R: Rng + ?Sized>(
+    probabilities: &[f64],
+    rng: &mut R,
+) -> Result<usize, QsimError> {
+    let total: f64 = probabilities.iter().sum();
+    if !total.is_finite() || total <= StateVector::MIN_NORM {
+        return Err(QsimError::ZeroNorm);
+    }
+    let draw = rng.gen::<f64>() * total;
+    let mut cumulative = 0.0;
+    let mut selected = None;
+    let mut last_viable = None;
+    for (index, &p) in probabilities.iter().enumerate() {
+        cumulative += p;
+        if p > StateVector::MIN_NORM {
+            last_viable = Some(index);
+            if selected.is_none() && draw < cumulative {
+                selected = Some(index);
+            }
+        }
+    }
+    selected.or(last_viable).ok_or(QsimError::ZeroNorm)
+}
+
 impl fmt::Display for StateVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
@@ -616,6 +727,127 @@ mod tests {
         let s = StateVector::new(4);
         assert_eq!(s.bitstring(0b1010), "1010");
         assert_eq!(s.bitstring(0b0001), "0001");
+    }
+
+    #[test]
+    fn try_renormalize_rejects_the_zero_vector() {
+        let mut zero = bell_phi_plus();
+        for amp in [0, 1, 2, 3] {
+            zero.amplitudes[amp] = Complex64::ZERO;
+        }
+        assert_eq!(zero.try_renormalize(), Err(QsimError::ZeroNorm));
+        // The state is untouched — no NaN poisoning.
+        assert!(zero.amplitudes().iter().all(|z| z.re == 0.0 && z.im == 0.0));
+        let mut fine = bell_phi_plus();
+        fine.amplitudes[0] *= Complex64::real(2.0);
+        assert!(fine.try_renormalize().is_ok());
+        assert!(fine.is_normalized(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "(near-)zero norm")]
+    fn renormalize_panics_on_the_zero_vector() {
+        let mut s = StateVector::new(1);
+        s.amplitudes[0] = Complex64::ZERO;
+        s.renormalize();
+    }
+
+    #[test]
+    fn sampled_bit_flip_matches_the_channel_statistics() {
+        // bit_flip(0.3)-style Kraus pair: √0.7·I, √0.3·X.
+        let ops = vec![
+            gates::identity().scale(Complex64::real(0.7f64.sqrt())),
+            gates::pauli_x().scale(Complex64::real(0.3f64.sqrt())),
+        ];
+        let mut r = rng();
+        let mut flips = 0;
+        let n = 4000;
+        for _ in 0..n {
+            let mut s = StateVector::new(1);
+            let branch = s.apply_kraus_sampled(&ops, &[0], &mut r).unwrap();
+            assert!(s.is_normalized(1e-12), "every trajectory stays normalised");
+            if branch == 1 {
+                flips += 1;
+                assert!((s.probability_one(0) - 1.0).abs() < 1e-12);
+            }
+        }
+        let frac = flips as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.03, "flip fraction {frac}");
+    }
+
+    #[test]
+    fn zero_probability_branches_are_never_selected() {
+        // bit_flip(0.0): the X branch carries exactly zero weight; selecting
+        // it would renormalise a zero vector.
+        let ops = vec![gates::identity(), gates::pauli_x().scale(Complex64::ZERO)];
+        let mut r = rng();
+        for _ in 0..200 {
+            let mut s = StateVector::new(1);
+            assert_eq!(s.apply_kraus_sampled(&ops, &[0], &mut r).unwrap(), 0);
+            assert!(s.is_normalized(1e-12));
+        }
+    }
+
+    #[test]
+    fn all_vanishing_branches_are_a_zero_norm_error() {
+        let ops = vec![gates::identity().scale(Complex64::ZERO)];
+        let mut s = bell_phi_plus();
+        let before = s.clone();
+        let mut r = rng();
+        assert_eq!(
+            s.apply_kraus_sampled(&ops, &[0], &mut r),
+            Err(QsimError::ZeroNorm)
+        );
+        assert_eq!(s, before, "a failed step must leave the state untouched");
+        // An empty operator set is equally impossible.
+        assert_eq!(
+            s.apply_kraus_sampled(&[], &[0], &mut r),
+            Err(QsimError::ZeroNorm)
+        );
+    }
+
+    #[test]
+    fn sampled_step_validates_targets() {
+        let mut s = StateVector::new(2);
+        let mut r = rng();
+        assert!(matches!(
+            s.apply_kraus_sampled(&[gates::identity()], &[5], &mut r),
+            Err(QsimError::QubitOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.apply_kraus_sampled(&[gates::cnot()], &[0], &mut r),
+            Err(QsimError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sampled_trajectories_average_to_the_exact_channel() {
+        // Mean of |ψ⟩⟨ψ| over sampled depolarizing trajectories approximates
+        // Σ K ρ K† on a Bell pair half.
+        let p: f64 = 0.4;
+        let ops = vec![
+            gates::identity().scale(Complex64::real((1.0 - 3.0 * p / 4.0).sqrt())),
+            gates::pauli_x().scale(Complex64::real((p / 4.0).sqrt())),
+            gates::pauli_y().scale(Complex64::real((p / 4.0).sqrt())),
+            gates::pauli_z().scale(Complex64::real((p / 4.0).sqrt())),
+        ];
+        // Exact channel action via the density representation.
+        let mut rho = crate::density::DensityMatrix::from_statevector(&bell_phi_plus());
+        rho.apply_kraus(&ops, &[0]);
+        let exact = rho.matrix().clone();
+        let mut r = rng();
+        let n = 4000;
+        let mut mean = CMatrix::zeros(4, 4);
+        for _ in 0..n {
+            let mut s = bell_phi_plus();
+            s.apply_kraus_sampled(&ops, &[0], &mut r).unwrap();
+            mean = &mean + &s.to_density_matrix();
+        }
+        mean = mean.scale(Complex64::real(1.0 / n as f64));
+        assert!(
+            mean.approx_eq(&exact, 0.03),
+            "trajectory mean must approximate the exact channel"
+        );
     }
 
     #[test]

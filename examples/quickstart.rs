@@ -37,9 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_message(message);
     let engine = SessionEngine::new(2024);
     println!(
-        "engine                   : master seed {}, backend {}",
+        "engine                   : master seed {}, backend {} ({})",
         engine.master_seed(),
-        engine.backend_name()
+        engine.backend_name(),
+        scenario.backend
     );
 
     let outcome = engine.run(&scenario)?;

@@ -99,6 +99,31 @@
 //! shardctl scenario --preset intercept | shardctl plan --trials 1000 --seed 42 --shards 4 \
 //!   | shardctl run | shardctl merge
 //! ```
+//!
+//! ## Simulation backends
+//!
+//! Every scenario declares its simulation substrate via [`prelude::BackendKind`]: the default
+//! `density-matrix` backend reproduces the paper's exact emulation, while `statevector` runs
+//! the same sessions as sampled pure-state trajectories (one Born-sampled Kraus branch per
+//! noise application — cheaper, and approximate rather than exact). The kind is part of the
+//! scenario fingerprint, so the two substrates draw disjoint RNG streams, a shipped
+//! `ShardPlan` reproduces on the right substrate anywhere, and the merger refuses to fold
+//! results from different backends into one run. Select it with
+//! [`with_backend`](prelude::Scenario::with_backend) in code, or `--backend` on `shardctl`
+//! and the attack sweep binaries; the `ablation_backend` binary sweeps detection-rate curves
+//! on both substrates and reports where they diverge:
+//!
+//! ```rust
+//! use ua_di_qsdc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let identities = IdentityPair::generate(4, &mut rng_from_seed(7));
+//! let config = SessionConfig::builder().message_bits(8).check_bits(2).di_check_pairs(24).build()?;
+//! let sampled = Scenario::new(config, identities).with_backend(BackendKind::Statevector);
+//! assert!(SessionEngine::new(42).run(&sampled)?.is_delivered());
+//! # Ok(())
+//! # }
+//! ```
 
 pub use analysis;
 pub use attacks;

@@ -41,9 +41,20 @@ fn scenarios() -> Vec<Scenario> {
             .with_adversary(Adversary::ManInTheMiddle(
                 qchannel::taps::SubstituteState::RandomBb84,
             )),
-        Scenario::new(config, identities)
+        Scenario::new(config.clone(), identities.clone())
             .with_label("weak-probe")
             .with_adversary(Adversary::EntangleMeasure { strength: 0.3 }),
+        // The sampled statevector substrate carries the same replay, serde
+        // and sharding guarantees as the default emulation.
+        Scenario::new(config.clone(), identities.clone())
+            .with_label("honest-statevector")
+            .with_backend(BackendKind::Statevector),
+        Scenario::new(config, identities)
+            .with_label("intercept-statevector")
+            .with_adversary(Adversary::InterceptResend(
+                qchannel::taps::InterceptBasis::Computational,
+            ))
+            .with_backend(BackendKind::Statevector),
     ]
 }
 
