@@ -1,5 +1,6 @@
 //! `shardctl` — ship the engine's plan / execute / merge stages between
-//! processes (and machines) as JSON.
+//! processes (and machines) as JSON, and drive a whole fleet through a
+//! resumable work queue.
 //!
 //! The per-trial RNG stream contract makes every trial location-independent,
 //! so a sweep split into shards, executed by separate `shardctl run`
@@ -17,23 +18,29 @@
 //! shardctl plan --scenario scenario.json --trials 1000 --seed 42 --shards 4 > plans.json
 //! for i in 0 1 2 3; do shardctl run --plans plans.json --index $i > result-$i.json; done
 //! shardctl merge result-*.json
+//!
+//! # Or a self-balancing fleet on a shared directory (survives SIGKILL):
+//! shardctl scenario --preset intercept --seed 7 > scenario.json
+//! shardctl queue init --dir sweep/ --scenario scenario.json --trials 1000 --seed 42
+//! shardctl queue work --dir sweep/ --worker alpha &    # any number of workers,
+//! shardctl queue work --dir sweep/ --worker beta  &    # on any machines sharing
+//! wait                                                 # the filesystem
+//! shardctl queue resume --dir sweep/                   # merge (or resume a killed sweep)
 //! ```
 //!
-//! `run` honours the `UA_DI_QSDC_PARALLELISM` environment variable, so each
-//! worker process additionally fans its shard's trials across its own cores.
+//! `run` and `queue work` honour the `UA_DI_QSDC_PARALLELISM` environment
+//! variable, so each worker process additionally fans its shard's trials
+//! across its own cores.
 
+use bench::shard_io::{self, MergeFileError};
 use protocol::engine::{
-    Adversary, BackendKind, MergedRun, Scenario, SessionEngine, ShardMerger, ShardOutput,
-    ShardPlan, ShardResult,
+    BackendKind, ClaimOutcome, MergedRun, Scenario, SessionEngine, ShardOutput, ShardPlan,
+    ShardQueue, ShardResult, SubmitOutcome,
 };
-use protocol::identity::IdentityPair;
-use protocol::SessionConfig;
-use qchannel::taps::{InterceptBasis, SubstituteState};
-use rand::SeedableRng;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-shardctl — plan / run / merge sharded UA-DI-QSDC sweeps as JSON
+shardctl — plan / run / merge / queue sharded UA-DI-QSDC sweeps as JSON
 
 USAGE:
     shardctl scenario [--preset NAME] [--seed N] [--backend KIND]
@@ -64,6 +71,45 @@ USAGE:
         Results from different backends never merge, a merge failure
         names the offending file, and listing the same file twice is a
         duplicate-shard error.
+
+    shardctl queue init --dir DIR --trials N [--seed N] [--scenario FILE]
+                        [--shard-trials M] [--backend KIND]
+                        [--output summary|outcomes]
+        Create a resumable work queue in DIR (checkpoint + results
+        directory) for a run of N trials, decomposed into claimable
+        shards of at most M trials (default 8). Workers on any machines
+        sharing DIR drain it cooperatively.
+
+    shardctl queue claim --dir DIR --worker NAME [--lease-ms N]
+        Lease the next claimable shard to NAME and print its plan JSON.
+        Exit 3 when everything claimable is leased elsewhere (poll
+        again), exit 4 when the queue is drained. Default lease: 60000.
+
+    shardctl queue submit --dir DIR [--result FILE]
+        Read one executed shard result (FILE or stdin; a JSON object or
+        a 1-element array as `run` writes it) and record it. A result
+        for a shard another worker already completed is discarded
+        harmlessly.
+
+    shardctl queue status --dir DIR
+        Print the queue's progress as JSON (and human-readable, to
+        stderr).
+
+    shardctl queue work --dir DIR --worker NAME [--lease-ms N] [--poll-ms N]
+        Run a fleet worker: claim, execute, submit, repeat, until the
+        queue is drained. Faster workers naturally claim more shards;
+        if this process is killed its leases expire and other workers
+        re-execute the shards. Default: --lease-ms 60000, --poll-ms 500.
+        Chaos-testing hook: UA_DI_QSDC_QUEUE_THROTTLE_MS=N stalls the
+        worker for N ms between claiming and executing each shard, so a
+        test can SIGKILL it while it provably holds a lease.
+
+    shardctl queue resume --dir DIR
+        Resume a (possibly killed) sweep: verify every completed result
+        file against its checkpointed fingerprint, return expired leases
+        to the pending state, and — when every shard is done — print the
+        merged run, byte-identical to `shardctl merge` on an
+        uninterrupted run. Exit 3 while shards remain (start workers).
 ";
 
 fn fail(message: impl std::fmt::Display) -> ! {
@@ -123,27 +169,7 @@ fn scenario_cmd(mut args: Args) {
     let seed: u64 = args.take_parsed("--seed").unwrap_or(7);
     let backend: BackendKind = args.take_parsed("--backend").unwrap_or_default();
     args.finish();
-    let adversary = match preset.as_str() {
-        "honest" => Adversary::Honest,
-        "impersonate-alice" => Adversary::ImpersonateAlice,
-        "impersonate-bob" => Adversary::ImpersonateBob,
-        "intercept" => Adversary::InterceptResend(InterceptBasis::Computational),
-        "mitm" => Adversary::ManInTheMiddle(SubstituteState::RandomComputational),
-        "entangle" => Adversary::EntangleMeasure { strength: 1.0 },
-        other => fail(format_args!("unknown preset `{other}`")),
-    };
-    let config = SessionConfig::builder()
-        .message_bits(8)
-        .check_bits(2)
-        .di_check_pairs(64)
-        .build()
-        .unwrap_or_else(|e| fail(e));
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let identities = IdentityPair::generate(4, &mut rng);
-    let scenario = Scenario::new(config, identities)
-        .with_label(format!("shardctl-{preset}"))
-        .with_adversary(adversary)
-        .with_backend(backend);
+    let scenario = shard_io::demo_scenario(&preset, seed, backend).unwrap_or_else(|e| fail(e));
     println!("{}", serde::json::to_string(&scenario));
 }
 
@@ -182,20 +208,16 @@ fn plan_cmd(mut args: Args) {
     println!("{}", serde::json::to_string(&plans));
 }
 
+fn parse_output(args: &mut Args) -> ShardOutput {
+    args.take_flag("--output")
+        .map(|raw| raw.parse().unwrap_or_else(|e| fail(e)))
+        .unwrap_or(ShardOutput::Summary)
+}
+
 fn run_cmd(mut args: Args) {
     let plans_path = args.take_flag("--plans");
     let index: Option<usize> = args.take_parsed("--index");
-    let output = match args
-        .take_flag("--output")
-        .unwrap_or_else(|| "summary".into())
-        .as_str()
-    {
-        "summary" => ShardOutput::Summary,
-        "outcomes" => ShardOutput::Outcomes,
-        other => fail(format_args!(
-            "invalid --output `{other}` (expected `summary` or `outcomes`)"
-        )),
-    };
+    let output = parse_output(&mut args);
     args.finish();
     let plans: Vec<ShardPlan> = serde::json::from_str(&read_input(plans_path.as_deref()))
         .unwrap_or_else(|e| fail(format_args!("invalid shard plan JSON: {e}")));
@@ -213,84 +235,238 @@ fn run_cmd(mut args: Args) {
     let engine = SessionEngine::new(0).with_parallelism(parallelism);
     let results: Vec<ShardResult> = selected
         .into_iter()
-        .map(|plan| {
-            let (result, stats) = engine
-                .execute_shard_with_stats(plan, output)
-                .unwrap_or_else(|e| fail(format_args!("shard execution failed: {e}")));
-            eprintln!(
-                "executed trials {}..{} on the {} backend: {stats} ({:.1} trials/s)",
-                plan.trial_start,
-                plan.trial_end(),
-                plan.backend(),
-                stats.throughput()
-            );
-            result
-        })
+        .map(|plan| execute_plan(&engine, plan, output))
         .collect();
     println!("{}", serde::json::to_string(&results));
 }
 
-/// The first file that appears twice in the list, if any. Merging the same
-/// result file twice would double-count its trials (surfacing, at best, as an
-/// opaque overlap error), so it is rejected up front by name.
-fn find_duplicate_file(files: &[String]) -> Option<&String> {
-    files
-        .iter()
-        .enumerate()
-        .find(|(i, file)| files[..*i].contains(file))
-        .map(|(_, file)| file)
-}
-
-/// Merges shard results with per-shard provenance: the same trial-order fold
-/// as `protocol::engine::merge_shard_results`, but a failure names the source
-/// (file) whose shard was rejected.
-fn merge_sources(mut sources: Vec<(String, ShardResult)>) -> Result<MergedRun, String> {
-    // Sort exactly as `merge_shard_results` does (empty shards share their
-    // start with the following shard; the count key orders them first).
-    sources.sort_by(|(_, a), (_, b)| {
-        (a.trial_start, a.trial_count).cmp(&(b.trial_start, b.trial_count))
-    });
-    let mut merger = ShardMerger::new();
-    for (source, result) in sources {
-        let range = format!("trials {}..{}", result.trial_start, result.trial_end());
-        merger
-            .push(result)
-            .map_err(|e| format!("cannot merge {source} ({range}): {e}"))?;
-    }
-    merger.finish().map_err(|e| format!("merge failed: {e}"))
+fn execute_plan(engine: &SessionEngine, plan: &ShardPlan, output: ShardOutput) -> ShardResult {
+    let (result, stats) = engine
+        .execute_shard_with_stats(plan, output)
+        .unwrap_or_else(|e| fail(format_args!("shard execution failed: {e}")));
+    eprintln!(
+        "executed trials {}..{} on the {} backend: {stats} ({:.1} trials/s)",
+        plan.trial_start,
+        plan.trial_end(),
+        plan.backend(),
+        stats.throughput()
+    );
+    result
 }
 
 fn merge_cmd(args: Args) {
     let files = args.finish_positional();
-    if let Some(duplicate) = find_duplicate_file(&files) {
-        fail(format_args!(
-            "duplicate shard result file `{duplicate}`: each result may be merged only once"
-        ));
-    }
-    let mut sources: Vec<(String, ShardResult)> = Vec::new();
-    if files.is_empty() {
+    let merged = if files.is_empty() {
         let results: Vec<ShardResult> = serde::json::from_str(&read_input(None))
             .unwrap_or_else(|e| fail(format_args!("invalid shard result JSON on stdin: {e}")));
-        sources.extend(results.into_iter().map(|r| ("<stdin>".to_string(), r)));
+        let sources = results
+            .into_iter()
+            .map(|r| ("<stdin>".to_string(), r))
+            .collect();
+        shard_io::merge_sources(sources).unwrap_or_else(|e| fail(e))
     } else {
-        for file in &files {
-            let batch: Vec<ShardResult> = serde::json::from_str(&read_input(Some(file)))
-                .unwrap_or_else(|e| fail(format_args!("invalid shard result JSON in {file}: {e}")));
-            sources.extend(batch.into_iter().map(|r| (file.clone(), r)));
-        }
-    }
-    let shard_count = sources.len();
-    let merged = merge_sources(sources).unwrap_or_else(|e| fail(e));
+        shard_io::merge_result_files(&files).unwrap_or_else(|e: MergeFileError| fail(e))
+    };
+    print_merged(&merged);
+}
+
+fn print_merged(merged: &MergedRun) {
     match merged {
-        MergedRun::Summary(summary) => {
-            eprintln!("merged {shard_count} shard(s): {summary}");
-            println!("{}", serde::json::to_string(&summary));
+        MergedRun::Summary(summary) => eprintln!("merged run: {summary}"),
+        MergedRun::Outcomes(outcomes) => eprintln!("merged run: {} outcomes", outcomes.len()),
+    }
+    println!("{}", shard_io::merged_run_to_json(merged));
+}
+
+// -------------------------------------------------------------------- queue --
+
+fn open_queue(args: &mut Args) -> ShardQueue {
+    let dir = args
+        .take_flag("--dir")
+        .unwrap_or_else(|| fail("queue commands require --dir"));
+    ShardQueue::open(&dir).unwrap_or_else(|e| fail(e))
+}
+
+fn queue_init_cmd(mut args: Args) {
+    let dir = args
+        .take_flag("--dir")
+        .unwrap_or_else(|| fail("queue init requires --dir"));
+    let trials: usize = args
+        .take_parsed("--trials")
+        .unwrap_or_else(|| fail("queue init requires --trials"));
+    let seed: u64 = args.take_parsed("--seed").unwrap_or(0);
+    let shard_trials: usize = args.take_parsed("--shard-trials").unwrap_or(8);
+    if shard_trials == 0 {
+        fail("--shard-trials must be at least 1");
+    }
+    let scenario_path = args.take_flag("--scenario");
+    let backend: Option<BackendKind> = args.take_parsed("--backend");
+    let output = parse_output(&mut args);
+    args.finish();
+    let mut scenario: Scenario = serde::json::from_str(&read_input(scenario_path.as_deref()))
+        .unwrap_or_else(|e| fail(format_args!("invalid scenario JSON: {e}")));
+    if let Some(backend) = backend {
+        scenario.backend = backend;
+    }
+    let plan = SessionEngine::new(seed).plan(&scenario, trials);
+    let queue = ShardQueue::init(&dir, &plan, shard_trials, output).unwrap_or_else(|e| fail(e));
+    let status = queue.status().unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "initialized queue in {dir}: {} trials of `{}` (seed {seed}, backend {}, {} payload) \
+         as {} claimable shard(s)",
+        trials, scenario.label, scenario.backend, output, status.total_shards
+    );
+}
+
+fn queue_claim_cmd(mut args: Args) -> ExitCode {
+    let worker = args
+        .take_flag("--worker")
+        .unwrap_or_else(|| fail("queue claim requires --worker"));
+    let lease_ms: u64 = args.take_parsed("--lease-ms").unwrap_or(60_000);
+    let queue = open_queue(&mut args);
+    args.finish();
+    match queue.claim(&worker, lease_ms).unwrap_or_else(|e| fail(e)) {
+        ClaimOutcome::Claimed(plan) => {
+            eprintln!("claimed {plan}");
+            println!("{}", serde::json::to_string(&plan));
+            ExitCode::SUCCESS
         }
-        MergedRun::Outcomes(outcomes) => {
-            eprintln!("merged {shard_count} shard(s): {} outcomes", outcomes.len());
-            println!("{}", serde::json::to_string(&outcomes));
+        ClaimOutcome::Wait { leased } => {
+            eprintln!("nothing claimable: {leased} shard(s) leased elsewhere; poll again");
+            ExitCode::from(3)
+        }
+        ClaimOutcome::Drained => {
+            eprintln!("queue drained: every shard is done");
+            ExitCode::from(4)
         }
     }
+}
+
+fn queue_submit_cmd(mut args: Args) {
+    let result_path = args.take_flag("--result");
+    let queue = open_queue(&mut args);
+    args.finish();
+    let text = read_input(result_path.as_deref());
+    // Accept both one result object and the 1-element array `run` writes.
+    let result: ShardResult = serde::json::from_str(&text)
+        .or_else(|_| {
+            serde::json::from_str::<Vec<ShardResult>>(&text).and_then(|mut batch| {
+                if batch.len() == 1 {
+                    Ok(batch.remove(0))
+                } else {
+                    Err(serde::Error::new(format!(
+                        "expected exactly one shard result, got {}",
+                        batch.len()
+                    )))
+                }
+            })
+        })
+        .unwrap_or_else(|e| fail(format_args!("invalid shard result JSON: {e}")));
+    match queue.submit(&result).unwrap_or_else(|e| fail(e)) {
+        SubmitOutcome::Recorded => eprintln!(
+            "recorded trials {}..{}",
+            result.trial_start,
+            result.trial_end()
+        ),
+        SubmitOutcome::AlreadyDone => eprintln!(
+            "trials {}..{} were already completed by another worker; discarded",
+            result.trial_start,
+            result.trial_end()
+        ),
+    }
+}
+
+fn queue_status_cmd(mut args: Args) {
+    let queue = open_queue(&mut args);
+    args.finish();
+    let status = queue.status().unwrap_or_else(|e| fail(e));
+    eprintln!("{status}");
+    println!("{}", serde::json::to_string(&status));
+}
+
+fn queue_work_cmd(mut args: Args) {
+    let worker = args
+        .take_flag("--worker")
+        .unwrap_or_else(|| fail("queue work requires --worker"));
+    let lease_ms: u64 = args.take_parsed("--lease-ms").unwrap_or(60_000);
+    let poll_ms: u64 = args.take_parsed("--poll-ms").unwrap_or(500);
+    let queue = open_queue(&mut args);
+    args.finish();
+    let parallelism = bench::announce_parallelism();
+    let engine = SessionEngine::new(0).with_parallelism(parallelism);
+    let output = queue.checkpoint().unwrap_or_else(|e| fail(e)).output;
+    let throttle_ms: u64 = std::env::var("UA_DI_QSDC_QUEUE_THROTTLE_MS")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(0);
+    let mut executed = 0usize;
+    loop {
+        match queue.claim(&worker, lease_ms).unwrap_or_else(|e| fail(e)) {
+            ClaimOutcome::Claimed(plan) => {
+                if throttle_ms > 0 {
+                    // Chaos hook: hold the lease without submitting, so a
+                    // test can SIGKILL this worker in the claim→submit window.
+                    eprintln!("[{worker}] throttling {throttle_ms} ms before {plan}");
+                    std::thread::sleep(std::time::Duration::from_millis(throttle_ms));
+                }
+                let result = execute_plan(&engine, &plan, output);
+                match queue.submit(&result).unwrap_or_else(|e| fail(e)) {
+                    SubmitOutcome::Recorded => executed += 1,
+                    SubmitOutcome::AlreadyDone => eprintln!(
+                        "[{worker}] trials {}..{} were stolen and completed elsewhere",
+                        result.trial_start,
+                        result.trial_end()
+                    ),
+                }
+            }
+            ClaimOutcome::Wait { leased } => {
+                eprintln!("[{worker}] waiting: {leased} shard(s) leased elsewhere");
+                std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+            }
+            ClaimOutcome::Drained => {
+                eprintln!("[{worker}] queue drained after {executed} shard(s); exiting");
+                return;
+            }
+        }
+    }
+}
+
+fn queue_resume_cmd(mut args: Args) -> ExitCode {
+    let queue = open_queue(&mut args);
+    args.finish();
+    // One pass over the results directory: verify, recover expired leases,
+    // and (when complete) merge the already-verified results.
+    let (status, merged) = queue.resume().unwrap_or_else(|e| fail(e));
+    eprintln!("recovered checkpoint: {status}");
+    let Some(merged) = merged else {
+        eprintln!(
+            "{} shard(s) still outstanding — start `shardctl queue work` workers to drain them",
+            status.total_shards - status.done
+        );
+        return ExitCode::from(3);
+    };
+    print_merged(&merged);
+    ExitCode::SUCCESS
+}
+
+fn queue_cmd(mut raw: Vec<String>) -> ExitCode {
+    if raw.is_empty() {
+        fail("queue requires a subcommand: init, claim, submit, status, work or resume");
+    }
+    let sub = raw.remove(0);
+    let args = Args { args: raw };
+    match sub.as_str() {
+        "init" => queue_init_cmd(args),
+        "claim" => return queue_claim_cmd(args),
+        "submit" => queue_submit_cmd(args),
+        "status" => queue_status_cmd(args),
+        "work" => queue_work_cmd(args),
+        "resume" => return queue_resume_cmd(args),
+        other => fail(format_args!(
+            "unknown queue subcommand `{other}`; see --help"
+        )),
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -304,6 +480,9 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let command = raw.remove(0);
+    if command == "queue" {
+        return queue_cmd(raw);
+    }
     let args = Args { args: raw };
     match command.as_str() {
         "scenario" => scenario_cmd(args),
@@ -313,71 +492,4 @@ fn main() -> ExitCode {
         other => fail(format_args!("unknown subcommand `{other}`; see --help")),
     }
     ExitCode::SUCCESS
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use protocol::SessionConfig;
-
-    fn results(backend: BackendKind) -> Vec<ShardResult> {
-        let config = SessionConfig::builder()
-            .message_bits(8)
-            .check_bits(2)
-            .di_check_pairs(24)
-            .build()
-            .unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let identities = IdentityPair::generate(2, &mut rng);
-        let scenario = Scenario::new(config, identities).with_backend(backend);
-        let engine = SessionEngine::new(5);
-        engine
-            .plan(&scenario, 4)
-            .split_into(2)
-            .iter()
-            .map(|p| engine.execute_shard(p, ShardOutput::Summary).unwrap())
-            .collect()
-    }
-
-    #[test]
-    fn duplicate_files_are_found_by_name() {
-        let files = vec!["a.json".to_string(), "b.json".to_string()];
-        assert_eq!(find_duplicate_file(&files), None);
-        let twice = vec![
-            "a.json".to_string(),
-            "b.json".to_string(),
-            "a.json".to_string(),
-        ];
-        assert_eq!(find_duplicate_file(&twice), Some(&"a.json".to_string()));
-    }
-
-    #[test]
-    fn merge_sources_names_the_offending_file() {
-        let shards = results(BackendKind::DensityMatrix);
-        // Clean merge works out of order.
-        let ok = merge_sources(vec![
-            ("b.json".into(), shards[1].clone()),
-            ("a.json".into(), shards[0].clone()),
-        ]);
-        assert!(ok.is_ok());
-        // Duplicate shard *content* (same range from two files) is an
-        // overlap naming the second file.
-        let err = merge_sources(vec![
-            ("a.json".into(), shards[0].clone()),
-            ("copy-of-a.json".into(), shards[0].clone()),
-            ("b.json".into(), shards[1].clone()),
-        ])
-        .unwrap_err();
-        assert!(err.contains("copy-of-a.json"), "{err}");
-        assert!(err.contains("overlap"), "{err}");
-        // A cross-backend shard is rejected naming its file and substrate.
-        let alien = results(BackendKind::Statevector);
-        let err = merge_sources(vec![
-            ("a.json".into(), shards[0].clone()),
-            ("sv.json".into(), alien[1].clone()),
-        ])
-        .unwrap_err();
-        assert!(err.contains("sv.json"), "{err}");
-        assert!(err.contains("statevector"), "{err}");
-    }
 }

@@ -25,6 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod shard_io;
+
 use analysis::histogram::counts_to_row;
 use analysis::rows::{AccuracyPoint, AttackRow, DetectionPoint, HistogramRow, Table1Row};
 use analysis::stats::mean;

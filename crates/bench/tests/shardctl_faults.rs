@@ -1,0 +1,328 @@
+//! Fault-injection suite for `shardctl merge` and `shardctl queue resume`,
+//! driving the bin's library helpers ([`bench::shard_io`] and
+//! [`protocol::engine::queue`]) directly: a truncated JSON result, a corrupt
+//! result fingerprint, a duplicated shard file and a checkpoint from a
+//! different plan must each fail with an error **naming the offending file**
+//! and carrying a **distinct** [`MergeError`] — and must never panic.
+
+use bench::shard_io::{self, MergeFileError};
+use protocol::engine::{
+    BackendKind, ClaimOutcome, MergeError, QueueError, Scenario, SessionEngine, ShardOutput,
+    ShardQueue, ShardResult, SlotState,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ua-di-qsdc-faults-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).expect("scratch dir creates");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn scenario(seed: u64) -> Scenario {
+    shard_io::demo_scenario("intercept", seed, BackendKind::DensityMatrix)
+        .expect("demo scenario builds")
+}
+
+/// Executes a 4-trial run as 2 shard result files, exactly as
+/// `shardctl run --index i > result-i.json` would write them.
+fn write_result_files(dir: &TempDir, seed: u64) -> Vec<String> {
+    let engine = SessionEngine::new(seed);
+    let scenario = scenario(seed);
+    engine
+        .plan(&scenario, 4)
+        .split_into(2)
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            let result = engine
+                .execute_shard(plan, ShardOutput::Summary)
+                .expect("shard executes");
+            let path = dir.path(&format!("result-{i}.json"));
+            fs::write(&path, serde::json::to_string(&vec![result])).expect("result writes");
+            path
+        })
+        .collect()
+}
+
+#[test]
+fn truncated_result_json_names_the_file() {
+    let dir = TempDir::new("truncated");
+    let files = write_result_files(&dir, 1);
+    // A worker died mid-write: the second file is cut in half.
+    let bytes = fs::read(&files[1]).unwrap();
+    fs::write(&files[1], &bytes[..bytes.len() / 2]).unwrap();
+
+    let err = shard_io::merge_result_files(&files).unwrap_err();
+    assert!(
+        matches!(err, MergeFileError::Parse { ref file, .. } if file == &files[1]),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("result-1.json"), "{err}");
+    assert!(err.to_string().contains("invalid"), "{err}");
+}
+
+#[test]
+fn corrupt_fingerprint_is_a_fingerprint_mismatch_naming_the_file() {
+    let dir = TempDir::new("fingerprint");
+    let files = write_result_files(&dir, 2);
+    // Bit-flip the second shard's run fingerprint: it now claims to belong
+    // to a different run.
+    let mut results: Vec<ShardResult> =
+        serde::json::from_str(&fs::read_to_string(&files[1]).unwrap()).unwrap();
+    results[0].fingerprint ^= 1;
+    fs::write(&files[1], serde::json::to_string(&results)).unwrap();
+
+    let err = shard_io::merge_result_files(&files).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MergeFileError::Merge {
+                ref file,
+                error: MergeError::FingerprintMismatch { .. },
+                ..
+            } if file == &files[1]
+        ),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("result-1.json"), "{err}");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+}
+
+#[test]
+fn duplicate_shard_files_are_rejected_by_name() {
+    let dir = TempDir::new("duplicate");
+    let files = write_result_files(&dir, 3);
+
+    // The same path listed twice is refused before anything is read…
+    let listed_twice = vec![files[0].clone(), files[1].clone(), files[0].clone()];
+    let err = shard_io::merge_result_files(&listed_twice).unwrap_err();
+    assert!(
+        matches!(err, MergeFileError::DuplicateFile { ref file } if file == &files[0]),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("duplicate"), "{err}");
+    assert!(err.to_string().contains("result-0.json"), "{err}");
+
+    // …and a *copy* of a shard under another name is an overlap naming the
+    // copy (a different, equally distinct error).
+    let copy = dir.path("copy-of-0.json");
+    fs::copy(&files[0], &copy).unwrap();
+    let with_copy = vec![files[0].clone(), copy.clone(), files[1].clone()];
+    let err = shard_io::merge_result_files(&with_copy).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MergeFileError::Merge {
+                ref file,
+                error: MergeError::Overlap { .. },
+                ..
+            } if file == &copy
+        ),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("copy-of-0.json"), "{err}");
+}
+
+#[test]
+fn checkpoint_from_a_different_plan_is_rejected() {
+    let queue_dir = TempDir::new("foreign-queue");
+    let engine = SessionEngine::new(4);
+    let queue = ShardQueue::init(
+        queue_dir.0.join("q"),
+        &engine.plan(&scenario(4), 4),
+        2,
+        ShardOutput::Summary,
+    )
+    .expect("queue initializes");
+
+    // A worker submits a result executed from a *different* plan (other
+    // scenario, other fingerprint): rejected with the precise MergeError.
+    let alien_engine = SessionEngine::new(999);
+    let alien_plan = alien_engine.plan(&scenario(99), 4).split_into(2)[0].clone();
+    let alien = alien_engine
+        .execute_shard(&alien_plan, ShardOutput::Summary)
+        .expect("alien shard executes");
+    let err = queue.submit(&alien).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            QueueError::Merge {
+                error: MergeError::FingerprintMismatch { .. },
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    // Now the nastier variant: the *results directory* holds a file from a
+    // different plan whose checksum was made to look right in the
+    // checkpoint. The merge must reject it naming the file.
+    loop {
+        match queue.claim("w", 60_000).expect("claim") {
+            ClaimOutcome::Claimed(plan) => {
+                let good = engine
+                    .execute_shard(&plan, ShardOutput::Summary)
+                    .expect("shard executes");
+                queue.submit(&good).expect("good result records");
+            }
+            ClaimOutcome::Drained => break,
+            ClaimOutcome::Wait { .. } => unreachable!(),
+        }
+    }
+
+    let mut checkpoint = queue.checkpoint().expect("checkpoint loads");
+    let done_index = checkpoint
+        .shards
+        .iter()
+        .position(|s| matches!(s.state, SlotState::Done { .. }))
+        .expect("one shard is done");
+    let alien_bytes = serde::json::to_string(&alien).into_bytes();
+    checkpoint.shards[done_index].state = SlotState::Done {
+        result_fingerprint: protocol::engine::queue::content_fingerprint(&alien_bytes),
+    };
+    let result_path = queue.result_path(&checkpoint.shards[done_index]);
+    fs::write(&result_path, &alien_bytes).unwrap();
+    fs::write(queue.checkpoint_path(), serde::json::to_string(&checkpoint)).unwrap();
+
+    let err = queue.merge().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            QueueError::Merge {
+                path: Some(ref path),
+                error: MergeError::FingerprintMismatch { .. },
+            } if *path == result_path
+        ),
+        "{err:?}"
+    );
+    assert!(
+        err.to_string()
+            .contains(&checkpoint.shards[done_index].result_file_name()),
+        "{err}"
+    );
+}
+
+#[test]
+fn corrupt_and_truncated_queue_results_fail_resume_by_name() {
+    let queue_dir = TempDir::new("resume-faults");
+    let engine = SessionEngine::new(5);
+    let scenario = scenario(5);
+    let queue = ShardQueue::init(
+        queue_dir.0.join("q"),
+        &engine.plan(&scenario, 4),
+        2,
+        ShardOutput::Summary,
+    )
+    .expect("queue initializes");
+    loop {
+        match queue.claim("w", 60_000).expect("claim") {
+            ClaimOutcome::Claimed(plan) => {
+                let result = engine
+                    .execute_shard(&plan, ShardOutput::Summary)
+                    .expect("executes");
+                queue.submit(&result).expect("submits");
+            }
+            ClaimOutcome::Drained => break,
+            ClaimOutcome::Wait { .. } => unreachable!(),
+        }
+    }
+
+    let checkpoint = queue.checkpoint().expect("checkpoint loads");
+    let target = queue.result_path(&checkpoint.shards[1]);
+    let original = fs::read(&target).unwrap();
+
+    // Truncation (e.g. a worker killed mid-write, or bit rot) is caught by
+    // the content fingerprint before the JSON is even parsed.
+    fs::write(&target, &original[..original.len() / 3]).unwrap();
+    let err = queue.recover().unwrap_err();
+    assert!(matches!(err, QueueError::Corrupt { .. }), "{err:?}");
+    assert!(
+        err.to_string()
+            .contains(&checkpoint.shards[1].result_file_name()),
+        "{err}"
+    );
+
+    // A deleted result file is a distinct, equally named fault.
+    fs::remove_file(&target).unwrap();
+    let err = queue.recover().unwrap_err();
+    assert!(matches!(err, QueueError::Missing { .. }), "{err:?}");
+    assert!(
+        err.to_string()
+            .contains(&checkpoint.shards[1].result_file_name()),
+        "{err}"
+    );
+
+    // Restoring the bytes heals the sweep: resume verifies, and the merge is
+    // byte-identical to the uninterrupted run.
+    fs::write(&target, &original).unwrap();
+    assert!(queue.recover().expect("recovers").complete());
+    let merged = queue.merge().expect("merges").into_summary().unwrap();
+    let whole = engine.run_trials(&scenario, 4).expect("whole run");
+    assert_eq!(
+        serde::json::to_string(&merged),
+        serde::json::to_string(&whole)
+    );
+}
+
+#[test]
+fn out_of_range_checkpoint_slots_are_rejected_not_panicked_on() {
+    let queue_dir = TempDir::new("bad-slot");
+    let engine = SessionEngine::new(7);
+    let queue = ShardQueue::init(
+        queue_dir.0.join("q"),
+        &engine.plan(&scenario(7), 4),
+        2,
+        ShardOutput::Summary,
+    )
+    .expect("queue initializes");
+    // Corrupt a slot's range so it escapes the plan: re-deriving its
+    // sub-plan used to panic inside `claim`; now every load rejects the
+    // manifest, naming the checkpoint.
+    let mut checkpoint = queue.checkpoint().expect("checkpoint loads");
+    checkpoint.shards[0].trial_start = 1_000;
+    fs::write(queue.checkpoint_path(), serde::json::to_string(&checkpoint)).unwrap();
+    let err = queue.claim("w", 60_000).unwrap_err();
+    assert!(matches!(err, QueueError::InvalidSlot { .. }), "{err:?}");
+    assert!(err.to_string().contains("checkpoint.json"), "{err}");
+    assert!(err.to_string().contains("1000"), "{err}");
+}
+
+#[test]
+fn truncated_checkpoint_json_names_the_checkpoint() {
+    let queue_dir = TempDir::new("truncated-checkpoint");
+    let engine = SessionEngine::new(6);
+    let queue = ShardQueue::init(
+        queue_dir.0.join("q"),
+        &engine.plan(&scenario(6), 2),
+        2,
+        ShardOutput::Summary,
+    )
+    .expect("queue initializes");
+    let bytes = fs::read(queue.checkpoint_path()).unwrap();
+    fs::write(queue.checkpoint_path(), &bytes[..bytes.len() / 2]).unwrap();
+    let err = ShardQueue::open(queue.dir()).unwrap_err();
+    assert!(matches!(err, QueueError::Parse { .. }), "{err:?}");
+    assert!(err.to_string().contains("checkpoint.json"), "{err}");
+}

@@ -29,7 +29,10 @@
 //! [`SessionEngine::execute_shard`] turns one shard into a [`ShardResult`],
 //! and a [`ShardMerger`] folds results back in trial order, byte-identical to
 //! the unsharded run. `run_outcomes` / `run_trials` are the whole-run special
-//! case of that pipeline.
+//! case of that pipeline. For a heterogeneous fleet, the [`queue`] module
+//! schedules those shards dynamically: a [`ShardQueue`] on a shared directory
+//! hands sub-plans out on a claim/lease basis and persists progress in a
+//! resumable, fingerprint-verified [`MergeCheckpoint`].
 //!
 //! ```rust
 //! use protocol::engine::{Adversary, Scenario, SessionEngine};
@@ -53,9 +56,14 @@
 //! ```
 
 pub mod parallel;
+pub mod queue;
 pub mod shard;
 
 pub use parallel::{ExecutorStats, Parallelism};
+pub use queue::{
+    ClaimOutcome, MergeCheckpoint, QueueError, QueueStatus, ShardQueue, ShardSlot, SlotState,
+    SubmitOutcome,
+};
 pub use shard::{
     merge_shard_results, MergeError, MergedRun, ShardMerger, ShardOutput, ShardPayload, ShardPlan,
     ShardResult,
@@ -911,7 +919,7 @@ impl TrialSummaryBuilder {
     }
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &byte in bytes {
         hash ^= u64::from(byte);

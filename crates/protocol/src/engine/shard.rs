@@ -98,9 +98,40 @@ pub struct ShardPlan {
     /// Total trials of the whole run this shard was split from; the merger
     /// uses it to detect incomplete coverage.
     pub total_trials: usize,
+    /// Provenance stamp over the plan's *execution header* — fingerprint,
+    /// master seed and trial range (see [`provenance_stamp`](Self::provenance_stamp)).
+    /// [`validate`](Self::validate) rejects a plan whose range fields were
+    /// edited after planning; the splitters re-stamp the sub-plans they
+    /// legitimately derive.
+    pub plan_stamp: u64,
 }
 
 impl ShardPlan {
+    /// The provenance stamp [`validate`](Self::validate) expects for this
+    /// plan's current header fields: a stable hash over (fingerprint, master
+    /// seed, trial range, total trials).
+    ///
+    /// The scenario fingerprint alone cannot witness the trial range: a plan
+    /// whose range was subranged (or hand-edited) after planning — e.g. a
+    /// stale `total_trials` that would fool the merger's completeness check —
+    /// used to pass [`validate`](Self::validate). Every legitimate
+    /// constructor ([`SessionEngine::plan`], [`subrange`](Self::subrange) and
+    /// the splitters built on it) stamps the plan; any later edit of a header
+    /// field is detected as a stamp mismatch.
+    pub fn provenance_stamp(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(53);
+        bytes.extend_from_slice(b"shard-plan-v1");
+        for field in [
+            self.fingerprint,
+            self.master_seed,
+            self.trial_start,
+            self.trial_count as u64,
+            self.total_trials as u64,
+        ] {
+            bytes.extend_from_slice(&field.to_le_bytes());
+        }
+        super::fnv1a64(&bytes)
+    }
     /// One-past-the-last trial index of this shard's range.
     pub fn trial_end(&self) -> u64 {
         self.trial_start + self.trial_count as u64
@@ -135,6 +166,14 @@ impl ShardPlan {
                 self.fingerprint
             )));
         }
+        let stamp = self.provenance_stamp();
+        if stamp != self.plan_stamp {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "shard plan stamp {:#018x} does not match its header (which stamps to \
+                 {stamp:#018x}); the seed or trial range was modified after planning",
+                self.plan_stamp
+            )));
+        }
         if self.trial_end() > self.total_trials as u64 {
             return Err(ProtocolError::InvalidConfig(format!(
                 "shard trial range {}..{} exceeds the run's {} total trials",
@@ -159,14 +198,19 @@ impl ShardPlan {
             offset + count,
             self.trial_count
         );
-        ShardPlan {
+        let mut shard = ShardPlan {
             scenario: self.scenario.clone(),
             master_seed: self.master_seed,
             fingerprint: self.fingerprint,
             trial_start: self.trial_start + offset as u64,
             trial_count: count,
             total_trials: self.total_trials,
-        }
+            plan_stamp: 0,
+        };
+        // The sub-plan's range differs from its parent's, so it carries its
+        // own provenance stamp.
+        shard.plan_stamp = shard.provenance_stamp();
+        shard
     }
 
     /// Splits this plan into exactly `shards` contiguous sub-plans of
@@ -241,12 +285,44 @@ pub enum ShardOutput {
     Summary,
 }
 
+impl ShardOutput {
+    /// The payload kind as a short label (also the serialized form).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShardOutput::Outcomes => "outcomes",
+            ShardOutput::Summary => "summary",
+        }
+    }
+}
+
 impl fmt::Display for ShardOutput {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ShardOutput::Outcomes => f.write_str("outcomes"),
-            ShardOutput::Summary => f.write_str("summary"),
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ShardOutput {
+    type Err = String;
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw {
+            "outcomes" => Ok(ShardOutput::Outcomes),
+            "summary" => Ok(ShardOutput::Summary),
+            other => Err(format!(
+                "unknown shard output kind `{other}` (expected `summary` or `outcomes`)"
+            )),
         }
+    }
+}
+
+impl Serialize for ShardOutput {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for ShardOutput {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        value.as_str()?.parse().map_err(serde::Error::new)
     }
 }
 
@@ -316,14 +392,17 @@ impl SessionEngine {
     /// [`ShardPlan::split_into`] / [`ShardPlan::split_max`] to distribute the
     /// run.
     pub fn plan(&self, scenario: &Scenario, trials: usize) -> ShardPlan {
-        ShardPlan {
+        let mut plan = ShardPlan {
             fingerprint: scenario.fingerprint(),
             scenario: scenario.clone(),
             master_seed: self.master_seed(),
             trial_start: 0,
             trial_count: trials,
             total_trials: trials,
-        }
+            plan_stamp: 0,
+        };
+        plan.plan_stamp = plan.provenance_stamp();
+        plan
     }
 
     /// Stage 2 of the pipeline: executes one shard and returns its result.
@@ -863,6 +942,50 @@ mod tests {
             oversized.validate(),
             Err(ProtocolError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn edited_trial_ranges_are_rejected() {
+        // Regression: the scenario fingerprint cannot witness the trial
+        // range, so a plan whose range fields were edited after planning used
+        // to pass `validate` as long as the range stayed within `total`.
+        let engine = SessionEngine::new(21);
+        let sub = engine.plan(&scenario(21), 10).subrange(0, 5);
+        assert!(sub.validate().is_ok(), "legitimate sub-plans validate");
+
+        // The motivating case: a stale `total` — shrink the run so the
+        // merger would believe 5 merged trials complete a 5-trial run.
+        let mut shrunk = sub.clone();
+        shrunk.total_trials = 5;
+        let err = shrunk.validate().unwrap_err();
+        assert!(err.to_string().contains("stamp"), "{err}");
+
+        // Any other header edit is equally detected…
+        for edit in [
+            |p: &mut ShardPlan| p.trial_start = 1,
+            |p: &mut ShardPlan| p.trial_count = 4,
+            |p: &mut ShardPlan| p.master_seed ^= 1,
+        ] {
+            let mut tampered = sub.clone();
+            edit(&mut tampered);
+            assert!(
+                matches!(tampered.validate(), Err(ProtocolError::InvalidConfig(_))),
+                "edited header fields must fail validation"
+            );
+            assert!(matches!(
+                engine.execute_shard(&tampered, ShardOutput::Summary),
+                Err(ProtocolError::InvalidConfig(_))
+            ));
+        }
+
+        // …while every split of a valid plan re-stamps and stays valid.
+        for shard in sub.split_into(3) {
+            assert_eq!(shard.plan_stamp, shard.provenance_stamp());
+            assert!(shard.validate().is_ok());
+        }
+        for shard in sub.split_max(2) {
+            assert!(shard.validate().is_ok());
+        }
     }
 
     #[test]

@@ -84,6 +84,19 @@
 //! shardctl merge result-*.json     # == the unsharded run, byte for byte
 //! ```
 //!
+//! ## Resumable queues
+//!
+//! Static shard assignment is the degenerate schedule. For a heterogeneous (and mortal)
+//! fleet, [`engine::queue`] provides a [`engine::ShardQueue`]: a work queue on a shared
+//! directory that hands fine-grained sub-plans to workers on a claim/lease basis — slow
+//! workers claim fewer shards, dead workers' leases expire and their shards are re-issued —
+//! and persists every completed result (with a content fingerprint) in a versioned
+//! [`engine::MergeCheckpoint`]. Checkpoint writes are atomic, so a SIGKILLed sweep resumes
+//! exactly where it stopped, and the resumed merge is byte-identical to an uninterrupted
+//! run. `shardctl queue init/claim/submit/status/work/resume` expose the same operations to
+//! a fleet of processes; the CI `queue-chaos` job kills a worker mid-run and byte-diffs the
+//! resumed merge against the single-process sweep.
+//!
 //! ## Simulation backends
 //!
 //! Two production substrates implement the [`engine::Backend`] seam, selected per scenario by
@@ -113,9 +126,9 @@ pub mod session;
 
 pub use config::{SessionConfig, SessionConfigBuilder};
 pub use engine::{
-    Adversary, Backend, BackendKind, DensityMatrixBackend, ExecutorStats, MergedRun, Parallelism,
-    Scenario, SessionEngine, ShardMerger, ShardOutput, ShardPlan, ShardResult, StatevectorBackend,
-    TrialSummary,
+    Adversary, Backend, BackendKind, DensityMatrixBackend, ExecutorStats, MergeCheckpoint,
+    MergedRun, Parallelism, Scenario, SessionEngine, ShardMerger, ShardOutput, ShardPlan,
+    ShardQueue, ShardResult, StatevectorBackend, TrialSummary,
 };
 pub use error::ProtocolError;
 pub use identity::{IdentityPair, IdentityString};
@@ -130,9 +143,11 @@ pub mod prelude {
     pub use crate::descriptor::{DecodingMeasurement, ProtocolDescriptor, ResourceType};
     pub use crate::di_check::{DiCheckReport, DiCheckRound};
     pub use crate::engine::{
-        merge_shard_results, Adversary, Backend, BackendKind, DensityMatrixBackend, ExecutorStats,
-        MergeError, MergedRun, Parallelism, Scenario, SessionEngine, ShardMerger, ShardOutput,
-        ShardPayload, ShardPlan, ShardResult, StatevectorBackend, TrialSummary,
+        merge_shard_results, Adversary, Backend, BackendKind, ClaimOutcome, DensityMatrixBackend,
+        ExecutorStats, MergeCheckpoint, MergeError, MergedRun, Parallelism, QueueError,
+        QueueStatus, Scenario, SessionEngine, ShardMerger, ShardOutput, ShardPayload, ShardPlan,
+        ShardQueue, ShardResult, ShardSlot, SlotState, StatevectorBackend, SubmitOutcome,
+        TrialSummary,
     };
     pub use crate::error::ProtocolError;
     pub use crate::identity::{IdentityPair, IdentityString};

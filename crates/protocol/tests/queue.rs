@@ -1,0 +1,222 @@
+//! Crash-recovery property tests for the resumable shard queue: for
+//! arbitrary shard partitions, worker counts, claim interleavings and a
+//! randomly chosen kill point, a checkpoint-then-resume drain produces a
+//! merged run **bit-identical** (`f64::to_bits` on every summary mean, plus
+//! the serialized bytes) to the uninterrupted serial run — on both
+//! production backends and for both payload kinds.
+
+use proptest::prelude::*;
+use protocol::engine::{
+    Adversary, BackendKind, ClaimOutcome, MergedRun, Scenario, SessionEngine, ShardOutput,
+    ShardQueue, SubmitOutcome,
+};
+use protocol::identity::IdentityPair;
+use protocol::SessionConfig;
+use qchannel::taps::{InterceptBasis, SubstituteState};
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique queue directory, removed on drop (also on assertion panics).
+struct TempQueueDir(PathBuf);
+
+impl TempQueueDir {
+    fn new() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        TempQueueDir(std::env::temp_dir().join(format!(
+            "ua-di-qsdc-queue-proptest-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for TempQueueDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn scenario(adversary_index: usize, backend_index: usize, identity_seed: u64) -> Scenario {
+    let config = SessionConfig::builder()
+        .message_bits(8)
+        .check_bits(2)
+        .di_check_pairs(24)
+        .build()
+        .expect("generated config is valid");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(identity_seed);
+    let identities = IdentityPair::generate(2, &mut rng);
+    let adversary = match adversary_index {
+        0 => Adversary::Honest,
+        1 => Adversary::InterceptResend(InterceptBasis::Computational),
+        _ => Adversary::ManInTheMiddle(SubstituteState::RandomBb84),
+    };
+    Scenario::new(config, identities)
+        .with_adversary(adversary)
+        .with_backend(BackendKind::ALL[backend_index % BackendKind::ALL.len()])
+}
+
+const LEASE_MS: u64 = 10_000;
+
+/// Drives a fleet of named workers against the queue under a synthetic
+/// clock. `schedule` decides which worker claims next; the worker whose
+/// claim is step `kill_point` is SIGKILLed right after claiming: it never
+/// submits, and its lease must expire before the shard comes back.
+/// Returns how many claims were issued in total.
+fn drain_with_kill(
+    queue: &ShardQueue,
+    workers: usize,
+    schedule: &[usize],
+    kill_point: usize,
+    output: ShardOutput,
+) -> usize {
+    let engine = SessionEngine::new(0); // seed irrelevant: the plans govern
+    let mut clock: u64 = 1;
+    let mut dead: Vec<bool> = vec![false; workers];
+    let mut step = 0usize;
+    let mut claims = 0usize;
+    loop {
+        let scheduled = schedule[step % schedule.len()] % workers;
+        step += 1;
+        clock += 1;
+        // A dead worker's turn goes to the next live one (the schedule keeps
+        // its shape, the fleet keeps draining).
+        let Some(worker_index) = (0..workers)
+            .map(|offset| (scheduled + offset) % workers)
+            .find(|&w| !dead[w])
+        else {
+            return claims;
+        };
+        let worker = format!("worker-{worker_index}");
+        match queue
+            .claim_at(&worker, LEASE_MS, clock)
+            .expect("claim never fails on a healthy directory")
+        {
+            ClaimOutcome::Claimed(plan) => {
+                claims += 1;
+                if claims == kill_point + 1 {
+                    // SIGKILL between claim and submit: the shard stays
+                    // leased until the lease expires, then another worker
+                    // steals it. If this was the last live worker, the
+                    // resume path below revives the fleet.
+                    dead[worker_index] = true;
+                    continue;
+                }
+                let result = engine.execute_shard(&plan, output).expect("shard executes");
+                // Both outcomes are fine: another worker may have stolen and
+                // completed this shard already.
+                match queue.submit(&result).expect("submit never fails") {
+                    SubmitOutcome::Recorded | SubmitOutcome::AlreadyDone => {}
+                }
+            }
+            ClaimOutcome::Wait { .. } => {
+                // Everything claimable is leased (possibly by the dead
+                // worker): advance past lease expiry so work is stolen.
+                clock += LEASE_MS;
+            }
+            ClaimOutcome::Drained => {
+                if dead.iter().all(|&d| d) {
+                    panic!("every worker died before the queue drained");
+                }
+                return claims;
+            }
+        }
+        if dead.iter().all(|&d| d) {
+            // The whole fleet is gone — the caller resumes with new workers.
+            return claims;
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn killed_and_resumed_drains_merge_bit_identically(
+        trials in 0usize..5,
+        shard_trials in 1usize..4,
+        workers in 1usize..4,
+        schedule in proptest::collection::vec(0usize..8, 1..12),
+        kill_point in 0usize..12,
+        adversary_index in 0usize..3,
+        backend_index in 0usize..2,
+        identity_seed in 0u64..1_000_000,
+        master_seed in 0u64..1_000_000,
+        summary_payload in 0usize..2,
+    ) {
+        let output = if summary_payload == 0 {
+            ShardOutput::Outcomes
+        } else {
+            ShardOutput::Summary
+        };
+        let scenario = scenario(adversary_index, backend_index, identity_seed);
+        let engine = SessionEngine::new(master_seed);
+
+        // The uninterrupted single-process reference.
+        let whole_summary = engine.run_trials(&scenario, trials).expect("whole run");
+        let whole_outcomes = engine.run_outcomes(&scenario, trials).expect("whole run");
+
+        // A cooperative drain with a worker killed mid-run…
+        let tmp = TempQueueDir::new();
+        let queue = ShardQueue::init(
+            &tmp.0,
+            &engine.plan(&scenario, trials),
+            shard_trials,
+            output,
+        )
+        .expect("queue initializes");
+        drain_with_kill(&queue, workers, &schedule, kill_point, output);
+
+        // …then a process restart: reopen the directory, verify and recover
+        // the checkpoint (dead leases return to pending), and drain whatever
+        // remains with a fresh single worker.
+        let resumed = ShardQueue::open(&tmp.0).expect("checkpoint reopens");
+        resumed.recover_at(u64::MAX).expect("recovery verifies the results dir");
+        let executor = SessionEngine::new(12345);
+        loop {
+            match resumed.claim_at("resumer", LEASE_MS, u64::MAX).expect("claim") {
+                ClaimOutcome::Claimed(plan) => {
+                    let result = executor.execute_shard(&plan, output).expect("executes");
+                    resumed.submit(&result).expect("submits");
+                }
+                ClaimOutcome::Drained => break,
+                ClaimOutcome::Wait { .. } => unreachable!("recovery cleared every lease"),
+            }
+        }
+
+        let status = resumed.status().expect("status");
+        prop_assert!(status.complete());
+        prop_assert_eq!(status.trials_done, trials as u64);
+
+        match resumed.merge().expect("complete merge") {
+            MergedRun::Summary(summary) => {
+                prop_assert_eq!(&summary, &whole_summary);
+                // Bit-for-bit on every floating-point mean…
+                prop_assert_eq!(
+                    summary.mean_chsh_round1.map(f64::to_bits),
+                    whole_summary.mean_chsh_round1.map(f64::to_bits)
+                );
+                prop_assert_eq!(
+                    summary.mean_chsh_round2.map(f64::to_bits),
+                    whole_summary.mean_chsh_round2.map(f64::to_bits)
+                );
+                prop_assert_eq!(
+                    summary.mean_message_accuracy.map(f64::to_bits),
+                    whole_summary.mean_message_accuracy.map(f64::to_bits)
+                );
+                // …and on the serialized wire form.
+                prop_assert_eq!(
+                    serde::json::to_string(&summary),
+                    serde::json::to_string(&whole_summary),
+                    "resumed merge must serialize byte-identically"
+                );
+            }
+            MergedRun::Outcomes(outcomes) => {
+                prop_assert_eq!(&outcomes, &whole_outcomes);
+                prop_assert_eq!(
+                    serde::json::to_string(&outcomes),
+                    serde::json::to_string(&whole_outcomes),
+                    "resumed merge must serialize byte-identically"
+                );
+            }
+        }
+    }
+}

@@ -100,6 +100,53 @@
 //!   | shardctl run | shardctl merge
 //! ```
 //!
+//! ## Resumable queues
+//!
+//! Static shard assignment assumes identical, immortal workers. For a heterogeneous fleet,
+//! a [`prelude::ShardQueue`] (`protocol::engine::queue`) turns the same run into a claimable
+//! work queue on a shared directory: workers take fine-grained sub-plans on a *lease* basis
+//! (fast workers simply claim more; a dead worker's leases expire and its shards are
+//! re-issued), and every completed result is persisted with a content fingerprint in a
+//! versioned on-disk `MergeCheckpoint`. Checkpoint writes are atomic, so a sweep SIGKILLed
+//! at any instant resumes exactly where it stopped — and because every shard is a pure
+//! function of its plan, the resumed merge is **byte-identical** to an uninterrupted run:
+//!
+//! ```rust
+//! use ua_di_qsdc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let identities = IdentityPair::generate(4, &mut rng_from_seed(7));
+//! let config = SessionConfig::builder().message_bits(8).check_bits(2).di_check_pairs(24).build()?;
+//! let scenario = Scenario::new(config, identities);
+//! let engine = SessionEngine::new(42);
+//!
+//! let dir = std::env::temp_dir().join(format!("ua-qsdc-quickstart-{}", std::process::id()));
+//! let queue = ShardQueue::init(&dir, &engine.plan(&scenario, 6), 2, ShardOutput::Summary)?;
+//! // Each worker loops: claim a lease, execute, submit. (Normally many
+//! // processes on many machines; the claim/submit API is identical.)
+//! while let ClaimOutcome::Claimed(plan) = queue.claim("worker-1", 60_000)? {
+//!     queue.submit(&engine.execute_shard(&plan, ShardOutput::Summary)?)?;
+//! }
+//! assert_eq!(
+//!     queue.merge()?.into_summary().unwrap(),
+//!     engine.run_trials(&scenario, 6)?, // == the uninterrupted run, byte for byte
+//! );
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Between processes, the `shardctl queue` subcommands drive the same directory — `init`
+//! creates it, any number of `work` processes drain it cooperatively, and `resume` verifies
+//! the checkpoint (naming any corrupt result file) and prints the merged run:
+//!
+//! ```text
+//! shardctl queue init --dir sweep/ --scenario scenario.json --trials 100000 --seed 42
+//! shardctl queue work --dir sweep/ --worker alpha &   # start/kill workers freely,
+//! shardctl queue work --dir sweep/ --worker beta  &   # on any machines sharing sweep/
+//! shardctl queue resume --dir sweep/                  # == the unsharded run, byte for byte
+//! ```
+//!
 //! ## Simulation backends
 //!
 //! Every scenario declares its simulation substrate via [`prelude::BackendKind`]: the default

@@ -1,0 +1,147 @@
+//! Golden wire-format fixtures for the cross-process shard pipeline.
+//!
+//! `ShardPlan`, `ShardResult` and `MergeCheckpoint` are shipped between
+//! processes (and persisted on shared disks) as JSON, so a fleet depends on
+//! their exact shape. The canonical files under `tests/fixtures/` lock that
+//! format: each test asserts that **today's code still parses the checked-in
+//! bytes** to the expected value *and* still serializes that value to the
+//! identical bytes — any accidental field rename, reorder, or representation
+//! change turns these tests red before it breaks a fleet.
+//!
+//! To regenerate after an *intentional* format change (which requires a
+//! checkpoint-version bump for `MergeCheckpoint`):
+//!
+//! ```text
+//! UA_DI_QSDC_UPDATE_FIXTURES=1 cargo test --test wire_format
+//! ```
+
+use bench::shard_io::demo_scenario;
+use ua_di_qsdc::prelude::*;
+use ua_di_qsdc::protocol::engine::queue::{content_fingerprint, CHECKPOINT_VERSION};
+
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// In update mode, (re)writes the fixture; otherwise asserts the checked-in
+/// bytes equal today's serialization of the same value.
+fn check_bytes(name: &str, generated: &str) -> String {
+    let path = fixture_path(name);
+    if std::env::var_os("UA_DI_QSDC_UPDATE_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, generated).unwrap();
+        return generated.to_string();
+    }
+    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read fixture {}: {e}\n(run with UA_DI_QSDC_UPDATE_FIXTURES=1 to create it)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        on_disk, generated,
+        "{name}: today's serialization diverged from the checked-in wire format"
+    );
+    on_disk
+}
+
+/// The deterministic artifacts every fixture derives from: the `shardctl`
+/// demo scenario, a 6-trial run planned under seed 99, and the sub-shard
+/// covering trials 2..4.
+fn artifacts() -> (Scenario, ShardPlan, ShardPlan) {
+    let scenario =
+        demo_scenario("intercept", 7, BackendKind::DensityMatrix).expect("demo scenario builds");
+    let whole = SessionEngine::new(99).plan(&scenario, 6);
+    let sub = whole.subrange(2, 2);
+    (scenario, whole, sub)
+}
+
+#[test]
+fn shard_plan_wire_format_is_stable() {
+    let (scenario, whole, sub) = artifacts();
+    let text = check_bytes("shard_plan.json", &serde::json::to_string(&sub));
+    let parsed: ShardPlan = serde::json::from_str(&text).expect("fixture still parses");
+    assert_eq!(parsed, sub);
+    // The parsed plan is fully usable: provenance validates and the
+    // fingerprint still matches the scenario it carries.
+    parsed.validate().expect("fixture plan validates");
+    assert_eq!(parsed.scenario, scenario);
+    assert_eq!(parsed.fingerprint, scenario.fingerprint());
+    assert_eq!(parsed.master_seed, whole.master_seed);
+    assert_eq!((parsed.trial_start, parsed.trial_count), (2, 2));
+}
+
+#[test]
+fn shard_result_wire_formats_are_stable() {
+    let (_, _, sub) = artifacts();
+    let engine = SessionEngine::new(0);
+    for (name, output) in [
+        ("shard_result_summary.json", ShardOutput::Summary),
+        ("shard_result_outcomes.json", ShardOutput::Outcomes),
+    ] {
+        let result = engine.execute_shard(&sub, output).expect("shard executes");
+        let text = check_bytes(name, &serde::json::to_string(&result));
+        let parsed: ShardResult = serde::json::from_str(&text).expect("fixture still parses");
+        assert_eq!(parsed, result, "{name}");
+        assert_eq!(parsed.payload.kind(), output.as_str());
+        assert_eq!(parsed.payload.trials(), 2);
+    }
+}
+
+#[test]
+fn merge_checkpoint_wire_format_is_stable() {
+    let (_, whole, sub) = artifacts();
+    let engine = SessionEngine::new(0);
+    let done_result = engine
+        .execute_shard(&whole.subrange(0, 2), ShardOutput::Summary)
+        .expect("shard executes");
+    let done_bytes = serde::json::to_string(&done_result).into_bytes();
+    // One slot in each lifecycle state, so the fixture locks all three
+    // `SlotState` encodings (the lease expiry is a fixed instant — wall
+    // clocks have no place in a golden file).
+    let checkpoint = MergeCheckpoint {
+        version: CHECKPOINT_VERSION,
+        plan: whole.clone(),
+        output: ShardOutput::Summary,
+        shards: vec![
+            ShardSlot {
+                trial_start: 0,
+                trial_count: 2,
+                state: SlotState::Done {
+                    result_fingerprint: content_fingerprint(&done_bytes),
+                },
+            },
+            ShardSlot {
+                trial_start: 2,
+                trial_count: 2,
+                state: SlotState::Leased {
+                    worker: "fleet-worker-1".to_string(),
+                    expires_at_ms: 1_700_000_000_000,
+                },
+            },
+            ShardSlot {
+                trial_start: 4,
+                trial_count: 2,
+                state: SlotState::Pending,
+            },
+        ],
+    };
+    let text = check_bytes(
+        "merge_checkpoint.json",
+        &serde::json::to_string(&checkpoint),
+    );
+    let parsed: MergeCheckpoint = serde::json::from_str(&text).expect("fixture still parses");
+    assert_eq!(parsed, checkpoint);
+    assert_eq!(parsed.version, CHECKPOINT_VERSION);
+    parsed
+        .plan
+        .validate()
+        .expect("fixture checkpoint plan validates");
+    // The checkpointed sub-ranges still re-derive valid, re-stamped plans.
+    let rederived = parsed.plan.subrange(2, 2);
+    assert_eq!(rederived, sub);
+}
