@@ -6,24 +6,30 @@
 //! MITM adversaries on **both** production backends, then reports where the
 //! sampled substrate's curves diverge from the paper's emulation.
 //!
+//! The sweep is the checked-in `campaigns/ablation_backend.json` definition (rebuilt via
+//! [`bench::campaigns::ablation_campaign`] when any flag overrides the stored defaults);
+//! pass `--legacy` to run the pre-campaign hand-rolled grid instead (CI byte-diffs the two).
+//!
 //! ```text
 //! cargo run --release -p bench --bin ablation_backend -- \
-//!     [--trials N] [--seed N] [--etas CSV]
+//!     [--trials N] [--seed N] [--etas CSV] [--legacy]
 //! ```
 
 use analysis::report::render_markdown_table;
+use bench::campaigns::{ablation_campaign, ablation_rows, stored_campaign};
 use bench::{BackendAblationRow, ABLATION_ADVERSARIES};
-use protocol::engine::BackendKind;
+use protocol::engine::{BackendKind, NoSampler};
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("ablation_backend: {message}");
     std::process::exit(2)
 }
 
-fn parse_args() -> (usize, u64, Vec<usize>) {
+fn parse_args() -> (usize, u64, Vec<usize>, bool) {
     let mut trials = 20usize;
     let mut seed = 11u64;
     let mut etas = vec![0usize, 10, 50];
+    let mut legacy = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -54,10 +60,25 @@ fn parse_args() -> (usize, u64, Vec<usize>) {
                     fail("--etas needs at least one channel length");
                 }
             }
+            "--legacy" => legacy = true,
             other => fail(format_args!("unknown option `{other}`")),
         }
     }
-    (trials, seed, etas)
+    (trials, seed, etas, legacy)
+}
+
+fn rows_from_campaign(etas: &[usize], trials: usize, seed: u64) -> Vec<BackendAblationRow> {
+    // The stored definition covers the default arguments; any override
+    // rebuilds the same campaign shape over the requested grid.
+    let campaign = if (trials, seed, etas) == (20, 11, &[0usize, 10, 50][..]) {
+        stored_campaign("ablation_backend").expect("ablation campaign is checked in")
+    } else {
+        ablation_campaign(etas, trials, seed)
+    };
+    let report = campaign
+        .run_direct(bench::engine_parallelism(), &NoSampler)
+        .unwrap_or_else(|e| fail(format_args!("campaign failed: {e}")));
+    ablation_rows(&report).unwrap_or_else(|e| fail(e))
 }
 
 fn fmt_chsh(value: Option<f64>) -> String {
@@ -65,14 +86,18 @@ fn fmt_chsh(value: Option<f64>) -> String {
 }
 
 fn main() {
-    let (trials, seed, etas) = parse_args();
+    let (trials, seed, etas, legacy) = parse_args();
     bench::announce_parallelism();
     eprintln!(
         "sweeping η ∈ {etas:?} × {:?} × {:?} at {trials} trials (seed {seed})",
         ABLATION_ADVERSARIES,
         BackendKind::ALL.map(BackendKind::as_str),
     );
-    let rows = bench::backend_ablation_experiment(&etas, trials, seed);
+    let rows = if legacy {
+        bench::backend_ablation_experiment(&etas, trials, seed)
+    } else {
+        rows_from_campaign(&etas, trials, seed)
+    };
 
     println!("# Backend ablation: density-matrix emulation vs sampled statevector trajectories\n");
     let cells: Vec<Vec<String>> = rows

@@ -1,0 +1,142 @@
+//! Measures engine throughput (protocol sessions per second) and writes a
+//! machine-readable report — one lane per execution policy × simulation
+//! substrate — so throughput regressions show up as numbers, not vibes.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_throughput -- \
+//!     [--trials N] [--seed N] [--out FILE]
+//! ```
+//!
+//! The default output path is `BENCH_throughput.json` in the current
+//! directory (CI runs it from the repo root). The timing is wall-clock and
+//! machine-dependent; the `trials`/`seed`/scenario identity in the report
+//! say exactly what was measured.
+
+use protocol::engine::{BackendKind, Parallelism, Scenario, SessionEngine};
+use serde::Serialize;
+
+/// One measured configuration: an execution policy on a substrate.
+#[derive(Debug, Clone, Serialize)]
+struct ThroughputLane {
+    /// Execution policy (`serial` or `auto`).
+    parallelism: String,
+    /// Worker threads the policy resolved to.
+    workers: usize,
+    /// Simulation substrate the sessions ran on.
+    backend: String,
+    /// Sessions executed.
+    trials: usize,
+    /// Wall-clock seconds for the lane.
+    seconds: f64,
+    /// Sessions per second.
+    trials_per_sec: f64,
+}
+
+/// The whole report: the workload identity plus every measured lane.
+#[derive(Debug, Clone, Serialize)]
+struct ThroughputReport {
+    /// Report schema version.
+    version: u32,
+    /// Scenario label the lanes executed.
+    scenario: String,
+    /// Fingerprint of that scenario (density-matrix variant).
+    scenario_fingerprint: u64,
+    /// Sessions per lane.
+    trials: usize,
+    /// Master seed of every lane.
+    seed: u64,
+    /// The measured lanes.
+    lanes: Vec<ThroughputLane>,
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("bench_throughput: {message}");
+    std::process::exit(2)
+}
+
+fn parse_args() -> (usize, u64, String) {
+    let mut trials = 16usize;
+    let mut seed = 7u64;
+    let mut out = "BENCH_throughput.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(format_args!("{flag} requires a value")))
+        };
+        match flag.as_str() {
+            "--trials" => {
+                trials = value("--trials")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("invalid --trials: {e}")));
+                if trials == 0 {
+                    fail("--trials must be at least 1");
+                }
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("invalid --seed: {e}")));
+            }
+            "--out" => out = value("--out"),
+            other => fail(format_args!("unknown option `{other}`")),
+        }
+    }
+    (trials, seed, out)
+}
+
+fn measure(
+    scenario: &Scenario,
+    trials: usize,
+    seed: u64,
+    parallelism: Parallelism,
+) -> ThroughputLane {
+    let engine = SessionEngine::new(seed).with_parallelism(parallelism);
+    let start = std::time::Instant::now();
+    let summary = engine
+        .run_trials(scenario, trials)
+        .unwrap_or_else(|e| fail(format_args!("throughput trials failed: {e}")));
+    let seconds = start.elapsed().as_secs_f64();
+    let lane = ThroughputLane {
+        parallelism: parallelism.to_string(),
+        workers: parallelism.worker_count(),
+        backend: scenario.backend.to_string(),
+        trials: summary.trials,
+        seconds,
+        trials_per_sec: if seconds > 0.0 {
+            summary.trials as f64 / seconds
+        } else {
+            f64::INFINITY
+        },
+    };
+    eprintln!(
+        "{} on {}: {} trials in {:.2}s = {:.2} trials/s",
+        lane.parallelism, lane.backend, lane.trials, lane.seconds, lane.trials_per_sec
+    );
+    lane
+}
+
+fn main() {
+    let (trials, seed, out) = parse_args();
+    let scenario = bench::shard_io::demo_scenario("intercept", seed, BackendKind::default())
+        .unwrap_or_else(|e| fail(e));
+    let mut lanes = Vec::new();
+    for backend in BackendKind::ALL {
+        let scenario = scenario.clone().with_backend(backend);
+        for parallelism in [Parallelism::Serial, Parallelism::Auto] {
+            lanes.push(measure(&scenario, trials, seed, parallelism));
+        }
+    }
+    let report = ThroughputReport {
+        version: 1,
+        scenario: scenario.label.clone(),
+        scenario_fingerprint: scenario.fingerprint(),
+        trials,
+        seed,
+        lanes,
+    };
+    let json = serde::json::to_string(&report.to_value());
+    std::fs::write(&out, &json).unwrap_or_else(|e| fail(format_args!("cannot write {out}: {e}")));
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

@@ -32,10 +32,11 @@
 //! variable, so each worker process additionally fans its shard's trials
 //! across its own cores.
 
+use bench::campaigns::{figure_sampler, stored_campaign};
 use bench::shard_io::{self, MergeFileError};
 use protocol::engine::{
-    BackendKind, ClaimOutcome, MergedRun, Scenario, SessionEngine, ShardOutput, ShardPlan,
-    ShardQueue, ShardResult, SubmitOutcome,
+    BackendKind, Campaign, CampaignRun, CampaignRunOptions, ClaimOutcome, MergedRun, Scenario,
+    SessionEngine, ShardOutput, ShardPlan, ShardQueue, ShardResult, SubmitOutcome,
 };
 use std::process::ExitCode;
 
@@ -110,6 +111,38 @@ USAGE:
         to the pending state, and — when every shard is done — print the
         merged run, byte-identical to `shardctl merge` on an
         uninterrupted run. Exit 3 while shards remain (start workers).
+
+    shardctl campaign plan --dir DIR (--campaign FILE | --stored NAME)
+                           [--shard-trials M]
+        Expand a declarative campaign (a parameter-space sweep; a JSON
+        file, or one of the checked-in definitions: fig2, fig3,
+        ablation_backend, demo) into a resumable run directory: one
+        shard queue per session point, one sample slot per circuit
+        point. Default shard size: 8 trials.
+
+    shardctl campaign run --dir DIR [--campaign FILE | --stored NAME]
+                          [--worker NAME] [--lease-ms N] [--poll-ms N]
+                          [--shard-trials M]
+        Drain a campaign run directory (initialising it first when a
+        campaign is given and DIR is untouched) and print the campaign
+        report JSON — byte-identical to an in-process run of the same
+        campaign. Workers on any machines sharing DIR cooperate; the
+        UA_DI_QSDC_QUEUE_THROTTLE_MS chaos hook stalls each shard
+        between claim and execute, as in `queue work`.
+
+    shardctl campaign resume --dir DIR [--worker NAME] [--lease-ms N]
+                             [--poll-ms N]
+        Resume a (possibly killed) campaign: verify completed shards,
+        recover expired leases on every point queue, drain the rest,
+        and print the report — byte-identical to an uninterrupted run.
+
+    shardctl campaign status --dir DIR
+        Print the campaign's progress as JSON (and human-readable, to
+        stderr).
+
+    shardctl campaign report --dir DIR
+        Print the report of a fully drained campaign without executing
+        anything. Fails while points remain outstanding.
 ";
 
 fn fail(message: impl std::fmt::Display) -> ! {
@@ -449,6 +482,163 @@ fn queue_resume_cmd(mut args: Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ----------------------------------------------------------------- campaign --
+
+/// Reads the campaign definition named by `--campaign FILE` or
+/// `--stored NAME`, if either flag is present.
+fn take_campaign(args: &mut Args) -> Option<Campaign> {
+    let file = args.take_flag("--campaign");
+    let stored = args.take_flag("--stored");
+    match (file, stored) {
+        (Some(_), Some(_)) => fail("--campaign and --stored are mutually exclusive"),
+        (Some(path), None) => Some(
+            serde::json::from_str(&read_input(Some(&path)))
+                .unwrap_or_else(|e| fail(format_args!("invalid campaign JSON: {e}"))),
+        ),
+        (None, Some(name)) => Some(stored_campaign(&name).unwrap_or_else(|e| fail(e))),
+        (None, None) => None,
+    }
+}
+
+fn campaign_dir(args: &mut Args) -> String {
+    args.take_flag("--dir")
+        .unwrap_or_else(|| fail("campaign commands require --dir"))
+}
+
+fn campaign_options(args: &mut Args) -> CampaignRunOptions {
+    let mut options = CampaignRunOptions {
+        parallelism: bench::announce_parallelism(),
+        ..CampaignRunOptions::default()
+    };
+    if let Some(worker) = args.take_flag("--worker") {
+        options.worker = worker;
+    }
+    if let Some(lease_ms) = args.take_parsed("--lease-ms") {
+        options.lease_ms = lease_ms;
+    }
+    if let Some(poll_ms) = args.take_parsed("--poll-ms") {
+        options.poll_ms = poll_ms;
+    }
+    // The same chaos hook as `queue work`: stall between claim and execute so
+    // a test can SIGKILL this process while it provably holds work.
+    options.throttle_ms = std::env::var("UA_DI_QSDC_QUEUE_THROTTLE_MS")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(0);
+    options
+}
+
+fn campaign_init(dir: &str, campaign: &Campaign, shard_trials: usize) -> CampaignRun {
+    if shard_trials == 0 {
+        fail("--shard-trials must be at least 1");
+    }
+    let run = CampaignRun::init(dir, campaign, shard_trials).unwrap_or_else(|e| fail(e));
+    let status = run.status().unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "initialized campaign `{}` in {dir}: {status}",
+        campaign.label
+    );
+    run
+}
+
+fn campaign_plan_cmd(mut args: Args) {
+    let dir = campaign_dir(&mut args);
+    let campaign = take_campaign(&mut args)
+        .unwrap_or_else(|| fail("campaign plan requires --campaign FILE or --stored NAME"));
+    let shard_trials: usize = args.take_parsed("--shard-trials").unwrap_or(8);
+    args.finish();
+    campaign_init(&dir, &campaign, shard_trials);
+}
+
+fn campaign_run_cmd(mut args: Args) {
+    let dir = campaign_dir(&mut args);
+    let campaign = take_campaign(&mut args);
+    let shard_trials: usize = args.take_parsed("--shard-trials").unwrap_or(8);
+    let options = campaign_options(&mut args);
+    args.finish();
+    let run = match campaign {
+        // A campaign was given: initialise the directory unless it already is.
+        Some(campaign) => match CampaignRun::open(&dir) {
+            Ok(run) => {
+                if run.campaign().fingerprint() != campaign.fingerprint() {
+                    fail(format_args!(
+                        "{dir} holds a different campaign (`{}`)",
+                        run.campaign().label
+                    ));
+                }
+                run
+            }
+            Err(_) => campaign_init(&dir, &campaign, shard_trials),
+        },
+        None => CampaignRun::open(&dir).unwrap_or_else(|e| fail(e)),
+    };
+    let report = run
+        .run(&options, &figure_sampler())
+        .unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "campaign `{}` drained: {} point(s)",
+        report.label,
+        report.points.len()
+    );
+    println!("{}", serde::json::to_string(&report));
+}
+
+fn campaign_resume_cmd(mut args: Args) {
+    let dir = campaign_dir(&mut args);
+    let options = campaign_options(&mut args);
+    args.finish();
+    let run = CampaignRun::open(&dir).unwrap_or_else(|e| fail(e));
+    let report = run
+        .resume(&options, &figure_sampler())
+        .unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "campaign `{}` resumed and drained: {} point(s)",
+        report.label,
+        report.points.len()
+    );
+    println!("{}", serde::json::to_string(&report));
+}
+
+fn campaign_status_cmd(mut args: Args) {
+    let dir = campaign_dir(&mut args);
+    args.finish();
+    let run = CampaignRun::open(&dir).unwrap_or_else(|e| fail(e));
+    let status = run.status().unwrap_or_else(|e| fail(e));
+    eprintln!("{status}");
+    println!("{}", serde::json::to_string(&status));
+}
+
+fn campaign_report_cmd(mut args: Args) {
+    let dir = campaign_dir(&mut args);
+    args.finish();
+    let run = CampaignRun::open(&dir).unwrap_or_else(|e| fail(e));
+    let report = run.report().unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "campaign `{}`: {} point(s)",
+        report.label,
+        report.points.len()
+    );
+    println!("{}", serde::json::to_string(&report));
+}
+
+fn campaign_cmd(mut raw: Vec<String>) {
+    if raw.is_empty() {
+        fail("campaign requires a subcommand: plan, run, resume, status or report");
+    }
+    let sub = raw.remove(0);
+    let args = Args { args: raw };
+    match sub.as_str() {
+        "plan" => campaign_plan_cmd(args),
+        "run" => campaign_run_cmd(args),
+        "resume" => campaign_resume_cmd(args),
+        "status" => campaign_status_cmd(args),
+        "report" => campaign_report_cmd(args),
+        other => fail(format_args!(
+            "unknown campaign subcommand `{other}`; see --help"
+        )),
+    }
+}
+
 fn queue_cmd(mut raw: Vec<String>) -> ExitCode {
     if raw.is_empty() {
         fail("queue requires a subcommand: init, claim, submit, status, work or resume");
@@ -482,6 +672,10 @@ fn main() -> ExitCode {
     let command = raw.remove(0);
     if command == "queue" {
         return queue_cmd(raw);
+    }
+    if command == "campaign" {
+        campaign_cmd(raw);
+        return ExitCode::SUCCESS;
     }
     let args = Args { args: raw };
     match command.as_str() {

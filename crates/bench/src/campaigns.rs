@@ -1,0 +1,517 @@
+//! Stored [`Campaign`] definitions behind the figure binaries, and the
+//! [`Sampler`] that executes their circuit-level points.
+//!
+//! Each figure is now "a checked-in campaign plus a report formatter": the
+//! builders here construct the exact campaigns stored under
+//! `crates/bench/campaigns/*.json` (a test locks the bytes), the
+//! [`figure_sampler`] executes the sampled kinds (`fig2-histogram`,
+//! `fig3-accuracy`), and the `*_rows` helpers recover each figure's row type
+//! from a [`CampaignReport`]. Driving the stored campaign reproduces the
+//! legacy hand-rolled loop bit-for-bit: sampled points seed their RNG with
+//! [`derive_seed`](crate::derive_seed) of the point index, exactly as the
+//! loops always have, and session campaigns plan under the master seed like
+//! [`SessionEngine::run_batch`](protocol::engine::SessionEngine::run_batch).
+
+use crate::{decode_readout_counts, message_transfer_circuit, BackendAblationRow, FIG2_MESSAGES};
+use analysis::histogram::counts_to_row;
+use analysis::rows::{AccuracyPoint, HistogramRow};
+use noise::{DeviceModel, NoisyExecutor};
+use protocol::config::SessionConfig;
+use protocol::engine::{
+    Adversary, Axis, AxisValue, BackendKind, Campaign, CampaignPoint, CampaignReport,
+    CampaignSpace, CampaignWorkload, Sampler, Scenario,
+};
+use protocol::identity::IdentityPair;
+use qchannel::quantum::ChannelSpec;
+use qchannel::taps::{InterceptBasis, SubstituteState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize, Value};
+
+/// Sampler kind of the Fig. 2 decoded-counts histogram.
+pub const FIG2_KIND: &str = "fig2-histogram";
+
+/// Sampler kind of the Fig. 3 accuracy-vs-η sweep.
+pub const FIG3_KIND: &str = "fig3-accuracy";
+
+/// Resolves a device model stored by name in campaign parameters.
+///
+/// # Errors
+///
+/// Returns an error naming the unknown device.
+pub fn device_by_name(name: &str) -> Result<DeviceModel, String> {
+    match name {
+        "ideal" => Ok(DeviceModel::ideal()),
+        "ibm_brisbane_like" => Ok(DeviceModel::ibm_brisbane_like()),
+        other => Err(format!("unknown device model `{other}`")),
+    }
+}
+
+/// The Fig. 2 campaign: one sampled point per 2-bit message panel,
+/// transmitting over `eta` identity gates on `device` with `shots` shots.
+pub fn fig2_campaign(device: &DeviceModel, eta: usize, shots: usize, seed: u64) -> Campaign {
+    Campaign {
+        label: "fig2".into(),
+        master_seed: seed,
+        trials: shots,
+        workload: CampaignWorkload::Sampled {
+            kind: FIG2_KIND.into(),
+            params: Value::Map(vec![
+                ("device".into(), Value::Str(device.name().into())),
+                // Int, not UInt: JSON parsing yields Int, and the stored
+                // definition must round-trip to an equal value.
+                ("eta".into(), Value::Int(eta as i64)),
+            ]),
+        },
+        space: CampaignSpace::Grid(vec![Axis::Message(
+            FIG2_MESSAGES.iter().map(|m| (*m).to_string()).collect(),
+        )]),
+    }
+}
+
+/// The Fig. 3 campaign: one sampled point per channel length, measuring the
+/// four-message decoding accuracy with `shots_per_message` shots each.
+pub fn fig3_campaign(
+    device: &DeviceModel,
+    eta_values: &[usize],
+    shots_per_message: usize,
+    seed: u64,
+) -> Campaign {
+    Campaign {
+        label: "fig3".into(),
+        master_seed: seed,
+        trials: shots_per_message,
+        workload: CampaignWorkload::Sampled {
+            kind: FIG3_KIND.into(),
+            params: Value::Map(vec![("device".into(), Value::Str(device.name().into()))]),
+        },
+        space: CampaignSpace::Grid(vec![Axis::Eta(eta_values.to_vec())]),
+    }
+}
+
+/// The adversaries of the backend-ablation campaign, in axis order — the
+/// engine values behind [`crate::ABLATION_ADVERSARIES`].
+fn ablation_adversaries() -> Vec<Adversary> {
+    vec![
+        Adversary::Honest,
+        Adversary::InterceptResend(InterceptBasis::Computational),
+        Adversary::ManInTheMiddle(SubstituteState::RandomComputational),
+    ]
+}
+
+/// The backend-ablation campaign: the session grid of
+/// [`backend_ablation_experiment`](crate::backend_ablation_experiment) —
+/// η × adversary × backend, last axis fastest — as a declarative sweep. Same
+/// identities, configuration, seed discipline and therefore the same bytes.
+pub fn ablation_campaign(etas: &[usize], trials: usize, seed: u64) -> Campaign {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let identities = IdentityPair::generate(4, &mut rng);
+    // The base carries η = 0; the Eta axis rebuilds the channel per point.
+    // Everything else matches `backend_ablation_experiment`'s config.
+    let config = SessionConfig::builder()
+        .message_bits(8)
+        .check_bits(2)
+        .di_check_pairs(220)
+        .auth_error_tolerance(1.0)
+        .channel(ChannelSpec::noisy_identity_chain(
+            0,
+            DeviceModel::ibm_brisbane_like(),
+        ))
+        .build()
+        .expect("ablation config is valid");
+    Campaign {
+        label: "ablation-backend".into(),
+        master_seed: seed,
+        trials,
+        workload: CampaignWorkload::Session {
+            base: Scenario::new(config, identities),
+        },
+        space: CampaignSpace::Grid(vec![
+            Axis::Eta(etas.to_vec()),
+            Axis::Adversary(ablation_adversaries()),
+            Axis::Backend(BackendKind::ALL.to_vec()),
+        ]),
+    }
+}
+
+/// A small two-axis session campaign (η × adversary on the `shardctl` demo
+/// configuration) for CI chaos drills and quick-start examples.
+pub fn demo_campaign(trials: usize, seed: u64) -> Campaign {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let config = SessionConfig::builder()
+        .message_bits(8)
+        .check_bits(2)
+        .di_check_pairs(64)
+        .channel(ChannelSpec::noisy_identity_chain(
+            0,
+            DeviceModel::ibm_brisbane_like(),
+        ))
+        .build()
+        .expect("demo config is valid");
+    Campaign {
+        label: "demo".into(),
+        master_seed: seed,
+        trials,
+        workload: CampaignWorkload::Session {
+            base: Scenario::new(config, identities),
+        },
+        space: CampaignSpace::Grid(vec![
+            Axis::Eta(vec![0, 10]),
+            Axis::Adversary(vec![
+                Adversary::Honest,
+                Adversary::InterceptResend(InterceptBasis::Computational),
+            ]),
+        ]),
+    }
+}
+
+/// The [`Sampler`] executing this crate's sampled campaign kinds
+/// ([`FIG2_KIND`], [`FIG3_KIND`]). Pure per point: device and η come from
+/// the campaign parameters, the message/η coordinate from the point, and all
+/// randomness from the point's derived seed.
+pub fn figure_sampler() -> impl Sampler {
+    |kind: &str, params: &Value, point: &CampaignPoint| match kind {
+        FIG2_KIND => sample_fig2(params, point),
+        FIG3_KIND => sample_fig3(params, point),
+        other => Err(format!("unknown sampler kind `{other}`")),
+    }
+}
+
+fn sample_fig2(params: &Value, point: &CampaignPoint) -> Result<Value, String> {
+    let device = device_by_name(
+        params
+            .get_field("device")
+            .and_then(|v| v.as_str())
+            .map_err(|e| e.to_string())?,
+    )?;
+    let eta = params
+        .get_field("eta")
+        .and_then(|v| v.as_u64())
+        .map_err(|e| e.to_string())? as usize;
+    let message = point
+        .coords
+        .iter()
+        .find_map(|coord| match coord {
+            AxisValue::Message(message) => Some(message.as_str()),
+            _ => None,
+        })
+        .ok_or_else(|| "fig2 points need a message coordinate".to_string())?;
+    let mut rng = StdRng::seed_from_u64(point.seed);
+    let circuit = message_transfer_circuit(message, eta);
+    let raw = NoisyExecutor::new(device)
+        .sample(&circuit, point.trials, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let decoded = decode_readout_counts(&raw);
+    Ok(counts_to_row(message, &decoded).to_value())
+}
+
+fn sample_fig3(params: &Value, point: &CampaignPoint) -> Result<Value, String> {
+    let device = device_by_name(
+        params
+            .get_field("device")
+            .and_then(|v| v.as_str())
+            .map_err(|e| e.to_string())?,
+    )?;
+    let eta = point
+        .coords
+        .iter()
+        .find_map(|coord| match coord {
+            AxisValue::Eta(eta) => Some(*eta),
+            _ => None,
+        })
+        .ok_or_else(|| "fig3 points need an η coordinate".to_string())?;
+    let mut rng = StdRng::seed_from_u64(point.seed);
+    let executor = NoisyExecutor::new(device.clone());
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for message in FIG2_MESSAGES {
+        let circuit = message_transfer_circuit(message, eta);
+        let raw = executor
+            .sample(&circuit, point.trials, &mut rng)
+            .map_err(|e| e.to_string())?;
+        let decoded = decode_readout_counts(&raw);
+        correct += decoded.get(message);
+        total += decoded.total();
+    }
+    Ok(AccuracyPoint {
+        eta,
+        duration_us: eta as f64 * device.identity_gate_time_ns() / 1000.0,
+        accuracy: if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        },
+        shots: total,
+    }
+    .to_value())
+}
+
+/// Recovers the Fig. 2 histogram rows from a campaign report, in panel
+/// order.
+///
+/// # Errors
+///
+/// Returns an error when a point carries no sampled payload or the payload
+/// is not a [`HistogramRow`].
+pub fn fig2_rows(report: &CampaignReport) -> Result<Vec<HistogramRow>, String> {
+    report
+        .points
+        .iter()
+        .map(|point| {
+            let value = point
+                .sampled
+                .as_ref()
+                .ok_or_else(|| format!("point {} carries no sampled payload", point.index))?;
+            HistogramRow::from_value(value).map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+/// Recovers the Fig. 3 accuracy points from a campaign report, in sweep
+/// order.
+///
+/// # Errors
+///
+/// Returns an error when a point carries no sampled payload or the payload
+/// is not an [`AccuracyPoint`].
+pub fn fig3_points(report: &CampaignReport) -> Result<Vec<AccuracyPoint>, String> {
+    report
+        .points
+        .iter()
+        .map(|point| {
+            let value = point
+                .sampled
+                .as_ref()
+                .ok_or_else(|| format!("point {} carries no sampled payload", point.index))?;
+            AccuracyPoint::from_value(value).map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+/// Loads one of the checked-in campaign definitions shipped under
+/// `crates/bench/campaigns/` by stem (`fig2`, `fig3`, `ablation_backend`,
+/// `demo`).
+///
+/// # Errors
+///
+/// Returns an error for an unknown stem. The stored bytes are locked to the
+/// builders by tests, so a successful load always parses.
+pub fn stored_campaign(name: &str) -> Result<Campaign, String> {
+    let text = match name {
+        "fig2" => include_str!("../campaigns/fig2.json"),
+        "fig3" => include_str!("../campaigns/fig3.json"),
+        "ablation_backend" => include_str!("../campaigns/ablation_backend.json"),
+        "demo" => include_str!("../campaigns/demo.json"),
+        other => return Err(format!("no stored campaign named `{other}`")),
+    };
+    serde::json::from_str(text).map_err(|e| format!("stored campaign `{name}` is corrupt: {e}"))
+}
+
+/// Recovers the backend-ablation rows from a campaign report, grid-major as
+/// [`backend_ablation_experiment`](crate::backend_ablation_experiment)
+/// returns them.
+///
+/// # Errors
+///
+/// Returns an error when a point lacks a merged summary or the expected
+/// η/adversary/backend coordinates.
+pub fn ablation_rows(report: &CampaignReport) -> Result<Vec<BackendAblationRow>, String> {
+    report
+        .points
+        .iter()
+        .map(|point| {
+            let summary = point
+                .summary
+                .as_ref()
+                .ok_or_else(|| format!("point {} carries no merged summary", point.index))?;
+            let mut eta = None;
+            let mut backend = None;
+            let mut adversary = None;
+            for coord in &point.coords {
+                match coord {
+                    AxisValue::Eta(e) => eta = Some(*e),
+                    AxisValue::Backend(b) => backend = Some(*b),
+                    AxisValue::Adversary(a) => {
+                        adversary = Some(match a {
+                            Adversary::Honest => "honest",
+                            Adversary::InterceptResend(_) => "intercept-resend",
+                            Adversary::ManInTheMiddle(_) => "mitm",
+                            other => {
+                                return Err(format!(
+                                    "unexpected ablation adversary `{}`",
+                                    other.name()
+                                ))
+                            }
+                        })
+                    }
+                    _ => {}
+                }
+            }
+            Ok(BackendAblationRow {
+                adversary: adversary.ok_or_else(|| {
+                    format!("point {} lacks an adversary coordinate", point.index)
+                })?,
+                eta: eta.ok_or_else(|| format!("point {} lacks an η coordinate", point.index))?,
+                backend: backend
+                    .ok_or_else(|| format!("point {} lacks a backend coordinate", point.index))?,
+                trials: summary.trials,
+                delivered: summary.delivered,
+                detection_rate: summary.detection_rate(),
+                mean_chsh_round2: summary.mean_chsh_round2,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        backend_ablation_experiment, engine_parallelism, fig2_experiment, fig3_experiment,
+    };
+    use protocol::engine::{CampaignRun, CampaignRunOptions};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// The builders behind the checked-in definitions, with the default
+    /// arguments of their binaries.
+    fn stored_definitions() -> Vec<(&'static str, Campaign)> {
+        let brisbane = DeviceModel::ibm_brisbane_like();
+        vec![
+            ("fig2", fig2_campaign(&brisbane, 10, 1024, 20240916)),
+            (
+                "fig3",
+                fig3_campaign(&brisbane, &crate::fig3_eta_values(), 256, 424242),
+            ),
+            ("ablation_backend", ablation_campaign(&[0, 10, 50], 20, 11)),
+            ("demo", demo_campaign(3, 7)),
+        ]
+    }
+
+    #[test]
+    fn stored_campaigns_match_their_builders() {
+        let update = std::env::var_os("UA_DI_QSDC_UPDATE_FIXTURES").is_some();
+        for (name, campaign) in stored_definitions() {
+            let generated = serde::json::to_string(&campaign);
+            if update {
+                let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .join("campaigns")
+                    .join(format!("{name}.json"));
+                std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                std::fs::write(&path, &generated).unwrap();
+                continue;
+            }
+            let stored = stored_campaign(name).expect("stored campaign parses");
+            assert_eq!(
+                campaign, stored,
+                "campaigns/{name}.json has drifted from its builder \
+                 (rerun with UA_DI_QSDC_UPDATE_FIXTURES=1 to regenerate)"
+            );
+            assert_eq!(
+                generated,
+                serde::json::to_string(&stored),
+                "campaigns/{name}.json serialization drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn stored_campaign_rejects_unknown_names() {
+        assert!(stored_campaign("fig9").is_err());
+    }
+
+    #[test]
+    fn fig2_campaign_reproduces_the_legacy_loop() {
+        let device = DeviceModel::ibm_brisbane_like();
+        let (eta, shots, seed) = (10, 64, 20240916);
+        let legacy = fig2_experiment(&device, eta, shots, seed);
+        let report = fig2_campaign(&device, eta, shots, seed)
+            .run_direct(engine_parallelism(), &figure_sampler())
+            .expect("fig2 campaign runs");
+        let rows = fig2_rows(&report).expect("fig2 rows recover");
+        assert_eq!(
+            serde::json::to_string(&rows),
+            serde::json::to_string(&legacy),
+            "campaign-driven fig2 must be byte-identical to the legacy loop"
+        );
+    }
+
+    #[test]
+    fn fig3_campaign_reproduces_the_legacy_loop() {
+        let device = DeviceModel::ibm_brisbane_like();
+        let (etas, shots, seed) = (vec![10, 50], 64, 424242);
+        let legacy = fig3_experiment(&device, &etas, shots, seed);
+        let report = fig3_campaign(&device, &etas, shots, seed)
+            .run_direct(engine_parallelism(), &figure_sampler())
+            .expect("fig3 campaign runs");
+        let points = fig3_points(&report).expect("fig3 points recover");
+        assert_eq!(
+            serde::json::to_string(&points),
+            serde::json::to_string(&legacy),
+            "campaign-driven fig3 must be byte-identical to the legacy loop"
+        );
+    }
+
+    #[test]
+    fn ablation_campaign_reproduces_the_legacy_grid() {
+        let (etas, trials, seed) = (vec![0], 3, 11);
+        let legacy = backend_ablation_experiment(&etas, trials, seed);
+        let report = ablation_campaign(&etas, trials, seed)
+            .run_direct(engine_parallelism(), &protocol::engine::NoSampler)
+            .expect("ablation campaign runs");
+        let rows = ablation_rows(&report).expect("ablation rows recover");
+        assert_eq!(rows, legacy);
+        for (campaign_row, legacy_row) in rows.iter().zip(&legacy) {
+            assert_eq!(
+                campaign_row.detection_rate.to_bits(),
+                legacy_row.detection_rate.to_bits()
+            );
+            assert_eq!(
+                campaign_row.mean_chsh_round2.map(f64::to_bits),
+                legacy_row.mean_chsh_round2.map(f64::to_bits)
+            );
+        }
+    }
+
+    /// A scratch directory under the system temp dir, removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!(
+                "ua-di-qsdc-bench-{tag}-{}-{unique}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn sampled_campaign_through_a_run_directory_matches_run_direct() {
+        let device = DeviceModel::ibm_brisbane_like();
+        let campaign = fig2_campaign(&device, 10, 32, 20240916);
+        let direct = campaign
+            .run_direct(engine_parallelism(), &figure_sampler())
+            .expect("direct run succeeds");
+        let dir = TempDir::new("fig2-run");
+        let run = CampaignRun::init(&dir.0, &campaign, 8).expect("run initialises");
+        let report = run
+            .run(&CampaignRunOptions::default(), &figure_sampler())
+            .expect("run drains");
+        assert_eq!(
+            serde::json::to_string(&report),
+            serde::json::to_string(&direct),
+            "persisted sampled campaign must match the in-process run byte-for-byte"
+        );
+    }
+}

@@ -16,15 +16,25 @@
 //! | Info-leakage audit (Sec. III-E) | [`leakage_experiment`] | `attack_leakage` |
 //! | CHSH behaviour (Sec. II) | [`chsh_baseline_experiment`] | `chsh_baseline` |
 //! | Backend ablation (Sec. IV emulation vs trajectories) | [`backend_ablation_experiment`] | `ablation_backend` |
+//! | Engine throughput trajectory | — | `bench_throughput` |
 //!
 //! The engine-driven attack binaries additionally accept `--backend
 //! density-matrix|statevector` to re-run their sweep on either simulation
 //! substrate ([`backend_from_args`]); `shardctl` takes the same flag on its
 //! `scenario` and `plan` subcommands.
+//!
+//! The `fig2`, `fig3` and `ablation_backend` binaries are formatters over
+//! **stored campaign definitions** (see [`campaigns`]): each drives the
+//! checked-in `crates/bench/campaigns/*.json` declaration through the
+//! campaign engine and prints the same table the legacy loop printed — the
+//! loops remain behind `--legacy` and CI byte-diffs the two outputs. The
+//! `shardctl campaign` subcommands run the same definitions resumably on a
+//! queue fleet.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaigns;
 pub mod shard_io;
 
 use analysis::histogram::counts_to_row;
@@ -118,10 +128,12 @@ pub fn backend_from_args() -> BackendKind {
 /// Derives an independent RNG seed for sweep point `index` of an experiment
 /// seeded with `seed` (one [`rand::splitmix64`] step — the same finalizer the
 /// engine derives trial streams with), so sweep points can execute on any
-/// worker in any order and still reproduce bit-for-bit.
+/// worker in any order and still reproduce bit-for-bit. This is the same
+/// derivation campaign expansion applies
+/// ([`protocol::engine::derive_point_seed`]), which is why a stored campaign
+/// reproduces the legacy sweep loops bit-for-bit.
 pub fn derive_seed(seed: u64, index: u64) -> u64 {
-    let mut state = seed ^ index.wrapping_mul(0xa24b_aed4_963e_e407);
-    rand::splitmix64(&mut state)
+    protocol::engine::derive_point_seed(seed, index)
 }
 
 /// Builds the single-EPR-pair message-transfer circuit the paper runs on `ibm_brisbane`:

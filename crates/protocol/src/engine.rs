@@ -32,7 +32,11 @@
 //! case of that pipeline. For a heterogeneous fleet, the [`queue`] module
 //! schedules those shards dynamically: a [`ShardQueue`] on a shared directory
 //! hands sub-plans out on a claim/lease basis and persists progress in a
-//! resumable, fingerprint-verified [`MergeCheckpoint`].
+//! resumable, fingerprint-verified [`MergeCheckpoint`]. One level up, the
+//! [`campaign`] module makes whole parameter sweeps declarative: a serde
+//! [`Campaign`] expands a grid of axes over a base scenario and lowers every
+//! point onto this same pipeline, folding the merged runs into a
+//! [`CampaignReport`] with confidence-intervalled detection rates.
 //!
 //! ```rust
 //! use protocol::engine::{Adversary, Scenario, SessionEngine};
@@ -55,10 +59,16 @@
 //! # }
 //! ```
 
+pub mod campaign;
 pub mod parallel;
 pub mod queue;
 pub mod shard;
 
+pub use campaign::{
+    derive_point_seed, Axis, AxisValue, Campaign, CampaignError, CampaignPoint,
+    CampaignPointReport, CampaignReport, CampaignRun, CampaignRunOptions, CampaignSpace,
+    CampaignStatus, CampaignWorkload, NoSampler, RateInterval, Sampler,
+};
 pub use parallel::{ExecutorStats, Parallelism};
 pub use queue::{
     ClaimOutcome, MergeCheckpoint, QueueError, QueueStatus, ShardQueue, ShardSlot, SlotState,

@@ -983,7 +983,7 @@ fn validate_result_header(
 /// Writes `bytes` to `path` atomically: write a sibling temp file, then
 /// rename over the target. A crash at any instant leaves either the old file
 /// or the new one, never a torn write.
-fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), QueueError> {
+pub(super) fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), QueueError> {
     let tmp = path.with_extension("tmp");
     fs::write(&tmp, bytes).map_err(|e| QueueError::Io {
         path: tmp.clone(),

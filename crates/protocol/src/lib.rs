@@ -97,6 +97,21 @@
 //! a fleet of processes; the CI `queue-chaos` job kills a worker mid-run and byte-diffs the
 //! resumed merge against the single-process sweep.
 //!
+//! ## Campaigns
+//!
+//! One level above single sweeps, [`engine::campaign`] makes whole parameter spaces
+//! declarative: a serde [`engine::Campaign`] sweeps one or more [`engine::Axis`] value lists
+//! (cartesian grid or explicit point list — η, adversary, backend, attack strength, trial
+//! budget) over a base scenario. [`engine::Campaign::expand`] turns the declaration into
+//! fingerprinted points, [`engine::Campaign::run_direct`] executes them in-process, and
+//! [`engine::CampaignRun`] lowers them onto per-point [`engine::ShardQueue`]s so a fleet can
+//! drain — and crash, and [`engine::CampaignRun::resume`] — the sweep with byte-identical
+//! results. The folded [`engine::CampaignReport`] carries every point's coordinates,
+//! [`engine::TrialSummary`] and Wilson-intervalled detection / false-alarm rates
+//! ([`engine::RateInterval`]). `shardctl campaign plan/run/resume/report` expose the same
+//! operations to a fleet of processes, and the `fig2`, `fig3` and `ablation_backend` binaries
+//! are now formatters over checked-in campaign definitions.
+//!
 //! ## Simulation backends
 //!
 //! Two production substrates implement the [`engine::Backend`] seam, selected per scenario by
@@ -126,9 +141,10 @@ pub mod session;
 
 pub use config::{SessionConfig, SessionConfigBuilder};
 pub use engine::{
-    Adversary, Backend, BackendKind, DensityMatrixBackend, ExecutorStats, MergeCheckpoint,
-    MergedRun, Parallelism, Scenario, SessionEngine, ShardMerger, ShardOutput, ShardPlan,
-    ShardQueue, ShardResult, StatevectorBackend, TrialSummary,
+    Adversary, Axis, AxisValue, Backend, BackendKind, Campaign, CampaignReport, CampaignRun,
+    CampaignSpace, CampaignWorkload, DensityMatrixBackend, ExecutorStats, MergeCheckpoint,
+    MergedRun, Parallelism, RateInterval, Scenario, SessionEngine, ShardMerger, ShardOutput,
+    ShardPlan, ShardQueue, ShardResult, StatevectorBackend, TrialSummary,
 };
 pub use error::ProtocolError;
 pub use identity::{IdentityPair, IdentityString};
@@ -143,11 +159,13 @@ pub mod prelude {
     pub use crate::descriptor::{DecodingMeasurement, ProtocolDescriptor, ResourceType};
     pub use crate::di_check::{DiCheckReport, DiCheckRound};
     pub use crate::engine::{
-        merge_shard_results, Adversary, Backend, BackendKind, ClaimOutcome, DensityMatrixBackend,
-        ExecutorStats, MergeCheckpoint, MergeError, MergedRun, Parallelism, QueueError,
-        QueueStatus, Scenario, SessionEngine, ShardMerger, ShardOutput, ShardPayload, ShardPlan,
-        ShardQueue, ShardResult, ShardSlot, SlotState, StatevectorBackend, SubmitOutcome,
-        TrialSummary,
+        derive_point_seed, merge_shard_results, Adversary, Axis, AxisValue, Backend, BackendKind,
+        Campaign, CampaignError, CampaignPoint, CampaignPointReport, CampaignReport, CampaignRun,
+        CampaignRunOptions, CampaignSpace, CampaignStatus, CampaignWorkload, ClaimOutcome,
+        DensityMatrixBackend, ExecutorStats, MergeCheckpoint, MergeError, MergedRun, NoSampler,
+        Parallelism, QueueError, QueueStatus, RateInterval, Sampler, Scenario, SessionEngine,
+        ShardMerger, ShardOutput, ShardPayload, ShardPlan, ShardQueue, ShardResult, ShardSlot,
+        SlotState, StatevectorBackend, SubmitOutcome, TrialSummary,
     };
     pub use crate::error::ProtocolError;
     pub use crate::identity::{IdentityPair, IdentityString};

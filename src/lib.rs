@@ -147,6 +147,56 @@
 //! shardctl queue resume --dir sweep/                  # == the unsharded run, byte for byte
 //! ```
 //!
+//! ## Campaigns
+//!
+//! One level above single sweeps, a [`prelude::Campaign`] (`protocol::engine::campaign`)
+//! makes a whole parameter space declarative: one or more [`prelude::Axis`] value lists
+//! (η, adversary, backend, attack strength, trial budget — a cartesian grid, or an explicit
+//! point list) over a base scenario. Expansion derives every point a fingerprinted scenario
+//! and an independent seed, so the set executes in any order, on any fleet, and folds into a
+//! [`prelude::CampaignReport`] with per-point summaries and Wilson-scored detection /
+//! false-alarm intervals:
+//!
+//! ```rust
+//! use ua_di_qsdc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let identities = IdentityPair::generate(4, &mut rng_from_seed(7));
+//! let config = SessionConfig::builder().message_bits(8).check_bits(2).di_check_pairs(24).build()?;
+//!
+//! let campaign = Campaign {
+//!     label: "adversary-sweep".into(),
+//!     master_seed: 42,
+//!     trials: 2,
+//!     workload: CampaignWorkload::Session { base: Scenario::new(config, identities) },
+//!     space: CampaignSpace::Grid(vec![
+//!         Axis::Adversary(vec![Adversary::Honest, Adversary::ImpersonateBob]),
+//!         Axis::Backend(BackendKind::ALL.to_vec()),
+//!     ]),
+//! };
+//! assert_eq!(campaign.expand()?.len(), 4); // grid product, last axis fastest
+//!
+//! let report = campaign.run_direct(Parallelism::Serial, &NoSampler)?;
+//! let honest = report.points[0].false_alarm.as_ref().unwrap();
+//! let attacked = report.points[2].detection.as_ref().unwrap();
+//! assert!(attacked.rate > honest.rate);
+//! assert!(attacked.lower <= attacked.rate && attacked.rate <= attacked.upper);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! A [`prelude::CampaignRun`] lowers the same campaign onto per-point `ShardQueue`s in a
+//! shared directory, so a fleet drains it resumably — kill any worker, `resume`, and the
+//! report is byte-identical. The `shardctl campaign plan/run/resume/status/report`
+//! subcommands drive that directory between processes, and the `fig2`, `fig3` and
+//! `ablation_backend` binaries are formatters over checked-in campaign definitions
+//! (`crates/bench/campaigns/*.json`):
+//!
+//! ```text
+//! shardctl campaign run --dir campaign/ --stored demo     # or --campaign mysweep.json
+//! kill -9 %1 && shardctl campaign resume --dir campaign/  # == uninterrupted, byte for byte
+//! ```
+//!
 //! ## Simulation backends
 //!
 //! Every scenario declares its simulation substrate via [`prelude::BackendKind`]: the default

@@ -92,6 +92,58 @@ fn shard_result_wire_formats_are_stable() {
     }
 }
 
+/// The deterministic campaign every campaign fixture derives from: the demo
+/// scenario swept over η × both backends, two trials per point, seed 99.
+fn fixture_campaign() -> Campaign {
+    let base =
+        demo_scenario("intercept", 7, BackendKind::DensityMatrix).expect("demo scenario builds");
+    Campaign {
+        label: "wire-fixture".to_string(),
+        master_seed: 99,
+        trials: 2,
+        workload: CampaignWorkload::Session { base },
+        space: CampaignSpace::Grid(vec![
+            Axis::Eta(vec![0, 10]),
+            Axis::Backend(BackendKind::ALL.to_vec()),
+        ]),
+    }
+}
+
+#[test]
+fn campaign_wire_format_is_stable() {
+    let campaign = fixture_campaign();
+    let text = check_bytes("campaign.json", &serde::json::to_string(&campaign));
+    let parsed: Campaign = serde::json::from_str(&text).expect("fixture still parses");
+    assert_eq!(parsed, campaign);
+    // The parsed campaign is fully usable: it expands to the same points
+    // (grid product, last axis fastest) under the same fingerprint.
+    assert_eq!(parsed.fingerprint(), campaign.fingerprint());
+    let points = parsed.expand().expect("fixture campaign expands");
+    assert_eq!(points.len(), 4);
+    assert_eq!(
+        points[1].coords[1],
+        AxisValue::Backend(BackendKind::Statevector)
+    );
+}
+
+#[test]
+fn campaign_report_wire_format_is_stable() {
+    let report = fixture_campaign()
+        .run_direct(Parallelism::Serial, &NoSampler)
+        .expect("fixture campaign runs");
+    let text = check_bytes("campaign_report.json", &serde::json::to_string(&report));
+    let parsed: CampaignReport = serde::json::from_str(&text).expect("fixture still parses");
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.points.len(), 4);
+    for point in &parsed.points {
+        let summary = point.summary.as_ref().expect("session points summarize");
+        assert_eq!(summary.trials, 2);
+        // The demo scenario is adversarial, so the interval lands in the
+        // detection column.
+        assert!(point.detection.is_some() || point.false_alarm.is_some());
+    }
+}
+
 #[test]
 fn merge_checkpoint_wire_format_is_stable() {
     let (_, whole, sub) = artifacts();
