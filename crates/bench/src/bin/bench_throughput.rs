@@ -4,23 +4,47 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_throughput -- \
-//!     [--trials N] [--seed N] [--out FILE]
+//!     [--trials N] [--seed N] [--out FILE] [--check FILE]
 //! ```
+//!
+//! Every lane runs a short untimed warm-up first so the numbers reflect
+//! steady-state kernel throughput (thread-local pair pools and basis caches
+//! populated, allocator warmed) rather than first-trial setup cost.
+//!
+//! Besides the in-process `serial`/`auto` lanes, a `sharded` lane drives the
+//! full shardctl-style pipeline — plan, split, execute each shard, merge —
+//! so the distribution overhead of the shard queue protocol is measured
+//! against the same workload.
+//!
+//! `--check FILE` compares the fresh run against a previously committed
+//! report: the lane structure (parallelism × backend) must match, and the
+//! serial density-matrix lane must not have regressed to less than half the
+//! committed throughput. CI runs this as the `bench-trend` step.
 //!
 //! The default output path is `BENCH_throughput.json` in the current
 //! directory (CI runs it from the repo root). The timing is wall-clock and
 //! machine-dependent; the `trials`/`seed`/scenario identity in the report
 //! say exactly what was measured.
 
-use protocol::engine::{BackendKind, Parallelism, Scenario, SessionEngine};
+use protocol::engine::{
+    BackendKind, Parallelism, Scenario, SessionEngine, ShardMerger, ShardOutput,
+};
 use serde::Serialize;
+
+/// Serial density-matrix throughput recorded by the version-1 report, when
+/// every trial re-derived and re-embedded its noise operators from scratch.
+/// The compiled-kernel rewrite is measured against this constant.
+const LEGACY_SERIAL_DM_TRIALS_PER_SEC: f64 = 3676.77;
+
+/// Untimed sessions run before each lane is measured.
+const WARMUP_TRIALS: usize = 32;
 
 /// One measured configuration: an execution policy on a substrate.
 #[derive(Debug, Clone, Serialize)]
 struct ThroughputLane {
-    /// Execution policy (`serial` or `auto`).
+    /// Execution policy (`serial`, `auto`, or `sharded`).
     parallelism: String,
-    /// Worker threads the policy resolved to.
+    /// Worker threads the policy resolved to (shard count for `sharded`).
     workers: usize,
     /// Simulation substrate the sessions ran on.
     backend: String,
@@ -43,6 +67,8 @@ struct ThroughputReport {
     scenario_fingerprint: u64,
     /// Sessions per lane.
     trials: usize,
+    /// Untimed sessions run before each lane's clock starts.
+    warmup_trials: usize,
     /// Master seed of every lane.
     seed: u64,
     /// The measured lanes.
@@ -54,10 +80,20 @@ fn fail(message: impl std::fmt::Display) -> ! {
     std::process::exit(2)
 }
 
-fn parse_args() -> (usize, u64, String) {
-    let mut trials = 16usize;
-    let mut seed = 7u64;
-    let mut out = "BENCH_throughput.json".to_string();
+struct Args {
+    trials: usize,
+    seed: u64,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        trials: 512,
+        seed: 7,
+        out: "BENCH_throughput.json".to_string(),
+        check: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -66,45 +102,41 @@ fn parse_args() -> (usize, u64, String) {
         };
         match flag.as_str() {
             "--trials" => {
-                trials = value("--trials")
+                parsed.trials = value("--trials")
                     .parse()
                     .unwrap_or_else(|e| fail(format_args!("invalid --trials: {e}")));
-                if trials == 0 {
+                if parsed.trials == 0 {
                     fail("--trials must be at least 1");
                 }
             }
             "--seed" => {
-                seed = value("--seed")
+                parsed.seed = value("--seed")
                     .parse()
                     .unwrap_or_else(|e| fail(format_args!("invalid --seed: {e}")));
             }
-            "--out" => out = value("--out"),
+            "--out" => parsed.out = value("--out"),
+            "--check" => parsed.check = Some(value("--check")),
             other => fail(format_args!("unknown option `{other}`")),
         }
     }
-    (trials, seed, out)
+    parsed
 }
 
-fn measure(
-    scenario: &Scenario,
+fn finish_lane(
+    parallelism: &str,
+    workers: usize,
+    backend: BackendKind,
     trials: usize,
-    seed: u64,
-    parallelism: Parallelism,
+    seconds: f64,
 ) -> ThroughputLane {
-    let engine = SessionEngine::new(seed).with_parallelism(parallelism);
-    let start = std::time::Instant::now();
-    let summary = engine
-        .run_trials(scenario, trials)
-        .unwrap_or_else(|e| fail(format_args!("throughput trials failed: {e}")));
-    let seconds = start.elapsed().as_secs_f64();
     let lane = ThroughputLane {
         parallelism: parallelism.to_string(),
-        workers: parallelism.worker_count(),
-        backend: scenario.backend.to_string(),
-        trials: summary.trials,
+        workers,
+        backend: backend.to_string(),
+        trials,
         seconds,
         trials_per_sec: if seconds > 0.0 {
-            summary.trials as f64 / seconds
+            trials as f64 / seconds
         } else {
             f64::INFINITY
         },
@@ -116,27 +148,180 @@ fn measure(
     lane
 }
 
+fn measure(
+    scenario: &Scenario,
+    trials: usize,
+    seed: u64,
+    parallelism: Parallelism,
+) -> ThroughputLane {
+    let engine = SessionEngine::new(seed).with_parallelism(parallelism);
+    engine
+        .run_trials(scenario, WARMUP_TRIALS)
+        .unwrap_or_else(|e| fail(format_args!("warm-up trials failed: {e}")));
+    let start = std::time::Instant::now();
+    let summary = engine
+        .run_trials(scenario, trials)
+        .unwrap_or_else(|e| fail(format_args!("throughput trials failed: {e}")));
+    let seconds = start.elapsed().as_secs_f64();
+    finish_lane(
+        &parallelism.to_string(),
+        parallelism.worker_count(),
+        scenario.backend,
+        summary.trials,
+        seconds,
+    )
+}
+
+/// The shardctl pipeline as one lane: plan the run, split it into shards,
+/// execute every shard (serially, like a fleet replayed on one machine),
+/// and merge the results. The lane therefore prices the whole
+/// plan/execute/merge protocol, not just the trial loop.
+fn measure_sharded(scenario: &Scenario, trials: usize, seed: u64) -> ThroughputLane {
+    let engine = SessionEngine::new(seed).with_parallelism(Parallelism::Serial);
+    // Warm this thread's pools on the same scenario before the clock starts.
+    engine
+        .run_trials(scenario, WARMUP_TRIALS)
+        .unwrap_or_else(|e| fail(format_args!("warm-up trials failed: {e}")));
+    let shards = Parallelism::Auto.worker_count().max(2);
+    let start = std::time::Instant::now();
+    let plan = engine.plan(scenario, trials);
+    let mut merger = ShardMerger::new();
+    for shard in plan.split_into(shards) {
+        if shard.is_empty() {
+            continue;
+        }
+        let result = engine
+            .execute_shard(&shard, ShardOutput::Summary)
+            .unwrap_or_else(|e| fail(format_args!("shard execution failed: {e}")));
+        merger
+            .push(result)
+            .unwrap_or_else(|e| fail(format_args!("shard merge failed: {e}")));
+    }
+    let merged = merger
+        .finish()
+        .unwrap_or_else(|e| fail(format_args!("shard merge failed: {e}")));
+    let seconds = start.elapsed().as_secs_f64();
+    let summary = merged
+        .into_summary()
+        .unwrap_or_else(|| fail("sharded lane did not produce a summary"));
+    finish_lane("sharded", shards, scenario.backend, summary.trials, seconds)
+}
+
+/// Compares the fresh report against a committed one: same lane structure
+/// (parallelism × backend, in order), and the serial density-matrix lane at
+/// no less than half the committed throughput.
+fn check_against(report: &ThroughputReport, path: &str) {
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+    let committed = serde::json::parse(&committed)
+        .unwrap_or_else(|e| fail(format_args!("cannot parse {path}: {e}")));
+    let lanes = committed
+        .get_field("lanes")
+        .and_then(|lanes| lanes.as_seq())
+        .unwrap_or_else(|e| fail(format_args!("{path}: {e}")));
+    let shape = |parallelism: &str, backend: &str| format!("{parallelism} on {backend}");
+    let committed_shape: Vec<String> = lanes
+        .iter()
+        .map(|lane| {
+            let field = |name: &str| {
+                lane.get_field(name)
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .unwrap_or_else(|e| fail(format_args!("{path}: lane {e}")))
+            };
+            shape(&field("parallelism"), &field("backend"))
+        })
+        .collect();
+    let fresh_shape: Vec<String> = report
+        .lanes
+        .iter()
+        .map(|lane| shape(&lane.parallelism, &lane.backend))
+        .collect();
+    if committed_shape != fresh_shape {
+        fail(format_args!(
+            "lane structure drifted from {path}: committed [{}] vs fresh [{}] — \
+             regenerate the committed report with this binary",
+            committed_shape.join(", "),
+            fresh_shape.join(", ")
+        ));
+    }
+    let committed_serial_dm = lanes
+        .iter()
+        .find(|lane| {
+            let field = |name: &str| {
+                lane.get_field(name)
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .unwrap_or_default()
+            };
+            field("parallelism") == "serial"
+                && field("backend") == BackendKind::default().to_string()
+        })
+        .and_then(|lane| {
+            lane.get_field("trials_per_sec")
+                .and_then(|v| v.as_f64())
+                .ok()
+        })
+        .unwrap_or_else(|| fail(format_args!("{path}: no serial density-matrix lane")));
+    let fresh_serial_dm = report
+        .lanes
+        .iter()
+        .find(|lane| {
+            lane.parallelism == "serial" && lane.backend == BackendKind::default().to_string()
+        })
+        .map(|lane| lane.trials_per_sec)
+        .unwrap_or_else(|| fail("fresh report has no serial density-matrix lane"));
+    if fresh_serial_dm < committed_serial_dm / 2.0 {
+        fail(format_args!(
+            "serial density-matrix throughput regressed more than 2x: \
+             committed {committed_serial_dm:.2} trials/s vs fresh {fresh_serial_dm:.2} trials/s"
+        ));
+    }
+    eprintln!(
+        "check ok vs {path}: lane structure matches, serial density-matrix \
+         {fresh_serial_dm:.2} trials/s >= committed {committed_serial_dm:.2} / 2"
+    );
+}
+
 fn main() {
-    let (trials, seed, out) = parse_args();
-    let scenario = bench::shard_io::demo_scenario("intercept", seed, BackendKind::default())
+    let args = parse_args();
+    let scenario = bench::shard_io::demo_scenario("intercept", args.seed, BackendKind::default())
         .unwrap_or_else(|e| fail(e));
     let mut lanes = Vec::new();
     for backend in BackendKind::ALL {
         let scenario = scenario.clone().with_backend(backend);
         for parallelism in [Parallelism::Serial, Parallelism::Auto] {
-            lanes.push(measure(&scenario, trials, seed, parallelism));
+            lanes.push(measure(&scenario, args.trials, args.seed, parallelism));
         }
+        lanes.push(measure_sharded(&scenario, args.trials, args.seed));
     }
     let report = ThroughputReport {
-        version: 1,
+        version: 2,
         scenario: scenario.label.clone(),
         scenario_fingerprint: scenario.fingerprint(),
-        trials,
-        seed,
+        trials: args.trials,
+        warmup_trials: WARMUP_TRIALS,
+        seed: args.seed,
         lanes,
     };
+    let serial_dm = report
+        .lanes
+        .iter()
+        .find(|lane| {
+            lane.parallelism == "serial" && lane.backend == BackendKind::default().to_string()
+        })
+        .map(|lane| lane.trials_per_sec)
+        .unwrap_or_else(|| fail("no serial density-matrix lane measured"));
+    eprintln!(
+        "kernel comparison (serial density-matrix): legacy embedded operators \
+         {LEGACY_SERIAL_DM_TRIALS_PER_SEC:.2} trials/s -> compiled kernels {serial_dm:.2} \
+         trials/s = {:.1}x",
+        serial_dm / LEGACY_SERIAL_DM_TRIALS_PER_SEC
+    );
+    if let Some(path) = &args.check {
+        check_against(&report, path);
+    }
     let json = serde::json::to_string(&report.to_value());
-    std::fs::write(&out, &json).unwrap_or_else(|e| fail(format_args!("cannot write {out}: {e}")));
-    eprintln!("wrote {out}");
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|e| fail(format_args!("cannot write {}: {e}", args.out)));
+    eprintln!("wrote {}", args.out);
     println!("{json}");
 }

@@ -1,0 +1,78 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! The workspace's hot paths promise *zero steady-state heap allocations*
+//! (see the kernel architecture notes in the repo root). Promises rot unless
+//! a test can observe them, and observing the allocator requires a global
+//! hook — which is why this shim lives in its own crate: it is the only
+//! place in the workspace allowed to use `unsafe`, and only for the two
+//! `GlobalAlloc` forwarding calls.
+//!
+//! # Usage
+//!
+//! ```rust,ignore
+//! use alloc_counter::CountingAllocator;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator::new();
+//!
+//! let before = CountingAllocator::allocations();
+//! hot_path();
+//! assert_eq!(CountingAllocator::allocations() - before, 0);
+//! ```
+//!
+//! Only one `#[global_allocator]` may exist per binary, so tests that use
+//! this live in dedicated integration-test files, not unit-test modules.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that forwards to the system allocator and counts every
+/// call. Counters are process-wide (all threads share them).
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// Creates the allocator (a zero-sized handle; the counters are static).
+    pub const fn new() -> Self {
+        CountingAllocator
+    }
+
+    /// Total number of allocation calls so far.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Total number of deallocation calls so far.
+    pub fn deallocations() -> u64 {
+        DEALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested from the allocator so far.
+    pub fn bytes_allocated() -> u64 {
+        BYTES_ALLOCATED.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: all allocator calls forward verbatim to `System`, which upholds
+// the `GlobalAlloc` contract; the counter updates are side-effect-only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

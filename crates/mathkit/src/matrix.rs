@@ -27,11 +27,30 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 /// assert!(x.is_unitary(1e-12));
 /// assert!(x.is_hermitian(1e-12));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct CMatrix {
     rows: usize,
     cols: usize,
     data: Vec<Complex64>,
+}
+
+impl Clone for CMatrix {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Copies `source` into `self`, reusing `self`'s existing buffer when it
+    /// is large enough — the allocation-free path the per-trial hot loops
+    /// rely on (see `clone_from` on `DensityMatrix` / `EprPair`).
+    fn clone_from(&mut self, source: &Self) {
+        self.rows = source.rows;
+        self.cols = source.cols;
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl CMatrix {
@@ -136,6 +155,12 @@ impl CMatrix {
     /// Immutable view of the row-major data.
     pub fn as_slice(&self) -> &[Complex64] {
         &self.data
+    }
+
+    /// Mutable view of the row-major data (for in-place kernels that update a
+    /// matrix without reallocating it).
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
     }
 
     /// Matrix transpose.

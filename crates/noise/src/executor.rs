@@ -5,6 +5,7 @@
 //! spectator qubits, corrupting measured bits with the readout error, and starting from a
 //! state-preparation-error-corrupted `|0…0⟩`.
 
+use crate::compiled::CompiledChannel;
 use crate::device::DeviceModel;
 use qsim::circuit::{Circuit, Operation};
 use qsim::counts::Counts;
@@ -13,6 +14,63 @@ use qsim::error::QsimError;
 use qsim::gates;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The device's noise channels compiled against one register size, built
+/// lazily as gates touch placements. A circuit applies the same few
+/// channels at the same few placements thousands of times; deriving the
+/// Kraus operators from calibration numbers and embedding them anew per
+/// gate dominated execution, so each placement is compiled on first use
+/// and replayed from then on (bit-identically — see [`KrausChannel::compile`]).
+///
+/// [`KrausChannel::compile`]: crate::kraus::KrausChannel::compile
+struct NoiseCache {
+    num_qubits: usize,
+    /// Single-qubit placements, indexed by qubit: state prep, the generic
+    /// single-qubit gate channel, the identity-gate channel, and the three
+    /// idle durations the executor uses (spectator of a single-qubit gate,
+    /// of an identity gate, and of / participant in a two-qubit gate).
+    prep: Vec<Option<CompiledChannel>>,
+    single: Vec<Option<CompiledChannel>>,
+    identity: Vec<Option<CompiledChannel>>,
+    idle_single: Vec<Option<CompiledChannel>>,
+    idle_identity: Vec<Option<CompiledChannel>>,
+    idle_two: Vec<Option<CompiledChannel>>,
+    /// Two-qubit gate channel per ordered target pair.
+    two_qubit: HashMap<(usize, usize), CompiledChannel>,
+}
+
+impl NoiseCache {
+    fn new(num_qubits: usize) -> Self {
+        let empty = || (0..num_qubits).map(|_| None).collect();
+        Self {
+            num_qubits,
+            prep: empty(),
+            single: empty(),
+            identity: empty(),
+            idle_single: empty(),
+            idle_identity: empty(),
+            idle_two: empty(),
+            two_qubit: HashMap::new(),
+        }
+    }
+
+    fn single_qubit(
+        slots: &mut [Option<CompiledChannel>],
+        qubit: usize,
+        num_qubits: usize,
+        build: impl FnOnce() -> crate::kraus::KrausChannel,
+    ) -> &CompiledChannel {
+        slots[qubit].get_or_insert_with(|| build().compile(&[qubit], num_qubits))
+    }
+
+    fn two_qubit(&mut self, device: &DeviceModel, a: usize, b: usize) -> &CompiledChannel {
+        let num_qubits = self.num_qubits;
+        self.two_qubit
+            .entry((a, b))
+            .or_insert_with(|| device.two_qubit_gate_channel().compile(&[a, b], num_qubits))
+    }
+}
 
 /// Runs circuits under a device noise model.
 ///
@@ -54,12 +112,23 @@ impl NoisyExecutor {
     ///
     /// Propagates dimension / qubit-range errors from the simulator.
     pub fn evolve_prefix(&self, circuit: &Circuit) -> Result<(DensityMatrix, usize), QsimError> {
+        let mut cache = NoiseCache::new(circuit.num_qubits());
+        self.evolve_prefix_cached(circuit, &mut cache)
+    }
+
+    fn evolve_prefix_cached(
+        &self,
+        circuit: &Circuit,
+        cache: &mut NoiseCache,
+    ) -> Result<(DensityMatrix, usize), QsimError> {
         let mut rho = DensityMatrix::new(circuit.num_qubits());
         // State-preparation errors on every qubit.
-        let prep = self.device.state_prep_channel();
         if !self.device.is_ideal() {
             for q in 0..circuit.num_qubits() {
-                prep.apply(&mut rho, &[q]);
+                NoiseCache::single_qubit(&mut cache.prep, q, cache.num_qubits, || {
+                    self.device.state_prep_channel()
+                })
+                .apply(&mut rho);
             }
         }
         for (index, op) in circuit.operations().iter().enumerate() {
@@ -70,7 +139,7 @@ impl NoisyExecutor {
                     qubits,
                 } => {
                     rho.try_apply_unitary(matrix, qubits)?;
-                    self.apply_gate_noise(&mut rho, name, qubits, circuit.num_qubits());
+                    self.apply_gate_noise(cache, &mut rho, name, qubits, circuit.num_qubits());
                 }
                 Operation::Barrier => {}
                 Operation::Measure { .. } | Operation::Reset { .. } => {
@@ -92,9 +161,10 @@ impl NoisyExecutor {
         circuit: &Circuit,
         rng: &mut R,
     ) -> Result<(DensityMatrix, Vec<u8>), QsimError> {
-        let (rho, resume_at) = self.evolve_prefix(circuit)?;
+        let mut cache = NoiseCache::new(circuit.num_qubits());
+        let (rho, resume_at) = self.evolve_prefix_cached(circuit, &mut cache)?;
         let mut rho = rho;
-        let clbits = self.finish(circuit, &mut rho, resume_at, rng)?;
+        let clbits = self.finish(circuit, &mut cache, &mut rho, resume_at, rng)?;
         Ok((rho, clbits))
     }
 
@@ -112,11 +182,13 @@ impl NoisyExecutor {
         shots: usize,
         rng: &mut R,
     ) -> Result<Counts, QsimError> {
-        let (prefix_rho, resume_at) = self.evolve_prefix(circuit)?;
+        let mut cache = NoiseCache::new(circuit.num_qubits());
+        let (prefix_rho, resume_at) = self.evolve_prefix_cached(circuit, &mut cache)?;
         let mut counts = Counts::new();
+        let mut rho = prefix_rho.clone();
         for _ in 0..shots {
-            let mut rho = prefix_rho.clone();
-            let clbits = self.finish(circuit, &mut rho, resume_at, rng)?;
+            rho.clone_from(&prefix_rho);
+            let clbits = self.finish(circuit, &mut cache, &mut rho, resume_at, rng)?;
             let label: String = clbits
                 .iter()
                 .map(|b| if *b == 1 { '1' } else { '0' })
@@ -131,6 +203,7 @@ impl NoisyExecutor {
     fn finish<R: Rng + ?Sized>(
         &self,
         circuit: &Circuit,
+        cache: &mut NoiseCache,
         rho: &mut DensityMatrix,
         resume_at: usize,
         rng: &mut R,
@@ -145,7 +218,7 @@ impl NoisyExecutor {
                     qubits,
                 } => {
                     rho.try_apply_unitary(matrix, qubits)?;
-                    self.apply_gate_noise(rho, name, qubits, circuit.num_qubits());
+                    self.apply_gate_noise(cache, rho, name, qubits, circuit.num_qubits());
                 }
                 Operation::Barrier => {}
                 Operation::Measure { qubit, clbit } => {
@@ -174,8 +247,10 @@ impl NoisyExecutor {
 
     /// Applies the device's post-gate noise: the gate-class channel on the targets and, when
     /// enabled, thermal relaxation on every idle spectator qubit for the gate duration.
+    /// Every placement comes from the cache, compiled on first touch.
     fn apply_gate_noise(
         &self,
+        cache: &mut NoiseCache,
         rho: &mut DensityMatrix,
         gate_name: &str,
         qubits: &[usize],
@@ -186,25 +261,45 @@ impl NoisyExecutor {
         }
         let is_identity = gate_name == "id";
         if qubits.len() >= 2 {
-            self.device.two_qubit_gate_channel().apply(rho, qubits);
+            if let [a, b] = *qubits {
+                cache.two_qubit(&self.device, a, b).apply(rho);
+            } else {
+                // No library gate has arity > 2; preserve the one-shot
+                // path's arity panic rather than mis-compiling a placement.
+                self.device.two_qubit_gate_channel().apply(rho, qubits);
+            }
             // Thermal relaxation on the participating qubits for the (long) 2-qubit gate.
-            let idle = self
-                .device
-                .idle_channel(self.device.gate_duration_ns(2, false));
             for &q in qubits {
-                idle.apply(rho, &[q]);
+                NoiseCache::single_qubit(&mut cache.idle_two, q, num_qubits, || {
+                    self.device
+                        .idle_channel(self.device.gate_duration_ns(2, false))
+                })
+                .apply(rho);
             }
         } else if is_identity {
-            self.device.identity_gate_channel().apply(rho, qubits);
+            NoiseCache::single_qubit(&mut cache.identity, qubits[0], num_qubits, || {
+                self.device.identity_gate_channel()
+            })
+            .apply(rho);
         } else {
-            self.device.single_qubit_gate_channel().apply(rho, qubits);
+            NoiseCache::single_qubit(&mut cache.single, qubits[0], num_qubits, || {
+                self.device.single_qubit_gate_channel()
+            })
+            .apply(rho);
         }
         if self.device.idle_partner_noise() {
-            let duration = self.device.gate_duration_ns(qubits.len(), is_identity);
-            let idle = self.device.idle_channel(duration);
+            let slots = match (qubits.len(), is_identity) {
+                (1, true) => &mut cache.idle_identity,
+                (1, false) => &mut cache.idle_single,
+                _ => &mut cache.idle_two,
+            };
             for q in 0..num_qubits {
                 if !qubits.contains(&q) {
-                    idle.apply(rho, &[q]);
+                    NoiseCache::single_qubit(slots, q, num_qubits, || {
+                        self.device
+                            .idle_channel(self.device.gate_duration_ns(qubits.len(), is_identity))
+                    })
+                    .apply(rho);
                 }
             }
         }

@@ -5,6 +5,7 @@
 //! here cover the textbook single-qubit channels plus the composite *thermal relaxation*
 //! channel used to model idling qubits on `ibm_brisbane`.
 
+use crate::compiled::CompiledChannel;
 use mathkit::complex::Complex64;
 use mathkit::matrix::CMatrix;
 use qsim::density::DensityMatrix;
@@ -272,7 +273,30 @@ impl KrausChannel {
         }
     }
 
+    /// Compiles this channel against a fixed `(targets, num_qubits)`
+    /// placement — the fast path for channels applied more than a handful
+    /// of times (see [`crate::compiled`]).
+    ///
+    /// The compiled form precomputes the embedded operators, their
+    /// adjoints, the sparse structure the kernels iterate, and the strided
+    /// index tables for targeted-qubit application; applying it is
+    /// bit-identical to the one-shot methods on this type but performs no
+    /// per-call validation, embedding, or steady-state heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target list length does not match the channel arity,
+    /// or the targets are invalid for a `num_qubits` register (the checks
+    /// the one-shot methods perform per call happen here, once).
+    pub fn compile(&self, targets: &[usize], num_qubits: usize) -> CompiledChannel {
+        self.check_arity(targets);
+        CompiledChannel::new(self, targets, num_qubits)
+    }
+
     /// Applies the channel to the given qubits of a density matrix.
+    ///
+    /// One-shot convenience: validates and embeds per call. For repeated
+    /// application of the same placement, [`compile`](Self::compile) first.
     ///
     /// # Panics
     ///
@@ -302,6 +326,11 @@ impl KrausChannel {
     /// Propagates [`QsimError`] from
     /// [`StateVector::apply_kraus_sampled`] — notably
     /// [`QsimError::ZeroNorm`] when every branch has vanishing probability.
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile the placement once and use `CompiledChannel::sample` — \
+                bit-identical, without per-call validation and embedding"
+    )]
     pub fn sample_on_statevector<R: Rng + ?Sized>(
         &self,
         psi: &mut StateVector,
@@ -328,6 +357,11 @@ impl KrausChannel {
     ///
     /// Propagates [`QsimError`] from
     /// [`DensityMatrix::apply_kraus_sampled`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile the placement once and use `CompiledChannel::sample_density` — \
+                bit-identical, without per-call validation and embedding"
+    )]
     pub fn sample_on_density<R: Rng + ?Sized>(
         &self,
         rho: &mut DensityMatrix,
@@ -568,6 +602,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the deprecated one-shots keep their own coverage
     fn trajectory_step_matches_channel_statistics_on_statevectors() {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
@@ -590,6 +625,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the deprecated one-shots keep their own coverage
     fn trajectory_mean_approximates_the_exact_channel_on_densities() {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
@@ -612,6 +648,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the deprecated one-shots keep their own coverage
     fn zero_probability_trajectory_branches_are_never_selected() {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
@@ -630,6 +667,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "channel acts on")]
+    #[allow(deprecated)] // the deprecated one-shots keep their own coverage
     fn trajectory_step_with_wrong_arity_panics() {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);

@@ -11,9 +11,35 @@
 //! - [`readout::ReadoutError`] — classical assignment errors applied to measured bits.
 //! - [`device::DeviceModel`] — a named bundle of gate times, gate errors, T1/T2 and readout
 //!   error, with the `ibm_brisbane_like` and `ideal` presets.
+//! - [`compiled::CompiledChannel`] — a channel fixed at one qubit placement, precompiled for
+//!   repeated application.
 //! - [`executor::NoisyExecutor`] — runs a [`qsim::Circuit`] on the density-matrix back-end,
 //!   inserting the device's noise after every gate and corrupting measured bits with the
 //!   readout error.
+//!
+//! ## Compile once, apply many
+//!
+//! The one-shot methods ([`KrausChannel::apply`] and the deprecated per-call samplers)
+//! validate targets and embed operators on **every call**. Hot loops should compile the
+//! placement once with [`KrausChannel::compile`] and replay it: application is bit-identical
+//! — the compiled kernels run the exact floating-point operation sequence of the one-shot
+//! path, and the samplers draw the same `f64`s in the same order — but validation, embedding,
+//! and steady-state heap allocation drop to zero. See `docs/kernels.md` in the repo root for
+//! the full architecture.
+//!
+//! ```rust
+//! use noise::prelude::*;
+//! use qsim::density::DensityMatrix;
+//!
+//! let channel = KrausChannel::depolarizing(0.05);
+//! // Fix the placement once: qubit 0 of a 2-qubit register…
+//! let compiled = channel.compile(&[0], 2);
+//! let mut rho = DensityMatrix::new(2);
+//! // …then apply it as often as the sweep needs, allocation-free.
+//! for _ in 0..1000 {
+//!     compiled.apply(&mut rho);
+//! }
+//! ```
 //!
 //! ## Example
 //!
@@ -39,11 +65,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod device;
 pub mod executor;
 pub mod kraus;
 pub mod readout;
 
+pub use compiled::CompiledChannel;
 pub use device::DeviceModel;
 pub use executor::NoisyExecutor;
 pub use kraus::KrausChannel;
@@ -51,6 +79,7 @@ pub use readout::ReadoutError;
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
+    pub use crate::compiled::CompiledChannel;
     pub use crate::device::DeviceModel;
     pub use crate::executor::NoisyExecutor;
     pub use crate::kraus::KrausChannel;

@@ -91,15 +91,61 @@ pub fn run_di_check<R: Rng + ?Sized>(
     threshold: f64,
     rng: &mut R,
 ) -> (DiCheckReport, Vec<MeasurementRecord>) {
-    let mut records = Vec::with_capacity(pairs.len());
+    run_check_loop(round, pairs, None, threshold, rng)
+}
+
+/// Like [`run_di_check`], but sacrifices only the pairs at the given
+/// `positions` (in order), measuring them **in place**. This is the
+/// engine's hot path: the check block stays inside the session's pair
+/// store, so no pair is cloned just to be measured and dropped.
+///
+/// Draw-for-draw identical to cloning the pairs at `positions` into a
+/// fresh slice and calling [`run_di_check`] on it.
+///
+/// # Panics
+///
+/// Panics if any position is out of range. Repeated positions are a
+/// logic error (the second visit re-measures an already collapsed
+/// pair) and are rejected in debug builds.
+pub fn run_di_check_at<R: Rng + ?Sized>(
+    round: DiCheckRound,
+    pairs: &mut [EprPair],
+    positions: &[usize],
+    threshold: f64,
+    rng: &mut R,
+) -> (DiCheckReport, Vec<MeasurementRecord>) {
+    debug_assert!(
+        {
+            let mut seen = std::collections::HashSet::new();
+            positions.iter().all(|&p| seen.insert(p))
+        },
+        "DI-check positions must be distinct"
+    );
+    run_check_loop(round, pairs, Some(positions), threshold, rng)
+}
+
+fn run_check_loop<R: Rng + ?Sized>(
+    round: DiCheckRound,
+    pairs: &mut [EprPair],
+    positions: Option<&[usize]>,
+    threshold: f64,
+    rng: &mut R,
+) -> (DiCheckReport, Vec<MeasurementRecord>) {
+    let pairs_used = positions.map_or(pairs.len(), <[usize]>::len);
+    let mut records = Vec::with_capacity(pairs_used);
     let mut in_estimate = 0usize;
-    for pair in pairs.iter_mut() {
+    for i in 0..pairs_used {
+        let pair = match positions {
+            Some(positions) => &mut pairs[positions[i]],
+            None => &mut pairs[i],
+        };
         let alice_setting = rng.gen_range(0..3usize);
         let bob_setting = rng.gen_range(1..=2usize);
-        let alice_outcome =
-            pair.measure_alice_in_basis(MeasurementBasis::alice(alice_setting).angle(), rng);
-        let bob_outcome =
-            pair.measure_bob_in_basis(MeasurementBasis::bob(bob_setting).angle(), rng);
+        let (alice_outcome, bob_outcome) = pair.measure_both_in_bases(
+            MeasurementBasis::alice(alice_setting).angle(),
+            MeasurementBasis::bob(bob_setting).angle(),
+            rng,
+        );
         if alice_setting == 1 || alice_setting == 2 {
             in_estimate += 1;
             records.push(MeasurementRecord::new(
@@ -116,7 +162,7 @@ pub fn run_di_check<R: Rng + ?Sized>(
         DiCheckReport {
             round,
             chsh,
-            pairs_used: pairs.len(),
+            pairs_used,
             pairs_in_estimate: in_estimate,
             threshold,
             passed,

@@ -81,14 +81,15 @@ pub use shard::{
 
 use crate::auth::{self, AuthReport};
 use crate::config::SessionConfig;
-use crate::di_check::{run_di_check, DiCheckReport, DiCheckRound};
+use crate::di_check::{run_di_check_at, DiCheckReport, DiCheckRound};
 use crate::error::ProtocolError;
 use crate::identity::IdentityPair;
 use crate::message::{PaddedMessage, SecretMessage};
 use crate::session::{AbortStage, Impersonation, ResourceUsage, SessionOutcome, SessionStatus};
 use qchannel::classical::{ClassicalChannel, ClassicalMessage, Party};
-use qchannel::epr::{EprPair, ALICE_QUBIT, BOB_QUBIT};
-use qchannel::quantum::{ChannelTap, NoTap, QuantumChannel};
+use qchannel::compiled::CompiledQuantumChannel;
+use qchannel::epr::EprPair;
+use qchannel::quantum::{ChannelTap, NoTap};
 use qchannel::taps::{
     EntangleMeasureAttack, InterceptBasis, InterceptResendAttack, ManInTheMiddleAttack,
     SubstituteState,
@@ -118,18 +119,38 @@ pub trait Backend: fmt::Debug + Send + Sync {
 
     /// Emits one entangled pair from the (possibly adversary-controlled)
     /// source and distributes it to the two parties.
+    ///
+    /// The channel arrives **precompiled**: the engine compiles each
+    /// scenario's noise program once (at fingerprint time) and every trial
+    /// runs against the compiled placements, so backends never pay per-call
+    /// channel construction, validation, or embedding.
     fn emit_pair(
         &self,
-        channel: &QuantumChannel,
+        channel: &CompiledQuantumChannel,
         tap: &mut dyn ChannelTap,
         rng: &mut dyn RngCore,
     ) -> EprPair;
+
+    /// Emits one pair into `slot`, reusing its buffers where the backend
+    /// supports it. Behaviourally identical to
+    /// `*slot = self.emit_pair(channel, tap, rng)` — the default does
+    /// exactly that — but backends with allocation-free emission override
+    /// it so the engine's pooled trial loop never touches the heap.
+    fn emit_pair_into(
+        &self,
+        slot: &mut EprPair,
+        channel: &CompiledQuantumChannel,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) {
+        *slot = self.emit_pair(channel, tap, rng);
+    }
 
     /// Transmits Alice's half of `pair` to Bob through the channel, letting
     /// the tap act first.
     fn transmit(
         &self,
-        channel: &QuantumChannel,
+        channel: &CompiledQuantumChannel,
         pair: &mut EprPair,
         tap: &mut dyn ChannelTap,
         rng: &mut dyn RngCore,
@@ -148,18 +169,29 @@ impl Backend for DensityMatrixBackend {
 
     fn emit_pair(
         &self,
-        channel: &QuantumChannel,
+        channel: &CompiledQuantumChannel,
         tap: &mut dyn ChannelTap,
         rng: &mut dyn RngCore,
     ) -> EprPair {
-        let mut pair = EprPair::from_noisy_source(channel.spec().device());
+        let mut pair = channel.emit_noisy_pair();
         channel.distribute_tapped(&mut pair, tap, rng);
         pair
     }
 
+    fn emit_pair_into(
+        &self,
+        slot: &mut EprPair,
+        channel: &CompiledQuantumChannel,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) {
+        channel.emit_noisy_pair_into(slot);
+        channel.distribute_tapped(slot, tap, rng);
+    }
+
     fn transmit(
         &self,
-        channel: &QuantumChannel,
+        channel: &CompiledQuantumChannel,
         pair: &mut EprPair,
         tap: &mut dyn ChannelTap,
         rng: &mut dyn RngCore,
@@ -198,22 +230,24 @@ impl Backend for StatevectorBackend {
 
     fn emit_pair(
         &self,
-        channel: &QuantumChannel,
+        channel: &CompiledQuantumChannel,
         tap: &mut dyn ChannelTap,
         rng: &mut dyn RngCore,
     ) -> EprPair {
-        let device = channel.spec().device();
         let mut psi = BellState::PhiPlus.statevector();
-        if !device.is_ideal() {
-            device
-                .two_qubit_gate_channel()
-                .sample_on_statevector(&mut psi, &[ALICE_QUBIT, BOB_QUBIT], rng)
+        // The compiled placements exist exactly when the device is noisy, so
+        // the trajectory (and its RNG draws) matches the one-shot path.
+        if let Some(source) = channel.source() {
+            source
+                .sample(&mut psi, rng)
                 .expect("source-noise trajectory step on a normalised pair");
-            let prep = device.state_prep_channel();
-            for qubit in [ALICE_QUBIT, BOB_QUBIT] {
-                prep.sample_on_statevector(&mut psi, &[qubit], rng)
-                    .expect("state-prep trajectory step on a normalised pair");
-            }
+        }
+        for prep in [channel.prep_alice(), channel.prep_bob()]
+            .into_iter()
+            .flatten()
+        {
+            prep.sample(&mut psi, rng)
+                .expect("state-prep trajectory step on a normalised pair");
         }
         let mut pair = EprPair::from_density(DensityMatrix::from_statevector(&psi));
         channel.distribute_tapped(&mut pair, tap, rng);
@@ -222,7 +256,7 @@ impl Backend for StatevectorBackend {
 
     fn transmit(
         &self,
-        channel: &QuantumChannel,
+        channel: &CompiledQuantumChannel,
         pair: &mut EprPair,
         tap: &mut dyn ChannelTap,
         rng: &mut dyn RngCore,
@@ -231,30 +265,30 @@ impl Backend for StatevectorBackend {
         // entrance, then the (here: sampled) noise applies.
         tap.on_transmit(pair, rng);
         let spec = channel.spec();
-        let device = spec.device();
-        if device.is_ideal() || spec.length() == 0 {
+        // `gate_alice` is compiled exactly when the device is noisy.
+        let Some(gate) = channel.gate_alice() else {
+            return;
+        };
+        if spec.length() == 0 {
             return;
         }
-        let gate = device.identity_gate_channel();
-        let idle = device
-            .idle_partner_noise()
-            .then(|| device.idle_channel(device.identity_gate_time_ns()));
+        let idle = channel.idle_bob();
         if let Some(mut psi) = pair.density().as_pure_state(PURITY_TOL) {
             for _ in 0..spec.length() {
-                gate.sample_on_statevector(&mut psi, &[ALICE_QUBIT], rng)
+                gate.sample(&mut psi, rng)
                     .expect("gate-noise trajectory step on a normalised pair");
-                if let Some(idle) = &idle {
-                    idle.sample_on_statevector(&mut psi, &[BOB_QUBIT], rng)
+                if let Some(idle) = idle {
+                    idle.sample(&mut psi, rng)
                         .expect("idle-noise trajectory step on a normalised pair");
                 }
             }
             *pair = EprPair::from_density(DensityMatrix::from_statevector(&psi));
         } else {
             for _ in 0..spec.length() {
-                gate.sample_on_density(pair.density_mut(), &[ALICE_QUBIT], rng)
+                gate.sample_density(pair.density_mut(), rng)
                     .expect("gate-noise trajectory step on a unit-trace pair");
-                if let Some(idle) = &idle {
-                    idle.sample_on_density(pair.density_mut(), &[BOB_QUBIT], rng)
+                if let Some(idle) = idle {
+                    idle.sample_density(pair.density_mut(), rng)
                         .expect("idle-noise trajectory step on a unit-trace pair");
                 }
             }
@@ -1064,10 +1098,34 @@ impl SessionEngine {
 
     /// [`run_nth`](Self::run_nth) with the scenario fingerprint precomputed,
     /// so trial loops hash the (immutable) scenario once instead of per trial.
+    /// Single-trial entry point: compiles the scenario's noise program for
+    /// this one trial. Trial loops go through
+    /// [`run_compiled`](Self::run_compiled) with a shared program instead.
     fn run_fingerprinted(
         &self,
         scenario: &Scenario,
         fingerprint: u64,
+        trial: u64,
+    ) -> Result<SessionOutcome, ProtocolError> {
+        let program = Self::compile_program(scenario);
+        self.run_compiled(scenario, fingerprint, &program, trial)
+    }
+
+    /// Compiles a scenario's noise program: every channel placement its
+    /// trials can apply, precompiled once so the per-trial loop is pure
+    /// arithmetic (see [`qchannel::compiled`]).
+    fn compile_program(scenario: &Scenario) -> CompiledQuantumChannel {
+        CompiledQuantumChannel::from(scenario.config.channel().clone())
+    }
+
+    /// The per-trial body: one session against a precompiled noise program.
+    /// Bit-identical to compiling per trial — compiled kernels replay the
+    /// legacy floating-point operation sequence exactly.
+    fn run_compiled(
+        &self,
+        scenario: &Scenario,
+        fingerprint: u64,
+        program: &CompiledQuantumChannel,
         trial: u64,
     ) -> Result<SessionOutcome, ProtocolError> {
         scenario.adversary.validate()?;
@@ -1079,6 +1137,7 @@ impl SessionEngine {
         let mut tap = scenario.adversary.make_tap();
         execute_session(
             self.backend_for(scenario),
+            program,
             &scenario.config,
             &scenario.identities,
             &message,
@@ -1226,6 +1285,11 @@ impl SessionEngine {
                 TrialSummaryBuilder::new(p.scenario.label.clone(), p.scenario.adversary.name())
             })
             .collect();
+        // One compiled noise program per scenario, shared by all its trials.
+        let programs: Vec<CompiledQuantumChannel> = plans
+            .iter()
+            .map(|p| Self::compile_program(&p.scenario))
+            .collect();
         let mut first_error: Option<ProtocolError> = None;
         // `trials == 0` produces no tasks, so the index arithmetic below
         // never divides by zero.
@@ -1234,9 +1298,10 @@ impl SessionEngine {
             plans.len() * trials,
             |index| {
                 let plan = &plans[index / trials];
-                self.run_fingerprinted(
+                self.run_compiled(
                     &plan.scenario,
                     plan.fingerprint,
+                    &programs[index / trials],
                     plan.trial_start + (index % trials) as u64,
                 )
             },
@@ -1279,10 +1344,12 @@ impl SessionEngine {
         tap: &mut dyn ChannelTap,
         rng: &mut R,
     ) -> Result<SessionOutcome, ProtocolError> {
+        let program = CompiledQuantumChannel::from(config.channel().clone());
         execute_session(
             self.backend
                 .as_deref()
                 .unwrap_or(BackendKind::DensityMatrix.backend()),
+            &program,
             config,
             identities,
             message,
@@ -1295,16 +1362,58 @@ impl SessionEngine {
 
 // -------------------------------------------------- six-phase session body --
 
+thread_local! {
+    // The per-thread pair store reused across trials: each session
+    // overwrites the pooled pairs in place (see `Backend::emit_pair_into`),
+    // so the steady-state trial loop performs no pair allocations at all.
+    static PAIR_POOL: std::cell::RefCell<Vec<EprPair>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Runs one complete UA-DI-QSDC session through all six phases of the paper
-/// on the given backend.
+/// on the given backend, against a precompiled noise program (compiled once
+/// per scenario by the caller, shared across trials). The session's pair
+/// store comes from (and returns to) the thread's pool.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_session<R: Rng>(
     backend: &dyn Backend,
+    channel: &CompiledQuantumChannel,
     config: &SessionConfig,
     identities: &IdentityPair,
     message: &SecretMessage,
     impersonation: Impersonation,
     tap: &mut dyn ChannelTap,
     rng: &mut R,
+) -> Result<SessionOutcome, ProtocolError> {
+    PAIR_POOL.with(|cell| {
+        let mut pool = std::mem::take(&mut *cell.borrow_mut());
+        let result = execute_session_with_pool(
+            backend,
+            channel,
+            config,
+            identities,
+            message,
+            impersonation,
+            tap,
+            rng,
+            &mut pool,
+        );
+        *cell.borrow_mut() = pool;
+        result
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_session_with_pool<R: Rng>(
+    backend: &dyn Backend,
+    channel: &CompiledQuantumChannel,
+    config: &SessionConfig,
+    identities: &IdentityPair,
+    message: &SecretMessage,
+    impersonation: Impersonation,
+    tap: &mut dyn ChannelTap,
+    rng: &mut R,
+    pairs: &mut Vec<EprPair>,
 ) -> Result<SessionOutcome, ProtocolError> {
     if message.len() != config.message_bits() {
         return Err(ProtocolError::MessageLengthMismatch {
@@ -1319,7 +1428,6 @@ pub(crate) fn execute_session<R: Rng>(
     let n_qubits = padded.qubit_len();
     let total_pairs = n_qubits + 2 * l + 2 * d;
 
-    let channel = QuantumChannel::new(config.channel().clone());
     let classical = ClassicalChannel::new();
 
     let resources = ResourceUsage {
@@ -1362,9 +1470,15 @@ pub(crate) fn execute_session<R: Rng>(
     };
 
     // ------------------------------------------------------------------ phase 1: sharing --
-    let mut pairs: Vec<EprPair> = Vec::with_capacity(total_pairs);
-    for _ in 0..total_pairs {
-        pairs.push(backend.emit_pair(&channel, tap, rng));
+    // The pooled pairs are overwritten in place; only a cold pool (first
+    // trial on this thread, or a larger scenario) grows the store.
+    if pairs.len() < total_pairs {
+        pairs.resize_with(total_pairs, EprPair::ideal);
+    } else {
+        pairs.truncate(total_pairs);
+    }
+    for pair in pairs.iter_mut() {
+        backend.emit_pair_into(pair, channel, tap, rng);
     }
 
     // ------------------------------------------------------- phase 2: DI check round one --
@@ -1379,13 +1493,10 @@ pub(crate) fn execute_session<R: Rng>(
             positions: check1_positions.clone(),
         },
     );
-    let mut check1_pairs: Vec<EprPair> = check1_positions
-        .iter()
-        .map(|&pos| pairs[pos].clone())
-        .collect();
-    let (report1, records1) = run_di_check(
+    let (report1, records1) = run_di_check_at(
         DiCheckRound::First,
-        &mut check1_pairs,
+        pairs,
+        &check1_positions,
         config.chsh_abort_threshold(),
         rng,
     );
@@ -1467,7 +1578,7 @@ pub(crate) fn execute_session<R: Rng>(
         .chain(&ca_positions)
         .chain(&da_positions)
     {
-        backend.transmit(&channel, &mut pairs[pos], tap, rng);
+        backend.transmit(channel, &mut pairs[pos], tap, rng);
     }
 
     // ---------------------------------------------------------- phase 4b: authentication --
@@ -1584,13 +1695,10 @@ pub(crate) fn execute_session<R: Rng>(
             positions: check2_positions.clone(),
         },
     );
-    let mut check2_pairs: Vec<EprPair> = check2_positions
-        .iter()
-        .map(|&pos| pairs[pos].clone())
-        .collect();
-    let (report2, _records2) = run_di_check(
+    let (report2, _records2) = run_di_check_at(
         DiCheckRound::Second,
-        &mut check2_pairs,
+        pairs,
+        &check2_positions,
         config.chsh_abort_threshold(),
         rng,
     );
@@ -2269,7 +2377,7 @@ mod tests {
             }
             fn emit_pair(
                 &self,
-                channel: &QuantumChannel,
+                channel: &CompiledQuantumChannel,
                 tap: &mut dyn ChannelTap,
                 rng: &mut dyn RngCore,
             ) -> EprPair {
@@ -2279,7 +2387,7 @@ mod tests {
             }
             fn transmit(
                 &self,
-                channel: &QuantumChannel,
+                channel: &CompiledQuantumChannel,
                 pair: &mut EprPair,
                 tap: &mut dyn ChannelTap,
                 rng: &mut dyn RngCore,

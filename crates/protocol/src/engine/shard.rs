@@ -498,10 +498,15 @@ impl SessionEngine {
             )),
         };
         let mut first_error: Option<ProtocolError> = None;
+        // Compile the scenario's noise program once for the whole shard; the
+        // compiled placements are immutable, so workers share them freely.
+        let program = SessionEngine::compile_program(scenario);
         let stats = parallel::scatter_visit(
             self.parallelism,
             trial_count,
-            |index| executor.run_fingerprinted(scenario, fingerprint, trial_start + index as u64),
+            |index| {
+                executor.run_compiled(scenario, fingerprint, &program, trial_start + index as u64)
+            },
             |_, outcome| match outcome {
                 Ok(outcome) => {
                     match &mut payload {

@@ -1,0 +1,282 @@
+//! The quantum channel, compiled for the per-trial hot loop.
+//!
+//! [`QuantumChannel::transmit`](crate::quantum::QuantumChannel::transmit) is honest but wasteful when called once per
+//! trial: it rebuilds the device's identity-gate channel (4 Kraus operators)
+//! and idle channel from calibration numbers on **every call**, then pays
+//! per-application validation and embedding for each of the η gates in the
+//! chain. The emission path ([`EprPair::from_noisy_source`]) rebuilds the
+//! 16-operator two-qubit gate channel and the state-prep channel the same
+//! way.
+//!
+//! [`CompiledQuantumChannel`] does all of that once: it derives every noise
+//! channel the spec can need, compiles each against its fixed qubit
+//! placement (see [`noise::compiled`]), and exposes the same
+//! emit/transmit/tap surface. Results are **bit-identical** to the one-shot
+//! path — the compiled kernels replay the exact floating-point operation
+//! sequence — so seeded runs are unaffected; only the per-trial cost drops.
+//!
+//! Compiled form is derived state: it is intentionally not serialisable and
+//! is rebuilt from the (serialisable) [`ChannelSpec`] wherever needed.
+
+use crate::epr::{EprPair, ALICE_QUBIT, BOB_QUBIT};
+use crate::quantum::{ChannelSpec, ChannelTap};
+use noise::compiled::CompiledChannel;
+use rand::RngCore;
+use std::fmt;
+
+/// A [`QuantumChannel`](crate::quantum::QuantumChannel) with every noise placement precompiled.
+///
+/// Build with [`QuantumChannel::compile`](crate::quantum::QuantumChannel::compile). The compiled placements cover
+/// both backends: exact density application (`apply`) and trajectory
+/// sampling (`sample`/`sample_density`) share each placement.
+#[derive(Debug, Clone)]
+pub struct CompiledQuantumChannel {
+    spec: ChannelSpec,
+    /// Source noise: the device's two-qubit gate channel on the whole pair.
+    /// Present iff the device is not ideal (matching the legacy gating).
+    source: Option<CompiledChannel>,
+    /// State-preparation error on Alice's / Bob's qubit. Present iff the
+    /// device is not ideal.
+    prep_alice: Option<CompiledChannel>,
+    prep_bob: Option<CompiledChannel>,
+    /// One noisy identity gate on the flying qubit. Present iff the device
+    /// is not ideal (a zero-length chain simply never applies it).
+    gate_alice: Option<CompiledChannel>,
+    /// Thermal idling on Bob's stored qubit per gate slot. Present iff the
+    /// device is not ideal **and** models partner idling.
+    idle_bob: Option<CompiledChannel>,
+}
+
+impl CompiledQuantumChannel {
+    pub(crate) fn new(spec: ChannelSpec) -> Self {
+        let device = spec.device();
+        let (source, prep_alice, prep_bob, gate_alice, idle_bob) = if device.is_ideal() {
+            (None, None, None, None, None)
+        } else {
+            let prep = device.state_prep_channel();
+            (
+                Some(
+                    device
+                        .two_qubit_gate_channel()
+                        .compile(&[ALICE_QUBIT, BOB_QUBIT], 2),
+                ),
+                Some(prep.compile(&[ALICE_QUBIT], 2)),
+                Some(prep.compile(&[BOB_QUBIT], 2)),
+                Some(device.identity_gate_channel().compile(&[ALICE_QUBIT], 2)),
+                device.idle_partner_noise().then(|| {
+                    device
+                        .idle_channel(device.identity_gate_time_ns())
+                        .compile(&[BOB_QUBIT], 2)
+                }),
+            )
+        };
+        Self {
+            spec,
+            source,
+            prep_alice,
+            prep_bob,
+            gate_alice,
+            idle_bob,
+        }
+    }
+
+    /// The channel's spec.
+    pub fn spec(&self) -> &ChannelSpec {
+        &self.spec
+    }
+
+    /// Source noise (two-qubit gate channel on the pair), when the device
+    /// is noisy.
+    pub fn source(&self) -> Option<&CompiledChannel> {
+        self.source.as_ref()
+    }
+
+    /// State-preparation error on Alice's qubit, when the device is noisy.
+    pub fn prep_alice(&self) -> Option<&CompiledChannel> {
+        self.prep_alice.as_ref()
+    }
+
+    /// State-preparation error on Bob's qubit, when the device is noisy.
+    pub fn prep_bob(&self) -> Option<&CompiledChannel> {
+        self.prep_bob.as_ref()
+    }
+
+    /// One noisy identity gate on the flying qubit, when the device is
+    /// noisy.
+    pub fn gate_alice(&self) -> Option<&CompiledChannel> {
+        self.gate_alice.as_ref()
+    }
+
+    /// Thermal idling on Bob's stored qubit per gate slot, when the device
+    /// is noisy and models partner idling.
+    pub fn idle_bob(&self) -> Option<&CompiledChannel> {
+        self.idle_bob.as_ref()
+    }
+
+    /// Emits one pair from the (noisy) source — bit-identical to
+    /// [`EprPair::from_noisy_source`] with this spec's device, without
+    /// rebuilding the source channels per call.
+    pub fn emit_noisy_pair(&self) -> EprPair {
+        let mut pair = EprPair::ideal();
+        self.apply_emission_noise(&mut pair);
+        pair
+    }
+
+    /// Emits one pair into `pair`, reusing its buffers: the allocation-free
+    /// form of [`CompiledQuantumChannel::emit_noisy_pair`] for pooled pairs.
+    /// Whatever state `pair` held before is discarded.
+    pub fn emit_noisy_pair_into(&self, pair: &mut EprPair) {
+        pair.reset_ideal();
+        self.apply_emission_noise(pair);
+    }
+
+    fn apply_emission_noise(&self, pair: &mut EprPair) {
+        if let Some(source) = &self.source {
+            source.apply(pair.density_mut());
+        }
+        if let Some(prep) = &self.prep_alice {
+            prep.apply(pair.density_mut());
+        }
+        if let Some(prep) = &self.prep_bob {
+            prep.apply(pair.density_mut());
+        }
+    }
+
+    /// Transmits Alice's half of `pair` to Bob — bit-identical to
+    /// [`QuantumChannel::transmit`](crate::quantum::QuantumChannel::transmit), without rebuilding the gate/idle
+    /// channels per call.
+    pub fn transmit<R: RngCore + ?Sized>(&self, pair: &mut EprPair, _rng: &mut R) {
+        let Some(gate) = &self.gate_alice else {
+            return;
+        };
+        if self.spec.length() == 0 {
+            return;
+        }
+        for _ in 0..self.spec.length() {
+            gate.apply(pair.density_mut());
+            if let Some(idle) = &self.idle_bob {
+                idle.apply(pair.density_mut());
+            }
+        }
+    }
+
+    /// Transmits with an eavesdropper tap attached: the tap's
+    /// [`ChannelTap::on_transmit`] runs first, then the physical noise —
+    /// the compiled form of [`QuantumChannel::transmit_tapped`](crate::quantum::QuantumChannel::transmit_tapped).
+    pub fn transmit_tapped(
+        &self,
+        pair: &mut EprPair,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) {
+        tap.on_transmit(pair, rng);
+        self.transmit(pair, rng);
+    }
+
+    /// Distributes a freshly emitted pair, letting the tap act first — the
+    /// compiled form of [`QuantumChannel::distribute_tapped`](crate::quantum::QuantumChannel::distribute_tapped).
+    pub fn distribute_tapped(
+        &self,
+        pair: &mut EprPair,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) {
+        tap.on_pair_emitted(pair, rng);
+    }
+}
+
+impl From<ChannelSpec> for CompiledQuantumChannel {
+    fn from(spec: ChannelSpec) -> Self {
+        Self::new(spec)
+    }
+}
+
+impl fmt::Display for CompiledQuantumChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompiledQuantumChannel[{}]", self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantum::QuantumChannel;
+    use noise::DeviceModel;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(31)
+    }
+
+    fn pair_bits(pair: &EprPair) -> Vec<(u64, u64)> {
+        pair.density()
+            .matrix()
+            .as_slice()
+            .iter()
+            .map(|z| (z.re.to_bits(), z.im.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn ideal_channel_compiles_to_no_placements() {
+        let compiled = QuantumChannel::default().compile();
+        assert!(compiled.source().is_none());
+        assert!(compiled.gate_alice().is_none());
+        assert!(compiled.idle_bob().is_none());
+        let mut pair = EprPair::ideal();
+        compiled.transmit(&mut pair, &mut rng());
+        assert!((pair.fidelity_phi_plus() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            pair_bits(&compiled.emit_noisy_pair()),
+            pair_bits(&EprPair::ideal())
+        );
+    }
+
+    #[test]
+    fn compiled_transmit_is_bit_identical_to_one_shot() {
+        let channel = QuantumChannel::new(ChannelSpec::noisy_identity_chain(
+            25,
+            DeviceModel::ibm_brisbane_like(),
+        ));
+        let compiled = channel.compile();
+        let mut fast = EprPair::ideal();
+        let mut slow = EprPair::ideal();
+        compiled.transmit(&mut fast, &mut rng());
+        channel.transmit(&mut slow, &mut rng());
+        assert_eq!(pair_bits(&fast), pair_bits(&slow));
+    }
+
+    #[test]
+    fn compiled_emission_is_bit_identical_to_one_shot() {
+        let device = DeviceModel::ibm_brisbane_like();
+        let channel = QuantumChannel::new(ChannelSpec::noisy_identity_chain(10, device.clone()));
+        let compiled = channel.compile();
+        assert_eq!(
+            pair_bits(&compiled.emit_noisy_pair()),
+            pair_bits(&EprPair::from_noisy_source(&device))
+        );
+    }
+
+    #[test]
+    fn tapped_paths_invoke_the_tap() {
+        use qsim::pauli::Pauli;
+        struct FlipTap(usize);
+        impl ChannelTap for FlipTap {
+            fn on_pair_emitted(&mut self, _pair: &mut EprPair, _rng: &mut dyn RngCore) {
+                self.0 += 1;
+            }
+            fn on_transmit(&mut self, pair: &mut EprPair, _rng: &mut dyn RngCore) {
+                self.0 += 1;
+                pair.apply_alice_pauli(Pauli::Z);
+            }
+        }
+        let compiled = QuantumChannel::default().compile();
+        let mut tap = FlipTap(0);
+        let mut pair = EprPair::ideal();
+        let mut r = rng();
+        compiled.distribute_tapped(&mut pair, &mut tap, &mut r);
+        compiled.transmit_tapped(&mut pair, &mut tap, &mut r);
+        assert_eq!(tap.0, 2);
+        assert!((pair.fidelity_with(qsim::bell::BellState::PhiMinus) - 1.0).abs() < 1e-10);
+    }
+}

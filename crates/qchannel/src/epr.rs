@@ -37,17 +37,47 @@ pub const BOB_QUBIT: usize = 1;
 /// let outcome = pair.bell_measure(&mut rng);
 /// assert_eq!(outcome.state, BellState::PsiPlus);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct EprPair {
     rho: DensityMatrix,
 }
 
+impl Clone for EprPair {
+    fn clone(&self) -> Self {
+        Self {
+            rho: self.rho.clone(),
+        }
+    }
+
+    /// Copies `source` into `self`, reusing `self`'s density buffer — the
+    /// allocation-free reset behind [`EprPair::reset_ideal`] and the
+    /// engine's per-trial pair pool.
+    fn clone_from(&mut self, source: &Self) {
+        self.rho.clone_from(&source.rho);
+    }
+}
+
+fn ideal_rho() -> &'static DensityMatrix {
+    static IDEAL: std::sync::OnceLock<DensityMatrix> = std::sync::OnceLock::new();
+    IDEAL.get_or_init(|| DensityMatrix::from_statevector(&BellState::PhiPlus.statevector()))
+}
+
 impl EprPair {
     /// Creates a perfect `|Φ+⟩` pair.
+    ///
+    /// The protocol emits one pair per transmitted qubit, so the reference
+    /// state is built once per process and cloned thereafter.
     pub fn ideal() -> Self {
         Self {
-            rho: DensityMatrix::from_statevector(&BellState::PhiPlus.statevector()),
+            rho: ideal_rho().clone(),
         }
+    }
+
+    /// Resets this pair to the perfect `|Φ+⟩` state in place, reusing the
+    /// existing density buffer. Equivalent to `*self = EprPair::ideal()`
+    /// without the allocation — the emission hot path for pooled pairs.
+    pub fn reset_ideal(&mut self) {
+        self.rho.clone_from(ideal_rho());
     }
 
     /// Creates a pair emitted by a noisy source: a perfect `|Φ+⟩` degraded by the device's
@@ -108,12 +138,12 @@ impl EprPair {
 
     /// Applies a Pauli encoding operator to Alice's qubit (message / identity encoding).
     pub fn apply_alice_pauli(&mut self, pauli: Pauli) {
-        self.rho.apply_single(&pauli.matrix(), ALICE_QUBIT);
+        pauli.apply_to_density(&mut self.rho, ALICE_QUBIT);
     }
 
     /// Applies a Pauli encoding operator to Bob's qubit (Bob encoding `id_B` on `D_B`).
     pub fn apply_bob_pauli(&mut self, pauli: Pauli) {
-        self.rho.apply_single(&pauli.matrix(), BOB_QUBIT);
+        pauli.apply_to_density(&mut self.rho, BOB_QUBIT);
     }
 
     /// Applies an arbitrary single-qubit unitary to Alice's qubit.
@@ -144,6 +174,22 @@ impl EprPair {
         self.rho.measure_in_basis(BOB_QUBIT, theta, rng)
     }
 
+    /// Measures Alice's half in `B(θ_a)` and then Bob's half in `B(θ_b)` —
+    /// one CHSH record. Equivalent to
+    /// [`EprPair::measure_alice_in_basis`] followed by
+    /// [`EprPair::measure_bob_in_basis`] (same two RNG draws, same
+    /// distribution), via the fused two-qubit kernel
+    /// [`DensityMatrix::measure_two_in_bases`].
+    pub fn measure_both_in_bases<R: Rng + ?Sized>(
+        &mut self,
+        theta_a: f64,
+        theta_b: f64,
+        rng: &mut R,
+    ) -> (MeasurementOutcome, MeasurementOutcome) {
+        self.rho
+            .measure_two_in_bases(ALICE_QUBIT, theta_a, BOB_QUBIT, theta_b, rng)
+    }
+
     /// Performs a Bell-state measurement across the two halves (Bob's decoding measurement).
     pub fn bell_measure<R: Rng + ?Sized>(&mut self, rng: &mut R) -> BellOutcome {
         bell_measure_density(&mut self.rho, ALICE_QUBIT, BOB_QUBIT, rng)
@@ -151,9 +197,8 @@ impl EprPair {
 
     /// Measures both halves in the computational basis (used by some attack strategies).
     pub fn measure_computational<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (u8, u8) {
-        let a = self.rho.measure(ALICE_QUBIT, rng);
-        let b = self.rho.measure(BOB_QUBIT, rng);
-        (a, b)
+        self.rho
+            .measure_two_computational(ALICE_QUBIT, BOB_QUBIT, rng)
     }
 
     /// Fidelity of the pair with the ideal `|Φ+⟩` state.

@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod classical;
+pub mod compiled;
 pub mod epr;
 pub mod quantum;
 pub mod taps;
 
 pub use classical::{ClassicalChannel, ClassicalMessage, Transcript};
+pub use compiled::CompiledQuantumChannel;
 pub use epr::EprPair;
 pub use quantum::{ChannelSpec, ChannelTap, QuantumChannel};
 pub use taps::{
@@ -47,6 +49,7 @@ pub use taps::{
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::classical::{ClassicalChannel, ClassicalMessage, Transcript};
+    pub use crate::compiled::CompiledQuantumChannel;
     pub use crate::epr::EprPair;
     pub use crate::quantum::{ChannelSpec, ChannelTap, QuantumChannel};
     pub use crate::taps::{

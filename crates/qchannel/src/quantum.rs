@@ -137,6 +137,13 @@ impl QuantumChannel {
         &self.spec
     }
 
+    /// Compiles every noise placement this channel can apply — the fast
+    /// path for per-trial use. Bit-identical to the one-shot methods on
+    /// this type; see [`crate::compiled`].
+    pub fn compile(&self) -> crate::compiled::CompiledQuantumChannel {
+        crate::compiled::CompiledQuantumChannel::new(self.spec.clone())
+    }
+
     /// Transmits Alice's half of `pair` to Bob: applies η noisy identity gates to the flying
     /// qubit and, when the device models it, thermal idling to Bob's stored qubit for the same
     /// duration.

@@ -185,6 +185,18 @@ pub fn prepare_phi_plus(state: &mut StateVector, a: usize, b: usize) {
     state.apply_two(&gates::cnot(), a, b);
 }
 
+// The disentangling circuit's gates, built once per process: Bell-state
+// measurements run on every decoded qubit of every trial.
+fn disentangle_cnot() -> &'static mathkit::matrix::CMatrix {
+    static CNOT: std::sync::OnceLock<mathkit::matrix::CMatrix> = std::sync::OnceLock::new();
+    CNOT.get_or_init(gates::cnot)
+}
+
+fn disentangle_hadamard() -> &'static mathkit::matrix::CMatrix {
+    static HADAMARD: std::sync::OnceLock<mathkit::matrix::CMatrix> = std::sync::OnceLock::new();
+    HADAMARD.get_or_init(gates::hadamard)
+}
+
 /// Performs a Bell-state measurement on qubits `(a, b)` of `state`, collapsing them.
 ///
 /// The implementation is the textbook disentangling circuit: CNOT with control `a`, target
@@ -197,8 +209,8 @@ pub fn bell_measure<R: Rng + ?Sized>(
     b: usize,
     rng: &mut R,
 ) -> BellOutcome {
-    state.apply_two(&gates::cnot(), a, b);
-    state.apply_single(&gates::hadamard(), a);
+    state.apply_two(disentangle_cnot(), a, b);
+    state.apply_single(disentangle_hadamard(), a);
     let bit_a = state.measure(a, rng);
     let bit_b = state.measure(b, rng);
     let bell = match (bit_a, bit_b) {
@@ -224,10 +236,15 @@ pub fn bell_measure_density<R: Rng + ?Sized>(
     b: usize,
     rng: &mut R,
 ) -> BellOutcome {
-    rho.apply_two(&gates::cnot(), a, b);
-    rho.apply_single(&gates::hadamard(), a);
-    let bit_a = rho.measure(a, rng);
-    let bit_b = rho.measure(b, rng);
+    let (bit_a, bit_b) = if rho.num_qubits() == 2 {
+        bell_measure_density_pair(rho, a, b, rng)
+    } else {
+        rho.apply_two(disentangle_cnot(), a, b);
+        rho.apply_single(disentangle_hadamard(), a);
+        let bit_a = rho.measure(a, rng);
+        let bit_b = rho.measure(b, rng);
+        (bit_a, bit_b)
+    };
     let bell = match (bit_a, bit_b) {
         (0, 0) => BellState::PhiPlus,
         (1, 0) => BellState::PhiMinus,
@@ -240,6 +257,53 @@ pub fn bell_measure_density<R: Rng + ?Sized>(
         bit_a,
         bit_b,
     }
+}
+
+/// Two-qubit fast path for [`bell_measure_density`]: the four outcome
+/// probabilities are the Bell-basis quadratic forms `⟨B|ρ|B⟩`, read
+/// directly off four matrix entries each, and the post-measurement state —
+/// the computational basis state `|m_a m_b⟩` the disentangling circuit
+/// leaves behind — is written in place. Same two RNG draws (Alice's bit,
+/// then Bob's conditional bit) as the circuit path.
+fn bell_measure_density_pair<R: Rng + ?Sized>(
+    rho: &mut crate::density::DensityMatrix,
+    a: usize,
+    b: usize,
+    rng: &mut R,
+) -> (u8, u8) {
+    assert!(a < 2 && b < 2 && a != b, "invalid Bell-measurement qubits");
+    let stride_a = 1usize << (1 - a);
+    let stride_b = 1usize << (1 - b);
+    let idx = |x: usize, y: usize| x * stride_a + y * stride_b;
+    let m = rho.matrix_mut().as_mut_slice();
+    // ⟨B|ρ|B⟩ for B = (|u⟩ ± |v⟩)/√2: ½(ρ_uu + ρ_vv) ± Re ρ_uv.
+    let quad = |m: &[Complex64], u: usize, v: usize| -> (f64, f64) {
+        let base = 0.5 * (m[u * 4 + u].re + m[v * 4 + v].re);
+        let cross = m[u * 4 + v].re;
+        (base + cross, base - cross)
+    };
+    // Outcome (m_a, m_b) projects onto 00 → Φ+, 10 → Φ−, 01 → Ψ+, 11 → Ψ−.
+    let (d00, d10) = quad(m, idx(0, 0), idx(1, 1));
+    let (d01, d11) = quad(m, idx(0, 1), idx(1, 0));
+    let p_a1 = (d10 + d11).clamp(0.0, 1.0);
+    let bit_a = u8::from(rng.gen::<f64>() < p_a1);
+    let (da0, da1) = if bit_a == 1 { (d10, d11) } else { (d00, d01) };
+    let p_a = da0 + da1;
+    assert!(
+        p_a > 1e-12,
+        "collapse onto a zero-probability outcome (qubit {a}, outcome {bit_a})"
+    );
+    let p_b1 = (da1 / p_a).clamp(0.0, 1.0);
+    let bit_b = u8::from(rng.gen::<f64>() < p_b1);
+    let p_b = if bit_b == 1 { p_b1 } else { 1.0 - p_b1 };
+    assert!(
+        p_b > 1e-12,
+        "collapse onto a zero-probability outcome (qubit {b}, outcome {bit_b})"
+    );
+    let winner = idx(bit_a as usize, bit_b as usize);
+    m.fill(Complex64::ZERO);
+    m[winner * 4 + winner] = Complex64::ONE;
+    (bit_a, bit_b)
 }
 
 #[cfg(test)]

@@ -14,6 +14,20 @@ use mathkit::complex::Complex64;
 use mathkit::matrix::CMatrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread cache of DI-check basis rotations keyed by `θ.to_bits()`:
+    /// `(θ, V(θ), V(θ)†)`. The protocol measures in a handful of fixed CHSH
+    /// angles thousands of times per trial batch, so
+    /// [`DensityMatrix::measure_in_basis`] builds each rotation once per
+    /// thread instead of once per measurement.
+    static BASIS_CACHE: RefCell<Vec<(u64, CMatrix, CMatrix)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Entries a `BASIS_CACHE` holds before falling back to per-call
+/// construction (the protocol only ever uses four angles).
+const BASIS_CACHE_CAP: usize = 32;
 
 /// A mixed quantum state of `n` qubits represented by its density matrix.
 ///
@@ -33,10 +47,26 @@ use serde::{Deserialize, Serialize};
 /// let rho = DensityMatrix::from_statevector(&psi);
 /// assert!((rho.purity() - 1.0).abs() < 1e-10);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct DensityMatrix {
     num_qubits: usize,
     rho: CMatrix,
+}
+
+impl Clone for DensityMatrix {
+    fn clone(&self) -> Self {
+        Self {
+            num_qubits: self.num_qubits,
+            rho: self.rho.clone(),
+        }
+    }
+
+    /// Copies `source` into `self`, reusing `self`'s matrix buffer — the
+    /// allocation-free reset the per-trial pair pool relies on.
+    fn clone_from(&mut self, source: &Self) {
+        self.num_qubits = source.num_qubits;
+        self.rho.clone_from(&source.rho);
+    }
 }
 
 /// Embeds a `2^k`-dimensional operator acting on `qubits` into the full `2^n`-dimensional
@@ -150,6 +180,13 @@ impl DensityMatrix {
         &self.rho
     }
 
+    /// Mutable view of the underlying matrix, for the in-place compiled
+    /// kernels (`crate::kernel`). Crate-private: external callers go through
+    /// the validated operations so `ρ` stays a valid density matrix.
+    pub(crate) fn matrix_mut(&mut self) -> &mut CMatrix {
+        &mut self.rho
+    }
+
     /// Trace of the density matrix (should always be ≈ 1).
     pub fn trace(&self) -> f64 {
         self.rho.trace().re
@@ -162,14 +199,176 @@ impl DensityMatrix {
 
     /// Applies a unitary to the given qubits: `ρ → U ρ U†`.
     ///
+    /// Runs in place over the targeted qubits' index strides — the embedded
+    /// `2^n × 2^n` operator is never materialised, and nothing is allocated
+    /// beyond a reusable thread-local block buffer. Equivalent to
+    /// conjugating with `embed_operator`'s embedding (the two-qubit gate
+    /// fast path dominates the protocol's workloads).
+    ///
     /// # Errors
     ///
     /// Same error conditions as [`StateVector::try_apply_unitary`].
     pub fn try_apply_unitary(&mut self, gate: &CMatrix, qubits: &[usize]) -> Result<(), QsimError> {
         self.validate_targets(gate, qubits)?;
-        let full = embed_operator(gate, qubits, self.num_qubits);
-        self.rho = full.matmul(&self.rho).matmul(&full.adjoint());
+        if qubits.len() > 4 {
+            // Wide gates are outside every hot path; keep the simple
+            // embedded form rather than growing the stride tables.
+            let full = embed_operator(gate, qubits, self.num_qubits);
+            self.rho = full.matmul(&self.rho).matmul(&full.adjoint());
+            return Ok(());
+        }
+        if qubits.len() == 1 {
+            self.apply_unitary_1q(gate, qubits[0]);
+        } else if gate.rows() == self.dim() && qubits.iter().enumerate().all(|(i, &q)| q == i) {
+            // The gate covers the whole register in natural qubit order —
+            // the 2-qubit gates on the protocol's EPR pairs land here.
+            self.apply_unitary_dense(gate);
+        } else {
+            self.apply_unitary_strided(gate, qubits);
+        }
         Ok(())
+    }
+
+    /// Single-qubit fast path: conjugates the two strided row/column slices
+    /// in place with the four gate entries held in registers.
+    fn apply_unitary_1q(&mut self, gate: &CMatrix, qubit: usize) {
+        let dim = self.dim();
+        let stride = 1usize << (self.num_qubits - 1 - qubit);
+        let (u00, u01, u10, u11) = (gate[(0, 0)], gate[(0, 1)], gate[(1, 0)], gate[(1, 1)]);
+        let rho = self.rho.as_mut_slice();
+        // Left pass ρ ← U·ρ over paired rows (target bit clear / set).
+        for base in 0..dim {
+            if base & stride != 0 {
+                continue;
+            }
+            let (head, tail) = rho[base * dim..].split_at_mut(stride * dim);
+            let top = &mut head[..dim];
+            let bottom = &mut tail[..dim];
+            for (t, b) in top.iter_mut().zip(bottom.iter_mut()) {
+                let (x, y) = (*t, *b);
+                *t = u00 * x + u01 * y;
+                *b = u10 * x + u11 * y;
+            }
+        }
+        // Right pass ρ ← ρ·U† over paired columns:
+        // (ρU†)[i][c] = Σ_r ρ[i][r]·conj(U[c][r]).
+        let (c00, c01, c10, c11) = (u00.conj(), u01.conj(), u10.conj(), u11.conj());
+        for row in rho.chunks_exact_mut(dim) {
+            for base in 0..dim {
+                if base & stride != 0 {
+                    continue;
+                }
+                let (x, y) = (row[base], row[base | stride]);
+                row[base] = x * c00 + y * c01;
+                row[base | stride] = x * c10 + y * c11;
+            }
+        }
+    }
+
+    /// Full-register fast path: two dense in-place products over the flat
+    /// storage, skipping zero gate entries (CNOT-style gates are sparse).
+    /// Only reachable with `gate.rows() == dim ≤ 16`, so a stack block
+    /// suffices — no heap traffic.
+    fn apply_unitary_dense(&mut self, gate: &CMatrix) {
+        let dim = self.dim();
+        let u = gate.as_slice();
+        let rho = self.rho.as_mut_slice();
+        let mut scratch = [Complex64::ZERO; 16];
+        let block = &mut scratch[..dim];
+        // Left pass ρ ← U·ρ, one column at a time.
+        for j in 0..dim {
+            for (i, slot) in block.iter_mut().enumerate() {
+                *slot = rho[i * dim + j];
+            }
+            for (r, u_row) in u.chunks_exact(dim).enumerate() {
+                let mut acc = Complex64::ZERO;
+                for (&g, &amp) in u_row.iter().zip(block.iter()) {
+                    if g != Complex64::ZERO {
+                        acc += g * amp;
+                    }
+                }
+                rho[r * dim + j] = acc;
+            }
+        }
+        // Right pass ρ ← ρ·U†, one row at a time.
+        for row in rho.chunks_exact_mut(dim) {
+            block.copy_from_slice(row);
+            for (slot, u_row) in row.iter_mut().zip(u.chunks_exact(dim)) {
+                let mut acc = Complex64::ZERO;
+                for (&g, &amp) in u_row.iter().zip(block.iter()) {
+                    if g != Complex64::ZERO {
+                        acc += amp * g.conj();
+                    }
+                }
+                *slot = acc;
+            }
+        }
+    }
+
+    /// General strided path: iterates only the targeted qubits' index
+    /// strides — the embedded `2^n × 2^n` operator is never materialised
+    /// and the gather block lives on the stack.
+    fn apply_unitary_strided(&mut self, gate: &CMatrix, qubits: &[usize]) {
+        let dim = self.dim();
+        let gate_dim = gate.rows();
+        let gate_qubits = qubits.len();
+        // Strides of the targeted qubits inside a basis index, most
+        // significant target first (same convention as `embed_operator`).
+        let mut offsets = [0usize; 16];
+        let mut target_mask = 0usize;
+        for (bit_pos, &q) in qubits.iter().enumerate() {
+            let shift = self.num_qubits - 1 - q;
+            target_mask |= 1 << shift;
+            let bit = 1usize << (gate_qubits - 1 - bit_pos);
+            for (sub, offset) in offsets.iter_mut().enumerate().take(gate_dim) {
+                if sub & bit != 0 {
+                    *offset |= 1 << shift;
+                }
+            }
+        }
+        let offsets = &offsets[..gate_dim];
+        let mut scratch = [Complex64::ZERO; 16];
+        let block = &mut scratch[..gate_dim];
+        let rho = self.rho.as_mut_slice();
+        // Left pass: ρ ← U·ρ, one strided gate application per column of
+        // each targeted row block.
+        for base in 0..dim {
+            if base & target_mask != 0 {
+                continue;
+            }
+            for j in 0..dim {
+                for (sub, slot) in block.iter_mut().enumerate() {
+                    *slot = rho[(base | offsets[sub]) * dim + j];
+                }
+                for (row, &offset) in offsets.iter().enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for (col, &amp) in block.iter().enumerate() {
+                        acc += gate[(row, col)] * amp;
+                    }
+                    rho[(base | offset) * dim + j] = acc;
+                }
+            }
+        }
+        // Right pass: ρ ← ρ·U†, one strided application per targeted column
+        // block of each row ((ρU†)[i][c] = Σ_r ρ[i][r]·conj(U[c][r])).
+        for row_start in (0..dim * dim).step_by(dim) {
+            let row = &mut rho[row_start..row_start + dim];
+            for base in 0..dim {
+                if base & target_mask != 0 {
+                    continue;
+                }
+                for (sub, slot) in block.iter_mut().enumerate() {
+                    *slot = row[base | offsets[sub]];
+                }
+                for (col, &offset) in offsets.iter().enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for (r, &amp) in block.iter().enumerate() {
+                        acc += amp * gate[(col, r)].conj();
+                    }
+                    row[base | offset] = acc;
+                }
+            }
+        }
     }
 
     /// Applies a unitary to the given qubits, panicking on invalid input.
@@ -363,24 +562,31 @@ impl DensityMatrix {
         let mask = 1usize << shift;
         let keep_set = outcome == 1;
         let dim = self.dim();
-        let mut projected = CMatrix::zeros(dim, dim);
+        let rho = self.rho.as_mut_slice();
+        let mut p = 0.0;
         for i in 0..dim {
-            if ((i & mask) != 0) != keep_set {
-                continue;
-            }
-            for j in 0..dim {
-                if ((j & mask) != 0) != keep_set {
-                    continue;
-                }
-                projected[(i, j)] = self.rho[(i, j)];
+            if ((i & mask) != 0) == keep_set {
+                p += rho[i * dim + i].re;
             }
         }
-        let p = projected.trace().re;
         assert!(
             p > 1e-12,
             "collapse onto a zero-probability outcome (qubit {qubit}, outcome {outcome})"
         );
-        self.rho = projected.scale(Complex64::real(1.0 / p));
+        // Project and renormalise in place: zero every entry outside the
+        // kept block, scale the kept block — no projected copy.
+        let factor = Complex64::real(1.0 / p);
+        for i in 0..dim {
+            let keep_row = ((i & mask) != 0) == keep_set;
+            let row = &mut rho[i * dim..(i + 1) * dim];
+            for (j, entry) in row.iter_mut().enumerate() {
+                if keep_row && ((j & mask) != 0) == keep_set {
+                    *entry *= factor;
+                } else {
+                    *entry = Complex64::ZERO;
+                }
+            }
+        }
     }
 
     /// Measures `qubit` in the basis `B(θ)`, collapsing the state, and returns the ±1 outcome.
@@ -390,11 +596,195 @@ impl DensityMatrix {
         theta: f64,
         rng: &mut R,
     ) -> MeasurementOutcome {
-        let rotation = gates::basis_change(theta);
-        self.apply_single(&rotation, qubit);
-        let bit = self.measure(qubit, rng);
-        self.apply_single(&rotation.adjoint(), qubit);
+        let bit = BASIS_CACHE.with(|cell| {
+            let cache = &mut *cell.borrow_mut();
+            let key = theta.to_bits();
+            let index = match cache.iter().position(|(k, _, _)| *k == key) {
+                Some(index) => index,
+                None if cache.len() < BASIS_CACHE_CAP => {
+                    let rotation = gates::basis_change(theta);
+                    let adjoint = rotation.adjoint();
+                    cache.push((key, rotation, adjoint));
+                    cache.len() - 1
+                }
+                None => {
+                    // Cache full (a sweep over many angles): fall back to
+                    // per-call construction.
+                    let rotation = gates::basis_change(theta);
+                    self.apply_single(&rotation, qubit);
+                    let bit = self.measure(qubit, rng);
+                    self.apply_single(&rotation.adjoint(), qubit);
+                    return bit;
+                }
+            };
+            let (_, rotation, adjoint) = &cache[index];
+            self.apply_single(rotation, qubit);
+            let bit = self.measure(qubit, rng);
+            self.apply_single(adjoint, qubit);
+            bit
+        });
         MeasurementOutcome::from_bit(bit)
+    }
+
+    /// Measures qubit `qubit_a` in basis `B(θ_a)` and then qubit `qubit_b`
+    /// in basis `B(θ_b)`, collapsing the state — the CHSH-record
+    /// measurement. Equivalent to two [`DensityMatrix::measure_in_basis`]
+    /// calls (two RNG draws, in the same order), but on a two-qubit
+    /// register the outcomes come straight from projector traces and the
+    /// post-measurement state — a pure product of the two selected basis
+    /// vectors — is written directly, skipping the rotate/collapse/unrotate
+    /// round-trips entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range, or when an
+    /// outcome with (numerically) zero probability would be selected.
+    pub fn measure_two_in_bases<R: Rng + ?Sized>(
+        &mut self,
+        qubit_a: usize,
+        theta_a: f64,
+        qubit_b: usize,
+        theta_b: f64,
+        rng: &mut R,
+    ) -> (MeasurementOutcome, MeasurementOutcome) {
+        assert!(
+            qubit_a < self.num_qubits && qubit_b < self.num_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(qubit_a, qubit_b, "measured qubits must be distinct");
+        if self.num_qubits != 2 {
+            // On larger registers the remaining qubits stay entangled with
+            // nothing we can shortcut; run the two measurements plainly.
+            let a = self.measure_in_basis(qubit_a, theta_a, rng);
+            let b = self.measure_in_basis(qubit_b, theta_b, rng);
+            return (a, b);
+        }
+        let stride_a = 1usize << (self.num_qubits - 1 - qubit_a);
+        let stride_b = 1usize << (self.num_qubits - 1 - qubit_b);
+        let dim = self.dim();
+        let idx = |x: usize, y: usize| x * stride_a + y * stride_b;
+        // Measuring in B(θ) is projecting onto the rank-1 projector
+        // P_m(θ) = |v_m⟩⟨v_m| with v_m(θ) = (|0⟩ ± e^{iθ}|1⟩)/√2
+        // (+ for m = 0, − for m = 1), equivalently the 2×2 matrix
+        // ½ [[1, ±e^{-iθ}], [±e^{+iθ}, 1]].
+        let e_a = Complex64::cis(theta_a);
+        let e_b = Complex64::cis(theta_b);
+        let rho = self.rho.as_mut_slice();
+        // Alice's marginal: p(a = 1) = Tr((P₁(θ_a) ⊗ I) ρ). Expanding the
+        // projector and using Hermiticity of ρ this is
+        // ½·Tr(ρ) − Re(e^{-iθ_a}·t_a) with t_a = Σ_b ρ[(1,b), (0,b)].
+        let trace = rho[0].re + rho[5].re + rho[10].re + rho[15].re;
+        let t_a = rho[idx(1, 0) * dim + idx(0, 0)] + rho[idx(1, 1) * dim + idx(0, 1)];
+        let cross_a = (e_a.conj() * t_a).re;
+        let p_a1 = (0.5 * trace - cross_a).clamp(0.0, 1.0);
+        let bit_a = u8::from(rng.gen::<f64>() < p_a1);
+        let p_a = if bit_a == 1 { p_a1 } else { 1.0 - p_a1 };
+        assert!(
+            p_a > 1e-12,
+            "collapse onto a zero-probability outcome (qubit {qubit_a}, outcome {bit_a})"
+        );
+        // Bob's conditional: p(b = 1 | a) = ⟨ψ|ρ|ψ⟩ / p(a), where
+        // ψ = v_a(θ_a) ⊗ v_1(θ_b) since both projectors are rank-1.
+        let amp = |x: usize, s: f64, e: Complex64| -> Complex64 {
+            if x == 0 {
+                Complex64::real(std::f64::consts::FRAC_1_SQRT_2)
+            } else {
+                e * (s * std::f64::consts::FRAC_1_SQRT_2)
+            }
+        };
+        let s_a = if bit_a == 0 { 1.0 } else { -1.0 };
+        let mut psi = [Complex64::ZERO; 4];
+        for x in 0..2 {
+            let va = amp(x, s_a, e_a);
+            for y in 0..2 {
+                psi[idx(x, y)] = va * amp(y, -1.0, e_b);
+            }
+        }
+        // ⟨ψ|ρ|ψ⟩ = Σ_r |ψ_r|²ρ_rr + 2 Σ_{r<c} Re(ψ̄_r ρ_rc ψ_c); every
+        // |ψ_r|² is ¼, so the diagonal part is ¼·Tr(ρ).
+        let mut cross = 0.0;
+        for r in 0..4 {
+            for c in (r + 1)..4 {
+                cross += (psi[r].conj() * rho[r * dim + c] * psi[c]).re;
+            }
+        }
+        let joint = 0.25 * trace + 2.0 * cross;
+        let p_b1 = (joint / p_a).clamp(0.0, 1.0);
+        let bit_b = u8::from(rng.gen::<f64>() < p_b1);
+        let p_b = if bit_b == 1 { p_b1 } else { 1.0 - p_b1 };
+        assert!(
+            p_b > 1e-12,
+            "collapse onto a zero-probability outcome (qubit {qubit_b}, outcome {bit_b})"
+        );
+        // Both qubits are now fully measured: the post-measurement state is
+        // the pure product of the selected basis vectors. ψ already holds
+        // the product for Bob's outcome 1; flip his phase sign for 0.
+        if bit_b == 0 {
+            for x in 0..2 {
+                psi[idx(x, 1)] = -psi[idx(x, 1)];
+            }
+        }
+        for (r, amp_r) in psi.iter().enumerate() {
+            for (c, amp_c) in psi.iter().enumerate() {
+                rho[r * dim + c] = *amp_r * amp_c.conj();
+            }
+        }
+        (
+            MeasurementOutcome::from_bit(bit_a),
+            MeasurementOutcome::from_bit(bit_b),
+        )
+    }
+
+    /// Measures qubits `qubit_a` then `qubit_b` in the computational basis,
+    /// collapsing the state. Equivalent to two [`DensityMatrix::measure`]
+    /// calls (two RNG draws, in the same order); on a two-qubit register
+    /// the outcome probabilities come straight from the diagonal and the
+    /// post-measurement basis state is written directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range, or when an
+    /// outcome with (numerically) zero probability would be selected.
+    pub fn measure_two_computational<R: Rng + ?Sized>(
+        &mut self,
+        qubit_a: usize,
+        qubit_b: usize,
+        rng: &mut R,
+    ) -> (u8, u8) {
+        assert!(
+            qubit_a < self.num_qubits && qubit_b < self.num_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(qubit_a, qubit_b, "measured qubits must be distinct");
+        if self.num_qubits != 2 {
+            let a = self.measure(qubit_a, rng);
+            let b = self.measure(qubit_b, rng);
+            return (a, b);
+        }
+        let stride_a = 1usize << (self.num_qubits - 1 - qubit_a);
+        let stride_b = 1usize << (self.num_qubits - 1 - qubit_b);
+        let dim = self.dim();
+        let idx = |x: usize, y: usize| x * stride_a + y * stride_b;
+        let diag = |x: usize, y: usize| self.rho.as_slice()[idx(x, y) * dim + idx(x, y)].re;
+        let p_a1 = (diag(1, 0) + diag(1, 1)).clamp(0.0, 1.0);
+        let bit_a = u8::from(rng.gen::<f64>() < p_a1);
+        let p_a = diag(bit_a as usize, 0) + diag(bit_a as usize, 1);
+        assert!(
+            p_a > 1e-12,
+            "collapse onto a zero-probability outcome (qubit {qubit_a}, outcome {bit_a})"
+        );
+        let p_b1 = (diag(bit_a as usize, 1) / p_a).clamp(0.0, 1.0);
+        let bit_b = u8::from(rng.gen::<f64>() < p_b1);
+        let p_b = if bit_b == 1 { p_b1 } else { 1.0 - p_b1 };
+        assert!(
+            p_b > 1e-12,
+            "collapse onto a zero-probability outcome (qubit {qubit_b}, outcome {bit_b})"
+        );
+        let winner = idx(bit_a as usize, bit_b as usize);
+        let rho = self.rho.as_mut_slice();
+        rho.fill(Complex64::ZERO);
+        rho[winner * dim + winner] = Complex64::ONE;
+        (bit_a, bit_b)
     }
 
     /// Measures every qubit in the computational basis, collapsing the state. Returns bits in

@@ -27,6 +27,18 @@
 //! let (a, b) = (state.measure(0, &mut rng), state.measure(1, &mut rng));
 //! assert_eq!(a, b);
 //! ```
+//!
+//! ## Kernels
+//!
+//! Operator application is in-place and targeted: [`kernel::CompiledKraus`] precomputes the
+//! strided index tables for a fixed `(operators, targets, num_qubits)` placement and updates
+//! only the targeted qubits' strides — the embedded `2ⁿ×2ⁿ` operator is never materialised,
+//! 2-qubit registers take fixed-dim fast paths, and scratch lives in thread-local buffers so
+//! steady-state application is allocation-free. Unitary application and measurement collapse
+//! on [`DensityMatrix`] use the same machinery, and `measure_two_in_bases` fuses a pair
+//! measurement into one pass. Most users reach this through `noise::KrausChannel::compile`;
+//! the architecture and its determinism contract (compiled application is bit-identical to
+//! the legacy embed path) are documented in `docs/kernels.md` at the repo root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +50,7 @@ pub mod counts;
 pub mod density;
 pub mod error;
 pub mod gates;
+pub mod kernel;
 pub mod measurement;
 pub mod pauli;
 pub mod statevector;
@@ -47,6 +60,7 @@ pub use circuit::{Circuit, CircuitBuilder, Operation};
 pub use counts::Counts;
 pub use density::DensityMatrix;
 pub use error::QsimError;
+pub use kernel::CompiledKraus;
 pub use pauli::Pauli;
 pub use statevector::StateVector;
 

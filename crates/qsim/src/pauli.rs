@@ -110,6 +110,71 @@ impl Pauli {
         }
     }
 
+    /// Applies this operator to one qubit of a density matrix: `ρ → P ρ P†`.
+    ///
+    /// Equivalent to `rho.apply_single(&self.matrix(), qubit)`, but Pauli
+    /// conjugation is a pure permutation-with-signs of the entries, so the
+    /// encoding hot path (one Pauli per transmitted qubit) runs without a
+    /// single multiplication or allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn apply_to_density(self, rho: &mut crate::density::DensityMatrix, qubit: usize) {
+        assert!(qubit < rho.num_qubits(), "qubit out of range");
+        let num_qubits = rho.num_qubits();
+        let dim = 1usize << num_qubits;
+        let mask = 1usize << (num_qubits - 1 - qubit);
+        let m = rho.matrix_mut().as_mut_slice();
+        match self {
+            Pauli::I => {}
+            // ZρZ: negate entries whose row/column target bits differ.
+            Pauli::Z => {
+                for i in 0..dim {
+                    for j in 0..dim {
+                        if ((i ^ j) & mask) != 0 {
+                            m[i * dim + j] = -m[i * dim + j];
+                        }
+                    }
+                }
+            }
+            // XρX: exchange entries across the target-bit flip.
+            Pauli::X => {
+                for i in 0..dim {
+                    if i & mask != 0 {
+                        continue;
+                    }
+                    let ix = i ^ mask;
+                    for j in 0..dim {
+                        m.swap(i * dim + j, ix * dim + (j ^ mask));
+                    }
+                }
+            }
+            // (iY)ρ(iY)†: the X exchange with a sign wherever the row and
+            // column target bits of the destination differ.
+            Pauli::IY => {
+                for i in 0..dim {
+                    if i & mask != 0 {
+                        continue;
+                    }
+                    let ix = i ^ mask;
+                    for j in 0..dim {
+                        let a = i * dim + j;
+                        let b = ix * dim + (j ^ mask);
+                        let moved = m[b];
+                        if j & mask != 0 {
+                            m[b] = -m[a];
+                            m[a] = -moved;
+                        } else {
+                            m[b] = m[a];
+                            m[a] = moved;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Samples a uniformly random operator — how Eve behaves when she does not know the
     /// identity string, and how Alice picks cover operations.
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {

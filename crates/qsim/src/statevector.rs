@@ -98,6 +98,13 @@ impl StateVector {
         &self.amplitudes
     }
 
+    /// Mutable view of the amplitudes, for the in-place compiled kernels
+    /// (`crate::kernel`). Crate-private: external callers go through the
+    /// validated operations so the state stays normalised.
+    pub(crate) fn amplitudes_mut(&mut self) -> &mut CVector {
+        &mut self.amplitudes
+    }
+
     /// Consumes the state and returns the amplitude vector.
     pub fn into_amplitudes(self) -> CVector {
         self.amplitudes
