@@ -1,10 +1,13 @@
 //! Backend ablation: detection-rate curves on the exact density-matrix
-//! emulation vs the sampled statevector-trajectory substrate.
+//! emulation vs the sampled statevector-trajectory and pauli-twirled
+//! stabilizer substrates — an accuracy-vs-throughput Pareto report.
 //!
 //! Sweeps the Fig. 2/3 channel-length grid (η identity gates on an
 //! `ibm_brisbane`-like device) for the honest control, intercept-resend and
-//! MITM adversaries on **both** production backends, then reports where the
-//! sampled substrate's curves diverge from the paper's emulation.
+//! MITM adversaries on **every** production backend, then reports where each
+//! cheaper substrate's curves diverge from the paper's emulation, how much
+//! faster it runs the same workload, and the distortion bought per unit of
+//! speedup.
 //!
 //! The sweep is the checked-in `campaigns/ablation_backend.json` definition (rebuilt via
 //! [`bench::campaigns::ablation_campaign`] when any flag overrides the stored defaults);
@@ -18,7 +21,7 @@
 use analysis::report::render_markdown_table;
 use bench::campaigns::{ablation_campaign, ablation_rows, stored_campaign};
 use bench::{BackendAblationRow, ABLATION_ADVERSARIES};
-use protocol::engine::{BackendKind, NoSampler};
+use protocol::engine::{BackendKind, NoSampler, Parallelism, SessionEngine};
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("ablation_backend: {message}");
@@ -85,6 +88,23 @@ fn fmt_chsh(value: Option<f64>) -> String {
     value.map_or_else(|| "—".into(), |s| format!("{s:.3}"))
 }
 
+/// Measures serial honest-sweep throughput (trials/sec) of one substrate at
+/// the grid's largest η — the workload where the substrates separate.
+fn sweep_throughput(eta: usize, seed: u64, backend: BackendKind) -> f64 {
+    const WARMUP: usize = 8;
+    const TRIALS: usize = 96;
+    let engine = SessionEngine::new(seed).with_parallelism(Parallelism::Serial);
+    let scenario = bench::sweep_scenario(eta, seed, backend);
+    engine
+        .run_trials(&scenario, WARMUP)
+        .unwrap_or_else(|e| fail(format_args!("throughput warm-up failed: {e}")));
+    let start = std::time::Instant::now();
+    engine
+        .run_trials(&scenario, TRIALS)
+        .unwrap_or_else(|e| fail(format_args!("throughput trials failed: {e}")));
+    TRIALS as f64 / start.elapsed().as_secs_f64()
+}
+
 fn main() {
     let (trials, seed, etas, legacy) = parse_args();
     bench::announce_parallelism();
@@ -99,7 +119,7 @@ fn main() {
         rows_from_campaign(&etas, trials, seed)
     };
 
-    println!("# Backend ablation: density-matrix emulation vs sampled statevector trajectories\n");
+    println!("# Backend ablation: exact emulation vs sampled trajectories vs pauli twirling\n");
     let cells: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -130,24 +150,81 @@ fn main() {
         )
     );
 
-    // Rows come back grid-major, so consecutive pairs are the same scenario on
-    // the two substrates: the divergence table is their pointwise difference.
-    println!("## Divergence (statevector − density-matrix)\n");
-    let mut worst: Option<(&BackendAblationRow, f64)> = None;
+    // Rows come back grid-major (η, adversary, then backend), so each chunk
+    // is one scenario on every substrate, density-matrix first: the
+    // divergence table is each cheaper substrate's pointwise difference from
+    // that exact reference.
+    let alternates: Vec<BackendKind> = BackendKind::ALL[1..].to_vec();
+    println!("## Divergence from the density-matrix emulation\n");
+    // Per alternate substrate: the scenario with the largest |Δ detection|.
+    let mut worst: Vec<Option<(&BackendAblationRow, f64)>> = vec![None; alternates.len()];
     let divergence: Vec<Vec<String>> = rows
-        .chunks(2)
-        .map(|pair| {
-            let (density, statevector) = (&pair[0], &pair[1]);
-            let delta = statevector.detection_rate - density.detection_rate;
-            if worst.is_none_or(|(_, w)| delta.abs() > w.abs()) {
-                worst = Some((density, delta));
-            }
-            vec![
+        .chunks(BackendKind::ALL.len())
+        .map(|group| {
+            let density = &group[0];
+            let mut cells = vec![
                 density.adversary.to_string(),
                 density.eta.to_string(),
                 format!("{:.3}", density.detection_rate),
-                format!("{:.3}", statevector.detection_rate),
-                format!("{delta:+.3}"),
+            ];
+            for (slot, row) in worst.iter_mut().zip(&group[1..]) {
+                let delta = row.detection_rate - density.detection_rate;
+                if slot.is_none_or(|(_, w)| delta.abs() > w.abs()) {
+                    *slot = Some((density, delta));
+                }
+                cells.push(format!("{:.3}", row.detection_rate));
+                cells.push(format!("{delta:+.3}"));
+            }
+            cells
+        })
+        .collect();
+    let mut headers = vec![
+        "scenario".to_string(),
+        "eta".to_string(),
+        "density-matrix".to_string(),
+    ];
+    for backend in &alternates {
+        headers.push(backend.to_string());
+        headers.push(format!("Δ {backend}"));
+    }
+    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", render_markdown_table(&headers, &divergence));
+    for (backend, slot) in alternates.iter().zip(&worst) {
+        if let Some((row, delta)) = slot {
+            println!(
+                "largest `{backend}` divergence: {:+.3} detection rate for `{}` at η={}.",
+                delta, row.adversary, row.eta
+            );
+        }
+    }
+
+    // The Pareto view: what each substrate pays in curve fidelity per unit
+    // of honest-sweep speedup. Throughput is measured live (serial, at the
+    // grid's largest η), so this section is machine-dependent — the grid and
+    // divergence tables above are the deterministic part of the report.
+    let pareto_eta = etas.iter().copied().max().unwrap_or(0);
+    println!("\n## Accuracy-vs-throughput Pareto (serial honest sweep at η={pareto_eta})\n");
+    let reference = sweep_throughput(pareto_eta, seed, BackendKind::DensityMatrix);
+    let pareto: Vec<Vec<String>> = BackendKind::ALL
+        .into_iter()
+        .map(|backend| {
+            let throughput = if backend == BackendKind::DensityMatrix {
+                reference
+            } else {
+                sweep_throughput(pareto_eta, seed, backend)
+            };
+            let speedup = throughput / reference;
+            let max_divergence = alternates
+                .iter()
+                .position(|&b| b == backend)
+                .and_then(|i| worst[i])
+                .map_or(0.0, |(_, delta)| delta.abs());
+            vec![
+                backend.to_string(),
+                format!("{throughput:.1}"),
+                format!("{speedup:.1}x"),
+                format!("{max_divergence:.3}"),
+                format!("{:.4}", max_divergence / speedup),
             ]
         })
         .collect();
@@ -155,20 +232,13 @@ fn main() {
         "{}",
         render_markdown_table(
             &[
-                "scenario",
-                "eta",
-                "density-matrix",
-                "statevector",
-                "Δ detection",
+                "backend",
+                "trials/s",
+                "speedup",
+                "max abs Δ detection",
+                "abs Δ per unit speedup",
             ],
-            &divergence
+            &pareto
         )
     );
-    if let Some((row, delta)) = worst {
-        println!(
-            "largest divergence: {:+.3} detection rate for `{}` at η={} — the sampled \
-             substrate tracks the emulation elsewhere.",
-            delta, row.adversary, row.eta
-        );
-    }
 }

@@ -1,13 +1,24 @@
 //! Entangle-and-measure attack simulation (Sections III-D and IV).
+//!
+//! Runs the checked-in `campaigns/attack_entangle.json` definition (rebuilt
+//! via [`bench::campaigns::attack_campaign`] when `--backend` overrides the
+//! stored substrate); pass `--legacy` to run the pre-campaign
+//! [`bench::channel_attack_experiment_on`] loop instead (CI byte-diffs the
+//! two).
 
 use analysis::report::render_markdown_table;
+use bench::campaigns::attack_experiment_rows;
 use bench::ChannelAttackKind;
 
 fn main() {
-    let backend = bench::backend_from_args();
+    let (backend, legacy) = bench::backend_and_legacy_from_args();
     bench::announce_parallelism();
     let (attacked, honest) =
-        bench::channel_attack_experiment_on(ChannelAttackKind::EntangleMeasure, backend, 20, 17);
+        attack_experiment_rows(ChannelAttackKind::EntangleMeasure, backend, 20, 17, legacy)
+            .unwrap_or_else(|e| {
+                eprintln!("attack_entangle: {e}");
+                std::process::exit(2)
+            });
     println!("# Entangle-and-measure attack vs honest channel ({backend} backend)\n");
     let cells: Vec<Vec<String>> = [attacked, honest]
         .iter()

@@ -16,10 +16,19 @@
 //! so the distribution overhead of the shard queue protocol is measured
 //! against the same workload.
 //!
+//! Two workloads are measured. The `shardctl-intercept` demo scenario (an
+//! ideal channel under an intercept-resend tap) prices the protocol
+//! bookkeeping floor; the `sweep-honest-eta50` scenario (η = 50 noisy
+//! identity gates on an `ibm_brisbane`-like device, honest) prices the
+//! channel simulation itself — the regime the paper's detection-rate curves
+//! integrate over, and the one where the simulation substrates separate.
+//!
 //! `--check FILE` compares the fresh run against a previously committed
-//! report: the lane structure (parallelism × backend) must match, and the
-//! serial density-matrix lane must not have regressed to less than half the
-//! committed throughput. CI runs this as the `bench-trend` step.
+//! report: the lane structure (parallelism × backend × scenario) must match,
+//! the serial density-matrix demo lane must not have regressed to less than
+//! half the committed throughput, and on the sweep workload the serial
+//! pauli-twirled lane must run at least [`TWIRL_SPEEDUP_FLOOR`]× the serial
+//! density-matrix lane. CI runs this as the `bench-trend` step.
 //!
 //! The default output path is `BENCH_throughput.json` in the current
 //! directory (CI runs it from the repo root). The timing is wall-clock and
@@ -39,6 +48,13 @@ const LEGACY_SERIAL_DM_TRIALS_PER_SEC: f64 = 3676.77;
 /// Untimed sessions run before each lane is measured.
 const WARMUP_TRIALS: usize = 32;
 
+/// Channel length (identity gates) of the η-sweep workload.
+const SWEEP_ETA: usize = 50;
+
+/// The sweep-workload speedup the pauli-twirled substrate must deliver over
+/// the exact density-matrix substrate (serial lanes) for `--check` to pass.
+const TWIRL_SPEEDUP_FLOOR: f64 = 10.0;
+
 /// One measured configuration: an execution policy on a substrate.
 #[derive(Debug, Clone, Serialize)]
 struct ThroughputLane {
@@ -48,6 +64,8 @@ struct ThroughputLane {
     workers: usize,
     /// Simulation substrate the sessions ran on.
     backend: String,
+    /// Label of the scenario the lane executed.
+    scenario: String,
     /// Sessions executed.
     trials: usize,
     /// Wall-clock seconds for the lane.
@@ -125,14 +143,15 @@ fn parse_args() -> Args {
 fn finish_lane(
     parallelism: &str,
     workers: usize,
-    backend: BackendKind,
+    scenario: &Scenario,
     trials: usize,
     seconds: f64,
 ) -> ThroughputLane {
     let lane = ThroughputLane {
         parallelism: parallelism.to_string(),
         workers,
-        backend: backend.to_string(),
+        backend: scenario.backend.to_string(),
+        scenario: scenario.label.clone(),
         trials,
         seconds,
         trials_per_sec: if seconds > 0.0 {
@@ -142,8 +161,13 @@ fn finish_lane(
         },
     };
     eprintln!(
-        "{} on {}: {} trials in {:.2}s = {:.2} trials/s",
-        lane.parallelism, lane.backend, lane.trials, lane.seconds, lane.trials_per_sec
+        "{} on {} ({}): {} trials in {:.2}s = {:.2} trials/s",
+        lane.parallelism,
+        lane.backend,
+        lane.scenario,
+        lane.trials,
+        lane.seconds,
+        lane.trials_per_sec
     );
     lane
 }
@@ -166,7 +190,7 @@ fn measure(
     finish_lane(
         &parallelism.to_string(),
         parallelism.worker_count(),
-        scenario.backend,
+        scenario,
         summary.trials,
         seconds,
     )
@@ -204,12 +228,38 @@ fn measure_sharded(scenario: &Scenario, trials: usize, seed: u64) -> ThroughputL
     let summary = merged
         .into_summary()
         .unwrap_or_else(|| fail("sharded lane did not produce a summary"));
-    finish_lane("sharded", shards, scenario.backend, summary.trials, seconds)
+    finish_lane("sharded", shards, scenario, summary.trials, seconds)
+}
+
+/// Finds the serial lane for `backend` whose scenario label starts with
+/// `scenario_prefix` in the fresh report.
+fn serial_lane<'a>(
+    report: &'a ThroughputReport,
+    backend: BackendKind,
+    scenario_prefix: &str,
+) -> Option<&'a ThroughputLane> {
+    report.lanes.iter().find(|lane| {
+        lane.parallelism == "serial"
+            && lane.backend == backend.to_string()
+            && lane.scenario.starts_with(scenario_prefix)
+    })
+}
+
+/// The sweep-workload speedup of the serial pauli-twirled lane over the
+/// serial density-matrix lane.
+fn twirl_speedup(report: &ThroughputReport) -> f64 {
+    let dm = serial_lane(report, BackendKind::DensityMatrix, "sweep-")
+        .unwrap_or_else(|| fail("fresh report has no serial density-matrix sweep lane"));
+    let twirled = serial_lane(report, BackendKind::PauliTwirled, "sweep-")
+        .unwrap_or_else(|| fail("fresh report has no serial pauli-twirled sweep lane"));
+    twirled.trials_per_sec / dm.trials_per_sec
 }
 
 /// Compares the fresh report against a committed one: same lane structure
-/// (parallelism × backend, in order), and the serial density-matrix lane at
-/// no less than half the committed throughput.
+/// (parallelism × backend × scenario, in order), the serial density-matrix
+/// demo lane at no less than half the committed throughput, and the serial
+/// pauli-twirled sweep lane at no less than [`TWIRL_SPEEDUP_FLOOR`]× the
+/// serial density-matrix sweep lane.
 fn check_against(report: &ThroughputReport, path: &str) {
     let committed = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
@@ -219,7 +269,9 @@ fn check_against(report: &ThroughputReport, path: &str) {
         .get_field("lanes")
         .and_then(|lanes| lanes.as_seq())
         .unwrap_or_else(|e| fail(format_args!("{path}: {e}")));
-    let shape = |parallelism: &str, backend: &str| format!("{parallelism} on {backend}");
+    let shape = |parallelism: &str, backend: &str, scenario: &str| {
+        format!("{parallelism} on {backend} ({scenario})")
+    };
     let committed_shape: Vec<String> = lanes
         .iter()
         .map(|lane| {
@@ -228,13 +280,13 @@ fn check_against(report: &ThroughputReport, path: &str) {
                     .and_then(|v| v.as_str().map(str::to_string))
                     .unwrap_or_else(|e| fail(format_args!("{path}: lane {e}")))
             };
-            shape(&field("parallelism"), &field("backend"))
+            shape(&field("parallelism"), &field("backend"), &field("scenario"))
         })
         .collect();
     let fresh_shape: Vec<String> = report
         .lanes
         .iter()
-        .map(|lane| shape(&lane.parallelism, &lane.backend))
+        .map(|lane| shape(&lane.parallelism, &lane.backend, &lane.scenario))
         .collect();
     if committed_shape != fresh_shape {
         fail(format_args!(
@@ -254,30 +306,34 @@ fn check_against(report: &ThroughputReport, path: &str) {
             };
             field("parallelism") == "serial"
                 && field("backend") == BackendKind::default().to_string()
+                && !field("scenario").starts_with("sweep-")
         })
         .and_then(|lane| {
             lane.get_field("trials_per_sec")
                 .and_then(|v| v.as_f64())
                 .ok()
         })
-        .unwrap_or_else(|| fail(format_args!("{path}: no serial density-matrix lane")));
-    let fresh_serial_dm = report
-        .lanes
-        .iter()
-        .find(|lane| {
-            lane.parallelism == "serial" && lane.backend == BackendKind::default().to_string()
-        })
+        .unwrap_or_else(|| fail(format_args!("{path}: no serial density-matrix demo lane")));
+    let fresh_serial_dm = serial_lane(report, BackendKind::default(), "shardctl-")
         .map(|lane| lane.trials_per_sec)
-        .unwrap_or_else(|| fail("fresh report has no serial density-matrix lane"));
+        .unwrap_or_else(|| fail("fresh report has no serial density-matrix demo lane"));
     if fresh_serial_dm < committed_serial_dm / 2.0 {
         fail(format_args!(
             "serial density-matrix throughput regressed more than 2x: \
              committed {committed_serial_dm:.2} trials/s vs fresh {fresh_serial_dm:.2} trials/s"
         ));
     }
+    let speedup = twirl_speedup(report);
+    if speedup < TWIRL_SPEEDUP_FLOOR {
+        fail(format_args!(
+            "pauli-twirled sweep speedup regressed below {TWIRL_SPEEDUP_FLOOR}x: \
+             measured {speedup:.1}x over the serial density-matrix sweep lane"
+        ));
+    }
     eprintln!(
         "check ok vs {path}: lane structure matches, serial density-matrix \
-         {fresh_serial_dm:.2} trials/s >= committed {committed_serial_dm:.2} / 2"
+         {fresh_serial_dm:.2} trials/s >= committed {committed_serial_dm:.2} / 2, \
+         pauli-twirled sweep speedup {speedup:.1}x >= {TWIRL_SPEEDUP_FLOOR}x"
     );
 }
 
@@ -293,8 +349,22 @@ fn main() {
         }
         lanes.push(measure_sharded(&scenario, args.trials, args.seed));
     }
+    // The η-sweep lanes: one serial lane per backend on the noisy honest
+    // workload, where the substrates separate. The density-matrix lane pays
+    // SWEEP_ETA placement applications per pair, so it gets a smaller trial
+    // budget to keep the bench under a minute.
+    let sweep_trials = (args.trials / 4).max(32);
+    for backend in BackendKind::ALL {
+        let sweep = bench::sweep_scenario(SWEEP_ETA, args.seed, backend);
+        lanes.push(measure(
+            &sweep,
+            sweep_trials,
+            args.seed,
+            Parallelism::Serial,
+        ));
+    }
     let report = ThroughputReport {
-        version: 2,
+        version: 3,
         scenario: scenario.label.clone(),
         scenario_fingerprint: scenario.fingerprint(),
         trials: args.trials,
@@ -302,19 +372,19 @@ fn main() {
         seed: args.seed,
         lanes,
     };
-    let serial_dm = report
-        .lanes
-        .iter()
-        .find(|lane| {
-            lane.parallelism == "serial" && lane.backend == BackendKind::default().to_string()
-        })
+    let serial_dm = serial_lane(&report, BackendKind::default(), "shardctl-")
         .map(|lane| lane.trials_per_sec)
-        .unwrap_or_else(|| fail("no serial density-matrix lane measured"));
+        .unwrap_or_else(|| fail("no serial density-matrix demo lane measured"));
     eprintln!(
         "kernel comparison (serial density-matrix): legacy embedded operators \
          {LEGACY_SERIAL_DM_TRIALS_PER_SEC:.2} trials/s -> compiled kernels {serial_dm:.2} \
          trials/s = {:.1}x",
         serial_dm / LEGACY_SERIAL_DM_TRIALS_PER_SEC
+    );
+    eprintln!(
+        "substrate comparison (serial, η={SWEEP_ETA} sweep): pauli-twirled runs {:.1}x \
+         the density-matrix lane (floor for --check: {TWIRL_SPEEDUP_FLOOR}x)",
+        twirl_speedup(&report)
     );
     if let Some(path) = &args.check {
         check_against(&report, path);

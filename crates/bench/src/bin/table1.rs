@@ -1,16 +1,41 @@
 //! Regenerates Table I: comparison between state-of-the-art DI-QSDC protocols and the
 //! proposed UA-DI-QSDC protocol. The static descriptor rows are cross-checked against a live
-//! engine run: the measured per-session resource accounting must reproduce the UA-DI-QSDC
-//! row's qubits-per-message-bit figure.
+//! engine run — the sessions must deliver, and the protocol's planned resource accounting
+//! ([`ResourceUsage::planned`]) must reproduce the UA-DI-QSDC row's qubits-per-message-bit
+//! figure (a `protocol` unit test locks the planned arithmetic to the engine's live
+//! per-outcome accounting).
+//!
+//! The verification sessions run the checked-in `campaigns/table1.json` definition; pass
+//! `--legacy` to run the pre-campaign direct engine loop instead (CI byte-diffs the two).
 
 use analysis::report::render_markdown_table;
-use protocol::engine::{Scenario, SessionEngine};
-use protocol::identity::IdentityPair;
-use protocol::SessionConfig;
-use rand::SeedableRng;
+use protocol::engine::NoSampler;
+use protocol::session::ResourceUsage;
+
+const TRIALS: usize = 4;
+const SEED: u64 = 20240916;
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("table1: {message}");
+    std::process::exit(2)
+}
+
+fn parse_legacy_flag() -> bool {
+    let mut legacy = false;
+    for flag in std::env::args().skip(1) {
+        match flag.as_str() {
+            "--legacy" => legacy = true,
+            other => fail(format_args!(
+                "unknown option `{other}` (supported: --legacy)"
+            )),
+        }
+    }
+    legacy
+}
 
 fn main() {
-    let parallelism = bench::announce_parallelism();
+    let legacy = parse_legacy_flag();
+    bench::announce_parallelism();
     let rows = bench::table1_rows();
     let cells: Vec<Vec<String>> = rows
         .iter()
@@ -39,35 +64,41 @@ fn main() {
         )
     );
 
-    // Cross-check the UA-DI-QSDC row against the engine's measured resource
-    // accounting, run under the env-selectable parallelism policy.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(20240916);
-    let identities = IdentityPair::generate(4, &mut rng);
-    let config = SessionConfig::builder()
-        .message_bits(16)
-        .check_bits(4)
-        .di_check_pairs(64)
-        .build()
-        .expect("table1 verification config is valid");
-    let scenario = Scenario::new(config, identities).with_label("table1-verification");
-    let outcomes = SessionEngine::new(20240916)
-        .with_parallelism(parallelism)
-        .run_outcomes(&scenario, 4)
-        .expect("table1 verification sessions run");
-    let measured = outcomes[0].resources.qubits_per_message_bit;
+    // Cross-check the UA-DI-QSDC row against a live engine run: the honest
+    // verification sessions must deliver, and the planned accounting must
+    // reproduce the claimed qubits-per-message-bit figure.
+    let summary = if legacy {
+        bench::table1_verification_summary(TRIALS, SEED)
+    } else {
+        let report = bench::campaigns::stored_campaign("table1")
+            .expect("table1 campaign is checked in")
+            .run_direct(bench::engine_parallelism(), &NoSampler)
+            .unwrap_or_else(|e| fail(format_args!("campaign failed: {e}")));
+        bench::campaigns::table1_summary(&report).unwrap_or_else(|e| fail(e))
+    };
+    let scenario = bench::table1_verification_scenario(SEED);
+    let planned = ResourceUsage::planned(&scenario.config, scenario.identities.qubit_len());
     let claimed = rows
         .iter()
         .find(|r| r.user_authentication)
         .expect("Table I contains the UA-DI-QSDC row")
         .qubits_per_bit;
     println!(
-        "\nEngine cross-check ({} sessions, {} EPR pairs each): measured {measured} \
-         qubits per message bit, Table I claims {claimed}.",
-        outcomes.len(),
-        outcomes[0].resources.total_pairs
+        "\nEngine cross-check ({} sessions, {} EPR pairs each): {}/{} delivered; planned \
+         accounting gives {} qubits per message bit, Table I claims {claimed}.",
+        summary.trials,
+        planned.total_pairs,
+        summary.delivered,
+        summary.trials,
+        planned.qubits_per_message_bit,
+    );
+    assert_eq!(
+        summary.delivered, summary.trials,
+        "honest ideal-channel verification sessions must all deliver"
     );
     assert!(
-        (measured - claimed).abs() < f64::EPSILON,
-        "measured qubits/bit {measured} diverges from the descriptor's {claimed}"
+        (planned.qubits_per_message_bit - claimed).abs() < f64::EPSILON,
+        "planned qubits/bit {} diverges from the descriptor's {claimed}",
+        planned.qubits_per_message_bit
     );
 }

@@ -12,14 +12,17 @@
 //! loops always have, and session campaigns plan under the master seed like
 //! [`SessionEngine::run_batch`](protocol::engine::SessionEngine::run_batch).
 
-use crate::{decode_readout_counts, message_transfer_circuit, BackendAblationRow, FIG2_MESSAGES};
+use crate::{
+    decode_readout_counts, message_transfer_circuit, BackendAblationRow, ChannelAttackKind,
+    FIG2_MESSAGES,
+};
 use analysis::histogram::counts_to_row;
-use analysis::rows::{AccuracyPoint, HistogramRow};
+use analysis::rows::{AccuracyPoint, AttackRow, HistogramRow};
 use noise::{DeviceModel, NoisyExecutor};
 use protocol::config::SessionConfig;
 use protocol::engine::{
     Adversary, Axis, AxisValue, BackendKind, Campaign, CampaignPoint, CampaignReport,
-    CampaignSpace, CampaignWorkload, Sampler, Scenario,
+    CampaignSpace, CampaignWorkload, Sampler, Scenario, TrialSummary,
 };
 use protocol::identity::IdentityPair;
 use qchannel::quantum::ChannelSpec;
@@ -166,6 +169,92 @@ pub fn demo_campaign(trials: usize, seed: u64) -> Campaign {
     }
 }
 
+/// The engine adversary of one channel-attack kind — the same lowering
+/// [`channel_attack_experiment_on`](crate::channel_attack_experiment_on)
+/// applies.
+fn attack_adversary(kind: ChannelAttackKind) -> Adversary {
+    match kind {
+        ChannelAttackKind::InterceptResend => {
+            Adversary::InterceptResend(InterceptBasis::Computational)
+        }
+        ChannelAttackKind::ManInTheMiddle => {
+            Adversary::ManInTheMiddle(SubstituteState::RandomComputational)
+        }
+        ChannelAttackKind::EntangleMeasure => Adversary::EntangleMeasure { strength: 1.0 },
+    }
+}
+
+/// The stored-campaign stem of one channel-attack kind (`attack_intercept`,
+/// `attack_mitm`, `attack_entangle`).
+pub fn attack_campaign_name(kind: ChannelAttackKind) -> &'static str {
+    match kind {
+        ChannelAttackKind::InterceptResend => "attack_intercept",
+        ChannelAttackKind::ManInTheMiddle => "attack_mitm",
+        ChannelAttackKind::EntangleMeasure => "attack_entangle",
+    }
+}
+
+/// One channel-attack campaign: the attacked scenario and its honest
+/// control, in the row order of
+/// [`channel_attack_experiment_on`](crate::channel_attack_experiment_on) —
+/// same identities, configuration and seed discipline, and therefore the
+/// same bytes.
+pub fn attack_campaign(
+    kind: ChannelAttackKind,
+    backend: BackendKind,
+    trials: usize,
+    seed: u64,
+) -> Campaign {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let identities = IdentityPair::generate(4, &mut rng);
+    // As in `channel_attack_experiment_on`: the relaxed authentication
+    // tolerance lets the second CHSH round (the paper's mechanism) do the
+    // detecting instead of the equally fatal auth mismatch.
+    let config = SessionConfig::builder()
+        .message_bits(8)
+        .check_bits(2)
+        .di_check_pairs(220)
+        .auth_error_tolerance(1.0)
+        .build()
+        .expect("channel attack config is valid");
+    Campaign {
+        label: attack_campaign_name(kind).replace('_', "-"),
+        master_seed: seed,
+        trials,
+        workload: CampaignWorkload::Session {
+            base: Scenario::new(config, identities).with_backend(backend),
+        },
+        space: CampaignSpace::Grid(vec![Axis::Adversary(vec![
+            attack_adversary(kind),
+            Adversary::Honest,
+        ])]),
+    }
+}
+
+/// The single-point verification campaign behind the `table1` binary: the
+/// honest [`table1_verification_scenario`](crate::table1_verification_scenario)
+/// run under its historic seed.
+pub fn table1_campaign(trials: usize, seed: u64) -> Campaign {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let config = SessionConfig::builder()
+        .message_bits(16)
+        .check_bits(4)
+        .di_check_pairs(64)
+        .build()
+        .expect("table1 verification config is valid");
+    Campaign {
+        label: "table1".into(),
+        master_seed: seed,
+        trials,
+        workload: CampaignWorkload::Session {
+            base: Scenario::new(config, identities),
+        },
+        // One explicit coordinate-free point: the base scenario itself.
+        space: CampaignSpace::Points(vec![vec![]]),
+    }
+}
+
 /// The [`Sampler`] executing this crate's sampled campaign kinds
 /// ([`FIG2_KIND`], [`FIG3_KIND`]). Pure per point: device and η come from
 /// the campaign parameters, the message/η coordinate from the point, and all
@@ -291,7 +380,7 @@ pub fn fig3_points(report: &CampaignReport) -> Result<Vec<AccuracyPoint>, String
 
 /// Loads one of the checked-in campaign definitions shipped under
 /// `crates/bench/campaigns/` by stem (`fig2`, `fig3`, `ablation_backend`,
-/// `demo`).
+/// `demo`, `table1`, `attack_intercept`, `attack_mitm`, `attack_entangle`).
 ///
 /// # Errors
 ///
@@ -303,9 +392,99 @@ pub fn stored_campaign(name: &str) -> Result<Campaign, String> {
         "fig3" => include_str!("../campaigns/fig3.json"),
         "ablation_backend" => include_str!("../campaigns/ablation_backend.json"),
         "demo" => include_str!("../campaigns/demo.json"),
+        "table1" => include_str!("../campaigns/table1.json"),
+        "attack_intercept" => include_str!("../campaigns/attack_intercept.json"),
+        "attack_mitm" => include_str!("../campaigns/attack_mitm.json"),
+        "attack_entangle" => include_str!("../campaigns/attack_entangle.json"),
         other => return Err(format!("no stored campaign named `{other}`")),
     };
     serde::json::from_str(text).map_err(|e| format!("stored campaign `{name}` is corrupt: {e}"))
+}
+
+/// Recovers the `(attacked, honest control)` row pair of a channel-attack
+/// campaign report, in the order
+/// [`channel_attack_experiment_on`](crate::channel_attack_experiment_on)
+/// returns them.
+///
+/// # Errors
+///
+/// Returns an error when the report does not hold exactly the two expected
+/// points or a point lacks a merged summary.
+pub fn attack_rows(report: &CampaignReport) -> Result<(AttackRow, AttackRow), String> {
+    if report.points.len() != 2 {
+        return Err(format!(
+            "a channel-attack campaign holds exactly two points (attacked, honest control), \
+             got {}",
+            report.points.len()
+        ));
+    }
+    let mut rows = Vec::with_capacity(2);
+    for point in &report.points {
+        let summary = point
+            .summary
+            .clone()
+            .ok_or_else(|| format!("point {} carries no merged summary", point.index))?;
+        rows.push(crate::summary_to_row(summary));
+    }
+    let honest = rows.pop().expect("two rows");
+    let attacked = rows.pop().expect("two rows");
+    Ok((attacked, honest))
+}
+
+/// The row pair printed by one channel-attack binary: the stored campaign
+/// when the arguments match its checked-in defaults, a rebuilt campaign of
+/// the same shape otherwise, or — with `legacy` — the pre-campaign
+/// [`channel_attack_experiment_on`](crate::channel_attack_experiment_on)
+/// loop (CI byte-diffs the two paths).
+///
+/// # Errors
+///
+/// Returns an error when the campaign fails to load, expand or execute.
+pub fn attack_experiment_rows(
+    kind: ChannelAttackKind,
+    backend: BackendKind,
+    trials: usize,
+    seed: u64,
+    legacy: bool,
+) -> Result<(AttackRow, AttackRow), String> {
+    if legacy {
+        return Ok(crate::channel_attack_experiment_on(
+            kind, backend, trials, seed,
+        ));
+    }
+    let stored_defaults = match kind {
+        ChannelAttackKind::InterceptResend => (20, 11),
+        ChannelAttackKind::ManInTheMiddle => (20, 13),
+        ChannelAttackKind::EntangleMeasure => (20, 17),
+    };
+    let campaign = if backend == BackendKind::default() && (trials, seed) == stored_defaults {
+        stored_campaign(attack_campaign_name(kind))?
+    } else {
+        attack_campaign(kind, backend, trials, seed)
+    };
+    let report = campaign
+        .run_direct(crate::engine_parallelism(), &protocol::engine::NoSampler)
+        .map_err(|e| format!("campaign failed: {e}"))?;
+    attack_rows(&report)
+}
+
+/// Recovers the single verification summary of the `table1` campaign.
+///
+/// # Errors
+///
+/// Returns an error when the report does not hold exactly one summarised
+/// point.
+pub fn table1_summary(report: &CampaignReport) -> Result<TrialSummary, String> {
+    match report.points.as_slice() {
+        [point] => point
+            .summary
+            .clone()
+            .ok_or_else(|| format!("point {} carries no merged summary", point.index)),
+        other => Err(format!(
+            "the table1 campaign holds exactly one point, got {}",
+            other.len()
+        )),
+    }
 }
 
 /// Recovers the backend-ablation rows from a campaign report, grid-major as
@@ -386,6 +565,34 @@ mod tests {
             ),
             ("ablation_backend", ablation_campaign(&[0, 10, 50], 20, 11)),
             ("demo", demo_campaign(3, 7)),
+            ("table1", table1_campaign(4, 20240916)),
+            (
+                "attack_intercept",
+                attack_campaign(
+                    ChannelAttackKind::InterceptResend,
+                    BackendKind::default(),
+                    20,
+                    11,
+                ),
+            ),
+            (
+                "attack_mitm",
+                attack_campaign(
+                    ChannelAttackKind::ManInTheMiddle,
+                    BackendKind::default(),
+                    20,
+                    13,
+                ),
+            ),
+            (
+                "attack_entangle",
+                attack_campaign(
+                    ChannelAttackKind::EntangleMeasure,
+                    BackendKind::default(),
+                    20,
+                    17,
+                ),
+            ),
         ]
     }
 
@@ -472,6 +679,62 @@ mod tests {
                 legacy_row.mean_chsh_round2.map(f64::to_bits)
             );
         }
+    }
+
+    #[test]
+    fn attack_campaigns_reproduce_the_legacy_loop() {
+        let trials = 5;
+        for (kind, seed) in [
+            (ChannelAttackKind::InterceptResend, 11),
+            (ChannelAttackKind::ManInTheMiddle, 13),
+            (ChannelAttackKind::EntangleMeasure, 17),
+        ] {
+            let (legacy_attacked, legacy_honest) =
+                crate::channel_attack_experiment_on(kind, BackendKind::default(), trials, seed);
+            let report = attack_campaign(kind, BackendKind::default(), trials, seed)
+                .run_direct(engine_parallelism(), &protocol::engine::NoSampler)
+                .expect("attack campaign runs");
+            let (attacked, honest) = attack_rows(&report).expect("attack rows recover");
+            assert_eq!(attacked, legacy_attacked, "{kind:?} attacked row diverged");
+            assert_eq!(honest, legacy_honest, "{kind:?} honest row diverged");
+            assert_eq!(
+                attacked.detection_rate.to_bits(),
+                legacy_attacked.detection_rate.to_bits()
+            );
+            assert_eq!(
+                attacked.mean_chsh_round2.map(f64::to_bits),
+                legacy_attacked.mean_chsh_round2.map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn attack_campaign_respects_a_non_default_backend() {
+        let (kind, trials, seed) = (ChannelAttackKind::InterceptResend, 4, 11);
+        let legacy =
+            crate::channel_attack_experiment_on(kind, BackendKind::PauliTwirled, trials, seed);
+        let report = attack_campaign(kind, BackendKind::PauliTwirled, trials, seed)
+            .run_direct(engine_parallelism(), &protocol::engine::NoSampler)
+            .expect("attack campaign runs");
+        let rows = attack_rows(&report).expect("attack rows recover");
+        assert_eq!((rows.0, rows.1), legacy);
+    }
+
+    #[test]
+    fn table1_campaign_reproduces_the_legacy_run() {
+        let (trials, seed) = (2, 20240916);
+        let legacy = crate::table1_verification_summary(trials, seed);
+        let report = table1_campaign(trials, seed)
+            .run_direct(engine_parallelism(), &protocol::engine::NoSampler)
+            .expect("table1 campaign runs");
+        let summary = table1_summary(&report).expect("table1 summary recovers");
+        // Labels are display-only (the campaign names its point, the legacy
+        // scenario keeps its historic name); the physics must be identical.
+        let relabelled = TrialSummary {
+            label: legacy.label.clone(),
+            ..summary
+        };
+        assert_eq!(relabelled, legacy);
     }
 
     /// A scratch directory under the system temp dir, removed on drop.

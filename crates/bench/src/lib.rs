@@ -18,16 +18,17 @@
 //! | Backend ablation (Sec. IV emulation vs trajectories) | [`backend_ablation_experiment`] | `ablation_backend` |
 //! | Engine throughput trajectory | — | `bench_throughput` |
 //!
-//! The engine-driven attack binaries additionally accept `--backend
-//! density-matrix|statevector` to re-run their sweep on either simulation
-//! substrate ([`backend_from_args`]); `shardctl` takes the same flag on its
-//! `scenario` and `plan` subcommands.
+//! The engine-driven attack binaries additionally accept `--backend KIND`
+//! (any [`BackendKind`] name or alias) to re-run their sweep on another
+//! simulation substrate ([`backend_and_legacy_from_args`]); `shardctl` takes
+//! the same flag on its `scenario` and `plan` subcommands.
 //!
-//! The `fig2`, `fig3` and `ablation_backend` binaries are formatters over
-//! **stored campaign definitions** (see [`campaigns`]): each drives the
-//! checked-in `crates/bench/campaigns/*.json` declaration through the
-//! campaign engine and prints the same table the legacy loop printed — the
-//! loops remain behind `--legacy` and CI byte-diffs the two outputs. The
+//! The `fig2`, `fig3`, `ablation_backend`, `table1` and
+//! `attack_intercept`/`attack_mitm`/`attack_entangle` binaries are
+//! formatters over **stored campaign definitions** (see [`campaigns`]): each
+//! drives the checked-in `crates/bench/campaigns/*.json` declaration through
+//! the campaign engine and prints the same table the legacy loop printed —
+//! the loops remain behind `--legacy` and CI byte-diffs the two outputs. The
 //! `shardctl campaign` subcommands run the same definitions resumably on a
 //! queue fleet.
 
@@ -94,12 +95,13 @@ pub fn announce_parallelism() -> Parallelism {
     parallelism
 }
 
-/// Parses the optional `--backend KIND` (or `--backend=KIND`) flag from the
-/// process arguments — the shared CLI of the engine-driven sweep binaries.
-/// Defaults to the density-matrix substrate; exits with a usage error on an
-/// unknown kind or any unrecognised argument, so a typo can never silently
-/// fall back to the default substrate.
-pub fn backend_from_args() -> BackendKind {
+/// Parses the optional `--backend KIND` (or `--backend=KIND`) and `--legacy`
+/// flags from the process arguments — the shared CLI of the engine-driven
+/// attack binaries. Defaults to the density-matrix substrate and the stored
+/// campaign path; exits with a usage error on an unknown kind or any
+/// unrecognised argument, so a typo can never silently fall back to the
+/// default substrate.
+pub fn backend_and_legacy_from_args() -> (BackendKind, bool) {
     fn parse_kind(raw: &str) -> BackendKind {
         raw.parse().unwrap_or_else(|e| {
             eprintln!("{e}");
@@ -107,22 +109,26 @@ pub fn backend_from_args() -> BackendKind {
         })
     }
     let mut backend = BackendKind::default();
+    let mut legacy = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         if flag == "--backend" {
             let raw = args.next().unwrap_or_else(|| {
-                eprintln!("--backend requires a value (density-matrix or statevector)");
+                let kinds: Vec<&str> = BackendKind::ALL.iter().map(|k| k.as_str()).collect();
+                eprintln!("--backend requires a value ({})", kinds.join(" | "));
                 std::process::exit(2)
             });
             backend = parse_kind(&raw);
         } else if let Some(raw) = flag.strip_prefix("--backend=") {
             backend = parse_kind(raw);
+        } else if flag == "--legacy" {
+            legacy = true;
         } else {
-            eprintln!("unknown option `{flag}` (supported: --backend KIND)");
+            eprintln!("unknown option `{flag}` (supported: --backend KIND, --legacy)");
             std::process::exit(2);
         }
     }
-    backend
+    (backend, legacy)
 }
 
 /// Derives an independent RNG seed for sweep point `index` of an experiment
@@ -256,6 +262,31 @@ pub fn table1_rows() -> Vec<Table1Row> {
         .collect()
 }
 
+/// The honest verification scenario behind the `table1` binary's engine
+/// cross-check. The stored `table1` campaign runs this exact physical
+/// scenario (configuration, identities, seed discipline), so the campaign
+/// and `--legacy` paths print identical bytes.
+pub fn table1_verification_scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let config = SessionConfig::builder()
+        .message_bits(16)
+        .check_bits(4)
+        .di_check_pairs(64)
+        .build()
+        .expect("table1 verification config is valid");
+    Scenario::new(config, identities).with_label("table1-verification")
+}
+
+/// The legacy (pre-campaign) verification loop of the `table1` binary: a
+/// direct engine run of [`table1_verification_scenario`].
+pub fn table1_verification_summary(trials: usize, seed: u64) -> TrialSummary {
+    SessionEngine::new(seed)
+        .with_parallelism(engine_parallelism())
+        .run_trials(&table1_verification_scenario(seed), trials)
+        .expect("table1 verification sessions run")
+}
+
 /// Default session configuration used by the attack experiments (small message, generous
 /// DI-check budget so honest aborts are negligible, strict authentication).
 pub fn attack_session_config() -> SessionConfig {
@@ -369,7 +400,7 @@ pub fn channel_attack_experiment_on(
     (attacked, honest)
 }
 
-fn summary_to_row(summary: TrialSummary) -> AttackRow {
+pub(crate) fn summary_to_row(summary: TrialSummary) -> AttackRow {
     let detection_rate = summary.detection_rate();
     AttackRow {
         attack: if summary.adversary.is_empty() || summary.adversary == "honest" {
@@ -383,6 +414,30 @@ fn summary_to_row(summary: TrialSummary) -> AttackRow {
         mean_chsh_round1: summary.mean_chsh_round1,
         mean_chsh_round2: summary.mean_chsh_round2,
     }
+}
+
+/// Builds the η-sweep workload behind the `bench_throughput` sweep lanes: an
+/// honest session over `eta` noisy identity gates of an `ibm_brisbane`-like
+/// channel — the regime the paper's detection-rate curves integrate over,
+/// where per-trial channel simulation (not protocol bookkeeping) dominates
+/// the cost and the substrates separate.
+pub fn sweep_scenario(eta: usize, seed: u64, backend: BackendKind) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let identities = IdentityPair::generate(4, &mut rng);
+    let config = SessionConfig::builder()
+        .message_bits(8)
+        .check_bits(2)
+        .di_check_pairs(220)
+        .auth_error_tolerance(1.0)
+        .channel(ChannelSpec::noisy_identity_chain(
+            eta,
+            DeviceModel::ibm_brisbane_like(),
+        ))
+        .build()
+        .expect("sweep config is valid");
+    Scenario::new(config, identities)
+        .with_label(format!("sweep-honest-eta{eta}"))
+        .with_backend(backend)
 }
 
 /// One grid point of the backend-ablation sweep: one adversary, one channel
@@ -671,16 +726,17 @@ mod tests {
     #[test]
     fn backend_ablation_covers_the_full_grid() {
         let rows = backend_ablation_experiment(&[0], 3, 9);
-        // One η × three adversaries × both backends.
+        // One η × three adversaries × every backend.
         assert_eq!(
             rows.len(),
             ABLATION_ADVERSARIES.len() * BackendKind::ALL.len()
         );
-        for pair in rows.chunks(2) {
-            assert_eq!(pair[0].adversary, pair[1].adversary);
-            assert_eq!(pair[0].eta, pair[1].eta);
-            assert_eq!(pair[0].backend, BackendKind::DensityMatrix);
-            assert_eq!(pair[1].backend, BackendKind::Statevector);
+        for group in rows.chunks(BackendKind::ALL.len()) {
+            for (row, kind) in group.iter().zip(BackendKind::ALL) {
+                assert_eq!(row.adversary, group[0].adversary);
+                assert_eq!(row.eta, group[0].eta);
+                assert_eq!(row.backend, kind);
+            }
         }
         for row in &rows {
             assert_eq!(row.trials, 3);

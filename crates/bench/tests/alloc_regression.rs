@@ -69,6 +69,49 @@ fn compiled_kernel_loop_is_allocation_free_in_steady_state() {
 }
 
 #[test]
+fn twirled_trial_loop_is_allocation_free_once_warm() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    // The η-sweep workload: 50 noisy identity gates on a brisbane-like
+    // device, so both the emission and the convolved transmit distributions
+    // are non-trivial — every emit and transmit below really samples a Pauli
+    // and XORs it into the frame.
+    let scenario = bench::sweep_scenario(50, 7, BackendKind::PauliTwirled);
+    let compiled = QuantumChannel::new(scenario.config.channel().clone()).compile();
+    assert!(!compiled.twirled().is_trivial(), "sweep noise must twirl");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut pair = EprPair::ideal();
+    let angles = [
+        0.0,
+        std::f64::consts::FRAC_PI_4,
+        std::f64::consts::FRAC_PI_2,
+    ];
+
+    let step = |pair: &mut EprPair, rng: &mut rand::rngs::StdRng| {
+        for theta_a in angles {
+            for theta_b in angles {
+                compiled.emit_twirled_pair_into(pair, rng);
+                compiled.transmit_twirled(pair, rng);
+                pair.measure_both_in_bases(theta_a, theta_b, rng);
+            }
+        }
+    };
+
+    // One warm-up pass allocates the pair's frame storage; after that the
+    // loop is pure integer/bitmask work and may not allocate at all.
+    step(&mut pair, &mut rng);
+
+    let before = alloc_counter::CountingAllocator::allocations();
+    for _ in 0..256 {
+        step(&mut pair, &mut rng);
+    }
+    let allocations = alloc_counter::CountingAllocator::allocations() - before;
+    assert_eq!(
+        allocations, 0,
+        "warm twirled trial loop allocated {allocations} times over 256 iterations"
+    );
+}
+
+#[test]
 fn steady_state_trial_allocations_stay_bounded() {
     let _guard = COUNTER_LOCK.lock().unwrap();
     let scenario = bench::shard_io::demo_scenario("intercept", 7, BackendKind::default())

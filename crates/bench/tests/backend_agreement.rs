@@ -1,0 +1,69 @@
+//! Statistical agreement between the pauli-twirled and density-matrix
+//! substrates on honest workloads.
+//!
+//! The twirled backend discards the χ off-diagonals of the thermal-
+//! relaxation placements, so it is *not* trial-for-trial identical to the
+//! exact substrate — the contract is statistical: over the honest η-sweep
+//! workload the paper's curves integrate, its false-alarm rate must land
+//! within overlapping Wilson score intervals of the density-matrix rate at
+//! matched trial counts. Each case runs a full honest session sweep on both
+//! substrates (hundreds of trials), so this is a property test with a
+//! hand-rolled case loop: the workspace `proptest!` macro pins 64 cases,
+//! two orders of magnitude more sessions than tier-1 CI can afford here.
+
+use analysis::stats::wilson_interval;
+use protocol::engine::{BackendKind, Parallelism, SessionEngine};
+use rand::{Rng, SeedableRng};
+
+/// Trials per substrate per case — enough for a Wilson interval a few
+/// percentage points wide at honest false-alarm rates.
+const TRIALS: usize = 400;
+
+/// Three-sigma score: a false overlap failure needs both estimates to be
+/// wrong by luck simultaneously, so flakes are negligible while a real
+/// rate distortion (percentage points at η ≤ 12) still fails.
+const Z: f64 = 3.0;
+
+/// The honest false-alarm (abort) Wilson interval of one substrate, plus
+/// the delivered count.
+fn false_alarm_interval(eta: usize, seed: u64, backend: BackendKind) -> ((f64, f64), usize) {
+    let engine = SessionEngine::new(seed).with_parallelism(Parallelism::Auto);
+    let scenario = bench::sweep_scenario(eta, seed, backend);
+    let summary = engine
+        .run_trials(&scenario, TRIALS)
+        .expect("honest sweep runs");
+    let aborted = summary.trials - summary.delivered;
+    (
+        wilson_interval(aborted, summary.trials, Z),
+        summary.delivered,
+    )
+}
+
+#[test]
+fn honest_false_alarm_rates_agree_within_wilson_intervals() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7717);
+    // The η=0 boundary (emission noise only) plus random interior points of
+    // the Fig. 3 channel-length range.
+    let mut etas = vec![0usize];
+    etas.extend((0..3).map(|_| rng.gen_range(1usize..=12)));
+    for eta in etas {
+        let seed = rng.gen::<u64>();
+        let ((dm_lo, dm_hi), dm_delivered) =
+            false_alarm_interval(eta, seed, BackendKind::DensityMatrix);
+        let ((tw_lo, tw_hi), tw_delivered) =
+            false_alarm_interval(eta, seed, BackendKind::PauliTwirled);
+        assert!(
+            dm_delivered > 0,
+            "density-matrix delivered nothing at η={eta}"
+        );
+        assert!(
+            tw_delivered > 0,
+            "pauli-twirled delivered nothing at η={eta}"
+        );
+        assert!(
+            tw_lo <= dm_hi && dm_lo <= tw_hi,
+            "η={eta} (seed {seed}): twirled false-alarm interval [{tw_lo:.4}, {tw_hi:.4}] \
+             does not overlap density-matrix [{dm_lo:.4}, {dm_hi:.4}]"
+        );
+    }
+}

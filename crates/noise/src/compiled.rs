@@ -51,6 +51,9 @@ pub struct CompiledChannel {
     name: String,
     targets: Vec<usize>,
     kernel: CompiledKraus,
+    /// The placement-free source channel, kept so derived lowerings (the
+    /// Pauli twirl of [`CompiledChannel::twirl`]) can reach the operators.
+    source: KrausChannel,
 }
 
 impl CompiledChannel {
@@ -69,12 +72,18 @@ impl CompiledChannel {
             name: channel.name().to_string(),
             targets: targets.to_vec(),
             kernel,
+            source: channel.clone(),
         }
     }
 
     /// Name of the source channel.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The placement-free channel this placement was compiled from.
+    pub fn source_channel(&self) -> &KrausChannel {
+        &self.source
     }
 
     /// The qubits this placement acts on.

@@ -70,12 +70,14 @@ pub mod device;
 pub mod executor;
 pub mod kraus;
 pub mod readout;
+pub mod twirl;
 
 pub use compiled::CompiledChannel;
 pub use device::DeviceModel;
 pub use executor::NoisyExecutor;
 pub use kraus::KrausChannel;
 pub use readout::ReadoutError;
+pub use twirl::{PauliDistribution, TwirledChannel};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -84,4 +86,5 @@ pub mod prelude {
     pub use crate::executor::NoisyExecutor;
     pub use crate::kraus::KrausChannel;
     pub use crate::readout::ReadoutError;
+    pub use crate::twirl::{PauliDistribution, TwirledChannel};
 }

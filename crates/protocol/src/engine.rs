@@ -296,63 +296,189 @@ impl Backend for StatevectorBackend {
     }
 }
 
-/// Names one of the production simulation substrates — the serde face of the
-/// [`Backend`] seam.
+/// The Pauli-twirled stabilizer backend: integer-only Pauli-frame tracking
+/// for billion-trial sweeps.
 ///
-/// Every [`Scenario`] carries a `BackendKind` (and every [`ShardPlan`] /
-/// [`ShardResult`] inherits it), and any non-default kind is folded into
-/// [`Scenario::fingerprint`], so plans, shard results and per-trial RNG
-/// streams are pinned to the substrate that produced them; the
-/// [`ShardMerger`] rejects cross-backend merges with
-/// [`MergeError::BackendMismatch`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
-pub enum BackendKind {
+/// At compile time every noise placement of the scenario's channel is
+/// projected onto its Pauli twirl (`p_P = |Tr(P·Kᵢ)|²/d²` summed over Kraus
+/// operators) and the whole emission / transmission program collapses into
+/// two Klein-group distributions (see [`qchannel::TwirledProgram`]). Each
+/// trial then tracks every pair as a **Pauli frame** — two bits naming which
+/// Bell state it is — so the honest data path runs on integer/bitmask
+/// arithmetic: no complex numbers, no 4×4 matrices, no heap allocation.
+///
+/// The lowering is *exact* when every placement is already Pauli-diagonal
+/// (depolarizing, bit/phase flip — e.g. the emission leg of the brisbane
+/// device) and a Pauli-twirled *approximation* otherwise (amplitude damping
+/// twirls approximately); [`qchannel::TwirledProgram::is_exact`] reports
+/// which regime a compiled scenario is in, and the `ablation_backend` binary
+/// (bench crate) quantifies the divergence against the exact substrates.
+///
+/// Channel taps still see the full density matrix: before an **active** tap
+/// hook runs, the pair materialises its Bell state into the (stale) density
+/// buffer in place; afterwards the state is re-projected onto the Bell
+/// diagonal with one RNG draw ([`EprPair::twirl_to_frame`]) — the twirl
+/// approximation applied at the tap boundary. Passive taps
+/// ([`ChannelTap::acts_on_emission`] / [`ChannelTap::acts_on_transmit`]
+/// returning `false`, e.g. `NoTap` on emission for the stock attacks) skip
+/// the round-trip entirely, keeping the hot path integer-only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PauliTwirledBackend;
+
+impl Backend for PauliTwirledBackend {
+    fn name(&self) -> &str {
+        "pauli-twirled"
+    }
+
+    fn emit_pair(
+        &self,
+        channel: &CompiledQuantumChannel,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) -> EprPair {
+        let mut pair = EprPair::ideal();
+        self.emit_pair_into(&mut pair, channel, tap, rng);
+        pair
+    }
+
+    fn emit_pair_into(
+        &self,
+        slot: &mut EprPair,
+        channel: &CompiledQuantumChannel,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) {
+        // Frame-tracked emission: reset to Φ+ and kick by one sample of the
+        // precompiled emission distribution (at most one f64 draw).
+        channel.emit_twirled_pair_into(slot, rng);
+        if tap.acts_on_emission() {
+            // Active source-side tap: materialise, let it act on the full
+            // density matrix, then re-project onto the Bell diagonal.
+            slot.density_mut();
+            channel.distribute_tapped(slot, tap, rng);
+            slot.twirl_to_frame(rng);
+        }
+    }
+
+    fn transmit(
+        &self,
+        channel: &CompiledQuantumChannel,
+        pair: &mut EprPair,
+        tap: &mut dyn ChannelTap,
+        rng: &mut dyn RngCore,
+    ) {
+        // Same contract as the physical channel: the tap acts at the channel
+        // entrance, then the (here: twirled) noise applies.
+        if tap.acts_on_transmit() {
+            pair.density_mut();
+            tap.on_transmit(pair, rng);
+            pair.twirl_to_frame(rng);
+        }
+        channel.transmit_twirled(pair, rng);
+    }
+}
+
+/// Declares [`BackendKind`]: the enum, its exhaustive-by-construction
+/// [`ALL`](BackendKind::ALL) table, the canonical name / alias parser and the
+/// [`Backend`] binding — all generated from one variant list, so adding a
+/// substrate is a one-entry change that cannot leave `ALL`, `as_str`,
+/// `FromStr` or `backend()` out of sync.
+macro_rules! backend_kinds {
+    (
+        $(
+            $(#[$meta:meta])*
+            $variant:ident {
+                name: $name:literal,
+                aliases: [$($alias:literal),* $(,)?],
+                backend: $backend:expr $(,)?
+            }
+        ),* $(,)?
+    ) => {
+        /// Names one of the production simulation substrates — the serde
+        /// face of the [`Backend`] seam.
+        ///
+        /// Every [`Scenario`] carries a `BackendKind` (and every
+        /// [`ShardPlan`] / [`ShardResult`] inherits it), and any non-default
+        /// kind is folded into [`Scenario::fingerprint`], so plans, shard
+        /// results and per-trial RNG streams are pinned to the substrate
+        /// that produced them; the [`ShardMerger`] rejects cross-backend
+        /// merges with [`MergeError::BackendMismatch`].
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+        pub enum BackendKind {
+            $( $(#[$meta])* $variant, )*
+        }
+
+        impl BackendKind {
+            /// Every production substrate, in ablation order. Generated
+            /// from the same variant list as the enum itself, so the table
+            /// is exhaustive by construction.
+            pub const ALL: [BackendKind; 0 $(+ { let _ = $name; 1 })*] =
+                [ $( BackendKind::$variant, )* ];
+
+            /// The canonical CLI / serde name.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $( BackendKind::$variant => $name, )*
+                }
+            }
+
+            /// The backend implementation this kind names.
+            pub fn backend(self) -> &'static dyn Backend {
+                match self {
+                    $( BackendKind::$variant => $backend, )*
+                }
+            }
+        }
+
+        impl std::str::FromStr for BackendKind {
+            type Err = String;
+
+            fn from_str(name: &str) -> Result<Self, Self::Err> {
+                match name {
+                    $( $name $( | $alias )* => Ok(BackendKind::$variant), )*
+                    other => {
+                        let expected = BackendKind::ALL
+                            .iter()
+                            .map(|kind| format!("`{kind}`"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        Err(format!(
+                            "unknown backend `{other}` (expected one of {expected})"
+                        ))
+                    }
+                }
+            }
+        }
+    };
+}
+
+backend_kinds! {
     /// Exact density-matrix evolution — the paper's Section IV emulation
     /// ([`DensityMatrixBackend`]; the default).
     #[default]
-    DensityMatrix,
+    DensityMatrix {
+        name: "density-matrix",
+        aliases: ["density", "dm"],
+        backend: &DensityMatrixBackend,
+    },
     /// Sampled pure-state trajectories ([`StatevectorBackend`]).
-    Statevector,
-}
-
-impl BackendKind {
-    /// Every production substrate, in ablation order.
-    pub const ALL: [BackendKind; 2] = [BackendKind::DensityMatrix, BackendKind::Statevector];
-
-    /// The canonical CLI / serde name (`density-matrix` / `statevector`).
-    pub fn as_str(self) -> &'static str {
-        match self {
-            BackendKind::DensityMatrix => "density-matrix",
-            BackendKind::Statevector => "statevector",
-        }
-    }
-
-    /// The backend implementation this kind names.
-    pub fn backend(self) -> &'static dyn Backend {
-        match self {
-            BackendKind::DensityMatrix => &DensityMatrixBackend,
-            BackendKind::Statevector => &StatevectorBackend,
-        }
-    }
+    Statevector {
+        name: "statevector",
+        aliases: ["sv", "trajectory"],
+        backend: &StatevectorBackend,
+    },
+    /// Integer-only Pauli-frame tracking over twirled channels
+    /// ([`PauliTwirledBackend`]).
+    PauliTwirled {
+        name: "pauli-twirled",
+        aliases: ["twirled", "pt", "stabilizer"],
+        backend: &PauliTwirledBackend,
+    },
 }
 
 impl fmt::Display for BackendKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
-    }
-}
-
-impl std::str::FromStr for BackendKind {
-    type Err = String;
-
-    fn from_str(name: &str) -> Result<Self, Self::Err> {
-        match name {
-            "density-matrix" | "density" | "dm" => Ok(BackendKind::DensityMatrix),
-            "statevector" | "sv" | "trajectory" => Ok(BackendKind::Statevector),
-            other => Err(format!(
-                "unknown backend `{other}` (expected `density-matrix` or `statevector`)"
-            )),
-        }
     }
 }
 
@@ -2292,6 +2418,89 @@ mod tests {
     }
 
     #[test]
+    fn pauli_twirled_backend_delivers_and_replays() {
+        let identities = IdentityPair::generate(5, &mut rng(81));
+        let config = SessionConfig::builder()
+            .message_bits(24)
+            .check_bits(8)
+            .di_check_pairs(220)
+            // Five identity qubits make the auth stage sensitive to a single
+            // twirled Pauli error; this test targets delivery + replay, so
+            // give authentication the same headroom a longer id would.
+            .auth_error_tolerance(0.4)
+            .channel(ChannelSpec::noisy_identity_chain(
+                10,
+                DeviceModel::ibm_brisbane_like(),
+            ))
+            .build()
+            .unwrap();
+        let scenario = Scenario::new(config, identities).with_backend(BackendKind::PauliTwirled);
+        let outcome = SessionEngine::new(81).run(&scenario).unwrap();
+        assert!(outcome.is_delivered(), "{}", outcome.status);
+        assert!(
+            outcome.message_accuracy().unwrap() > 0.8,
+            "the twirled substrate keeps a short channel usable, got {:?}",
+            outcome.message_accuracy()
+        );
+        let s2 = outcome.di_check_round2.as_ref().unwrap().chsh.unwrap();
+        assert!(s2 > 2.0, "honest twirled channel keeps S2 > 2, got {s2}");
+        let replay = SessionEngine::new(81).run(&scenario).unwrap();
+        assert_eq!(outcome, replay);
+    }
+
+    #[test]
+    fn pauli_twirled_backend_on_an_ideal_channel_delivers_exactly() {
+        let message = SecretMessage::from_bitstring("1010011100101101").unwrap();
+        let scenario = small_scenario(82)
+            .with_message(message.clone())
+            .with_backend(BackendKind::PauliTwirled);
+        let outcome = SessionEngine::new(82).run(&scenario).unwrap();
+        assert!(outcome.is_delivered(), "{}", outcome.status);
+        assert_eq!(outcome.received_message.as_ref().unwrap(), &message);
+        assert_eq!(outcome.message_accuracy(), Some(1.0));
+        assert_eq!(outcome.check_bit_error_rate, Some(0.0));
+        let s1 = outcome.di_check_round1.as_ref().unwrap().chsh.unwrap();
+        assert!(s1 > 2.0, "ideal frames violate the classical bound, {s1}");
+    }
+
+    #[test]
+    fn pauli_twirled_backend_detects_channel_adversaries() {
+        let identities = IdentityPair::generate(4, &mut rng(83));
+        let config = SessionConfig::builder()
+            .message_bits(8)
+            .check_bits(2)
+            .di_check_pairs(220)
+            .auth_error_tolerance(1.0)
+            .build()
+            .unwrap();
+        let engine = SessionEngine::new(83);
+        for adversary in [
+            Adversary::InterceptResend(InterceptBasis::Computational),
+            Adversary::ManInTheMiddle(SubstituteState::RandomComputational),
+            Adversary::EntangleMeasure { strength: 1.0 },
+        ] {
+            let scenario = Scenario::new(config.clone(), identities.clone())
+                .with_label(adversary.name())
+                .with_adversary(adversary)
+                .with_backend(BackendKind::PauliTwirled);
+            let summary = engine.run_trials(&scenario, 3).unwrap();
+            assert_eq!(summary.delivered, 0, "{summary}");
+            assert!(summary.detection_rate() > 0.99, "{summary}");
+        }
+    }
+
+    #[test]
+    fn pauli_twirled_trials_fan_out_deterministically() {
+        let scenario = small_scenario(84).with_backend(BackendKind::PauliTwirled);
+        let serial = SessionEngine::new(84).run_trials(&scenario, 4).unwrap();
+        let threaded = SessionEngine::new(84)
+            .with_parallelism(Parallelism::Threads(4))
+            .run_trials(&scenario, 4)
+            .unwrap();
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
     fn backend_kind_round_trips_and_resolves() {
         assert_eq!(BackendKind::default(), BackendKind::DensityMatrix);
         for kind in BackendKind::ALL {
@@ -2305,7 +2514,16 @@ mod tests {
         }
         assert_eq!("dm".parse::<BackendKind>(), Ok(BackendKind::DensityMatrix));
         assert_eq!("sv".parse::<BackendKind>(), Ok(BackendKind::Statevector));
-        assert!("quantum-annealer".parse::<BackendKind>().is_err());
+        for alias in ["pauli-twirled", "twirled", "pt", "stabilizer"] {
+            assert_eq!(alias.parse::<BackendKind>(), Ok(BackendKind::PauliTwirled));
+        }
+        let err = "quantum-annealer".parse::<BackendKind>().unwrap_err();
+        for kind in BackendKind::ALL {
+            assert!(
+                err.contains(kind.as_str()),
+                "the parse error must list `{kind}`: {err}"
+            );
+        }
         assert!(serde::json::from_str::<BackendKind>("\"nope\"").is_err());
         assert!(serde::json::from_str::<BackendKind>("3").is_err());
     }

@@ -46,7 +46,7 @@
 //!     space: CampaignSpace::Grid(vec![Axis::Backend(BackendKind::ALL.to_vec())]),
 //! };
 //! let report = campaign.run_direct(Parallelism::Serial, &NoSampler)?;
-//! assert_eq!(report.points.len(), 2);
+//! assert_eq!(report.points.len(), BackendKind::ALL.len());
 //! assert!(report.points[0].summary.is_some());
 //! # Ok(())
 //! # }
@@ -1329,7 +1329,7 @@ mod tests {
             Axis::Backend(BackendKind::ALL.to_vec()),
         ]);
         let points = campaign.expand().expect("expands");
-        assert_eq!(points.len(), 4);
+        assert_eq!(points.len(), 2 * BackendKind::ALL.len());
         let coords: Vec<(usize, BackendKind)> = points
             .iter()
             .map(|p| match p.coords.as_slice() {
@@ -1337,28 +1337,23 @@ mod tests {
                 other => panic!("unexpected coords {other:?}"),
             })
             .collect();
-        assert_eq!(
-            coords,
-            vec![
-                (0, BackendKind::ALL[0]),
-                (0, BackendKind::ALL[1]),
-                (10, BackendKind::ALL[0]),
-                (10, BackendKind::ALL[1]),
-            ]
-        );
+        let expected: Vec<(usize, BackendKind)> = [0usize, 10]
+            .into_iter()
+            .flat_map(|eta| {
+                BackendKind::ALL
+                    .into_iter()
+                    .map(move |backend| (eta, backend))
+            })
+            .collect();
+        assert_eq!(coords, expected);
         // Session points carry concrete scenarios with the coords applied.
+        let last = points.last().unwrap();
         assert_eq!(
-            points[3].scenario.as_ref().unwrap().backend,
-            BackendKind::ALL[1]
+            last.scenario.as_ref().unwrap().backend,
+            *BackendKind::ALL.last().unwrap()
         );
         assert_eq!(
-            points[3]
-                .scenario
-                .as_ref()
-                .unwrap()
-                .config
-                .channel()
-                .length(),
+            last.scenario.as_ref().unwrap().config.channel().length(),
             10
         );
     }

@@ -1230,6 +1230,62 @@ mod tests {
     }
 
     #[test]
+    fn pauli_twirled_shards_never_merge_into_exact_runs() {
+        // Regression guard for the twirled substrate: its detection
+        // statistics are an approximation of the exact backends', so a
+        // twirled shard folded into a density-matrix (or statevector) run
+        // would silently bias the merged rates. The merger must reject the
+        // mix in both push orders.
+        let exact = scenario(13);
+        let twirled = exact.clone().with_backend(BackendKind::PauliTwirled);
+        let engine = SessionEngine::new(13);
+        let exact_shard = engine
+            .execute_shard(&engine.plan(&exact, 2), ShardOutput::Summary)
+            .unwrap();
+        let twirled_shard = engine
+            .execute_shard(&engine.plan(&twirled, 2), ShardOutput::Summary)
+            .unwrap();
+        assert_eq!(twirled_shard.backend, BackendKind::PauliTwirled);
+        assert_ne!(
+            exact_shard.fingerprint, twirled_shard.fingerprint,
+            "the twirled substrate must draw a disjoint trial stream"
+        );
+
+        let mut merger = ShardMerger::new();
+        merger.push(exact_shard.clone()).unwrap();
+        assert_eq!(
+            merger.push(twirled_shard.clone()).unwrap_err(),
+            MergeError::BackendMismatch {
+                expected: BackendKind::DensityMatrix,
+                found: BackendKind::PauliTwirled,
+            }
+        );
+        let mut merger = ShardMerger::new();
+        merger.push(twirled_shard.clone()).unwrap();
+        let err = merger.push(exact_shard).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::BackendMismatch {
+                expected: BackendKind::PauliTwirled,
+                found: BackendKind::DensityMatrix,
+            }
+        );
+        assert!(err.to_string().contains("pauli-twirled"), "{err}");
+        // A consistent twirled run still merges byte-identically.
+        let results: Vec<ShardResult> = engine
+            .plan(&twirled, 4)
+            .split_into(2)
+            .iter()
+            .map(|p| engine.execute_shard(p, ShardOutput::Summary).unwrap())
+            .collect();
+        let merged = merge_shard_results(results)
+            .unwrap()
+            .into_summary()
+            .unwrap();
+        assert_eq!(merged, engine.run_trials(&twirled, 4).unwrap());
+    }
+
+    #[test]
     fn plans_and_results_serde_round_trip() {
         let scenario = scenario(10);
         let engine = SessionEngine::new(10);

@@ -109,21 +109,24 @@
 //! results. The folded [`engine::CampaignReport`] carries every point's coordinates,
 //! [`engine::TrialSummary`] and Wilson-intervalled detection / false-alarm rates
 //! ([`engine::RateInterval`]). `shardctl campaign plan/run/resume/report` expose the same
-//! operations to a fleet of processes, and the `fig2`, `fig3` and `ablation_backend` binaries
-//! are now formatters over checked-in campaign definitions.
+//! operations to a fleet of processes, and the `fig2`, `fig3`, `ablation_backend`, `table1`
+//! and `attack_*` binaries are now formatters over checked-in campaign definitions.
 //!
 //! ## Simulation backends
 //!
-//! Two production substrates implement the [`engine::Backend`] seam, selected per scenario by
+//! Three production substrates implement the [`engine::Backend`] seam, selected per scenario by
 //! [`engine::BackendKind`] ([`engine::Scenario::with_backend`], or `--backend` on `shardctl`
 //! and the attack sweep binaries): the default [`engine::DensityMatrixBackend`] applies every
-//! noise channel exactly (the paper's emulation), while [`engine::StatevectorBackend`] runs
+//! noise channel exactly (the paper's emulation), [`engine::StatevectorBackend`] runs
 //! sessions as sampled pure-state trajectories (one Born-sampled Kraus branch per noise
-//! application). The kind is folded into [`engine::Scenario::fingerprint`], so the substrates
-//! draw disjoint RNG streams, shipped plans reproduce on the right backend cross-process, and
-//! [`engine::ShardMerger`] rejects any attempt to fold results from different substrates into
-//! one run. The `bench` crate's `ablation_backend` binary quantifies where the sampled
-//! substrate's detection-rate curves diverge from the exact emulation.
+//! application), and [`engine::PauliTwirledBackend`] lowers every channel to its Pauli twirl
+//! at compile time and tracks each pair as a two-bit Pauli frame — the integer-only substrate
+//! for billion-trial sweeps. The kind is folded into [`engine::Scenario::fingerprint`], so the
+//! substrates draw disjoint RNG streams, shipped plans reproduce on the right backend
+//! cross-process, and [`engine::ShardMerger`] rejects any attempt to fold results from
+//! different substrates into one run. The `bench` crate's `ablation_backend` binary quantifies
+//! where the sampled and twirled substrates' detection-rate curves diverge from the exact
+//! emulation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -143,8 +146,8 @@ pub use config::{SessionConfig, SessionConfigBuilder};
 pub use engine::{
     Adversary, Axis, AxisValue, Backend, BackendKind, Campaign, CampaignReport, CampaignRun,
     CampaignSpace, CampaignWorkload, DensityMatrixBackend, ExecutorStats, MergeCheckpoint,
-    MergedRun, Parallelism, RateInterval, Scenario, SessionEngine, ShardMerger, ShardOutput,
-    ShardPlan, ShardQueue, ShardResult, StatevectorBackend, TrialSummary,
+    MergedRun, Parallelism, PauliTwirledBackend, RateInterval, Scenario, SessionEngine,
+    ShardMerger, ShardOutput, ShardPlan, ShardQueue, ShardResult, StatevectorBackend, TrialSummary,
 };
 pub use error::ProtocolError;
 pub use identity::{IdentityPair, IdentityString};
@@ -163,9 +166,9 @@ pub mod prelude {
         Campaign, CampaignError, CampaignPoint, CampaignPointReport, CampaignReport, CampaignRun,
         CampaignRunOptions, CampaignSpace, CampaignStatus, CampaignWorkload, ClaimOutcome,
         DensityMatrixBackend, ExecutorStats, MergeCheckpoint, MergeError, MergedRun, NoSampler,
-        Parallelism, QueueError, QueueStatus, RateInterval, Sampler, Scenario, SessionEngine,
-        ShardMerger, ShardOutput, ShardPayload, ShardPlan, ShardQueue, ShardResult, ShardSlot,
-        SlotState, StatevectorBackend, SubmitOutcome, TrialSummary,
+        Parallelism, PauliTwirledBackend, QueueError, QueueStatus, RateInterval, Sampler, Scenario,
+        SessionEngine, ShardMerger, ShardOutput, ShardPayload, ShardPlan, ShardQueue, ShardResult,
+        ShardSlot, SlotState, StatevectorBackend, SubmitOutcome, TrialSummary,
     };
     pub use crate::error::ProtocolError;
     pub use crate::identity::{IdentityPair, IdentityString};

@@ -8,6 +8,7 @@
 //! [`run_with`](crate::engine::SessionEngine::run_with)).
 
 use crate::auth::AuthReport;
+use crate::config::SessionConfig;
 use crate::di_check::DiCheckReport;
 use crate::message::SecretMessage;
 use qchannel::classical::Transcript;
@@ -113,6 +114,33 @@ pub struct ResourceUsage {
     /// worst case; Table I counts the asymptotic cost, `N` qubits for `2N` bits → ½ pair, i.e.
     /// one qubit, per bit).
     pub qubits_per_message_bit: f64,
+}
+
+impl ResourceUsage {
+    /// The session's planned resource accounting: every field except the
+    /// transcript-dependent `classical_messages` (left at zero) is a pure
+    /// function of the configuration and the identity length, so Table I's
+    /// cost columns can be checked without running a session. A test locks
+    /// this arithmetic to the engine's live per-outcome accounting.
+    #[must_use]
+    pub fn planned(config: &SessionConfig, identity_qubits: usize) -> Self {
+        let padded_bits = config.message_bits() + config.check_bits();
+        let message_pairs = padded_bits / 2;
+        let identity_pairs = 2 * identity_qubits;
+        let check_pairs = 2 * config.di_check_pairs();
+        let total_pairs = message_pairs + identity_pairs + check_pairs;
+        Self {
+            total_pairs,
+            message_pairs,
+            identity_pairs,
+            check_pairs,
+            // The second DI check draws its pairs from those Bob already
+            // holds, so only `d` of the `2d` check pairs cross the channel.
+            transmitted_qubits: total_pairs - config.di_check_pairs(),
+            classical_messages: 0,
+            qubits_per_message_bit: message_pairs as f64 / padded_bits as f64 * 2.0,
+        }
+    }
 }
 
 /// Everything observable about one finished session.
@@ -281,6 +309,25 @@ mod tests {
             "{}",
             outcome.status
         );
+    }
+
+    #[test]
+    fn planned_resources_match_the_live_accounting() {
+        // `ResourceUsage::planned` must agree field for field with the
+        // engine's per-outcome accounting (up to the transcript-dependent
+        // classical message count) — it is what the `table1` binary's
+        // campaign path prints.
+        let identities = IdentityPair::generate(4, &mut rng(33));
+        let config = small_config();
+        let scenario = Scenario::new(config.clone(), identities.clone());
+        let outcome = SessionEngine::new(33).run(&scenario).unwrap();
+        let planned = ResourceUsage::planned(&config, identities.qubit_len());
+        let live = ResourceUsage {
+            classical_messages: 0,
+            ..outcome.resources
+        };
+        assert_eq!(planned, live);
+        assert!(outcome.resources.classical_messages > 0);
     }
 
     #[test]

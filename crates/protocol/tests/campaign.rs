@@ -121,13 +121,15 @@ fn duplicate_points_are_rejected() {
 fn campaign_fingerprint_is_stable() {
     // Locked literal: a fingerprint change breaks every stored campaign
     // directory and sample record in the wild, so it must be deliberate.
+    // The backend axis is spelled out (not `BackendKind::ALL`) so adding a
+    // substrate never silently moves this pin.
     let campaign = session_campaign(
         7,
         99,
         2,
         vec![
             Axis::Eta(vec![0, 10]),
-            Axis::Backend(BackendKind::ALL.to_vec()),
+            Axis::Backend(vec![BackendKind::DensityMatrix, BackendKind::Statevector]),
         ],
     );
     assert_eq!(campaign.fingerprint(), 0x5a30_173b_98da_34ab_u64);
@@ -135,6 +137,14 @@ fn campaign_fingerprint_is_stable() {
     let mut relabeled = campaign.clone();
     relabeled.label = "something else".into();
     assert_eq!(relabeled.fingerprint(), campaign.fingerprint());
+    // Widening an axis (e.g. onto the twirled substrate) is new content and
+    // must re-fingerprint.
+    let mut widened = campaign.clone();
+    widened.space = CampaignSpace::Grid(vec![
+        Axis::Eta(vec![0, 10]),
+        Axis::Backend(BackendKind::ALL.to_vec()),
+    ]);
+    assert_ne!(widened.fingerprint(), campaign.fingerprint());
 }
 
 // ------------------------------------------------------- queue equivalence --

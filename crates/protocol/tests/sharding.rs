@@ -66,7 +66,7 @@ fn mixing_backends_in_one_merge_is_rejected() {
             .split_into(2);
         results.push(
             engine
-                .execute_shard(&plans[index], ShardOutput::Summary)
+                .execute_shard(&plans[index % plans.len()], ShardOutput::Summary)
                 .expect("shard executes"),
         );
     }
@@ -82,7 +82,7 @@ proptest! {
         trials in 0usize..6,
         cuts in proptest::collection::vec(0usize..64, 0..5),
         adversary_index in 0usize..5,
-        backend_index in 0usize..2,
+        backend_index in 0usize..BackendKind::ALL.len(),
         identity_seed in 0u64..1_000_000,
         master_seed in 0u64..1_000_000,
     ) {
@@ -141,7 +141,7 @@ proptest! {
         trials in 0usize..6,
         cuts in proptest::collection::vec(0usize..64, 0..5),
         adversary_index in 0usize..5,
-        backend_index in 0usize..2,
+        backend_index in 0usize..BackendKind::ALL.len(),
         identity_seed in 0u64..1_000_000,
         master_seed in 0u64..1_000_000,
     ) {

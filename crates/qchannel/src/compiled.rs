@@ -21,8 +21,103 @@
 use crate::epr::{EprPair, ALICE_QUBIT, BOB_QUBIT};
 use crate::quantum::{ChannelSpec, ChannelTap};
 use noise::compiled::CompiledChannel;
+use noise::twirl::{PauliDistribution, TwirledChannel};
+use rand::Rng;
 use rand::RngCore;
 use std::fmt;
+
+/// The Pauli-twirled lowering of a compiled channel: everything the
+/// stabilizer backend needs per trial, reduced to **two** Klein-group
+/// distributions.
+///
+/// The emission distribution is the XOR-convolution of the twirls of the
+/// source and both state-prep placements; the transmit distribution is the
+/// per-slot gate⊛idle convolution raised to the chain length by repeated
+/// squaring. One pair therefore costs at most one `f64` draw per leg,
+/// independent of the chain length — the η-gate loop is folded away at
+/// compile time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwirledProgram {
+    emission: PauliDistribution,
+    transmit: PauliDistribution,
+    /// The individual placement twirls, in compile order (source, prep A,
+    /// prep B, gate, idle) — kept for reports and exactness audits.
+    placements: Vec<TwirledChannel>,
+    exact: bool,
+}
+
+impl TwirledProgram {
+    fn new(channel: &CompiledQuantumChannel) -> Self {
+        let mut placements = Vec::new();
+        let mut emission = PauliDistribution::default();
+        for compiled in [&channel.source, &channel.prep_alice, &channel.prep_bob]
+            .into_iter()
+            .flatten()
+        {
+            let twirled = compiled.twirl();
+            emission = emission.convolve(&twirled.frame_distribution());
+            placements.push(twirled);
+        }
+        let mut per_slot = PauliDistribution::default();
+        for compiled in [&channel.gate_alice, &channel.idle_bob]
+            .into_iter()
+            .flatten()
+        {
+            let twirled = compiled.twirl();
+            per_slot = per_slot.convolve(&twirled.frame_distribution());
+            placements.push(twirled);
+        }
+        let transmit = per_slot.convolution_power(channel.spec.length());
+        let exact = placements.iter().all(TwirledChannel::is_exact);
+        Self {
+            emission,
+            transmit,
+            placements,
+            exact,
+        }
+    }
+
+    /// The Klein-group distribution of one full emission (source + preps).
+    pub fn emission(&self) -> &PauliDistribution {
+        &self.emission
+    }
+
+    /// The Klein-group distribution of one full transmission (whole chain).
+    pub fn transmit(&self) -> &PauliDistribution {
+        &self.transmit
+    }
+
+    /// The individual placement twirls, in compile order.
+    pub fn placements(&self) -> &[TwirledChannel] {
+        &self.placements
+    }
+
+    /// `true` when every lowered placement was already Pauli-diagonal, so
+    /// the twirled program simulates the exact channel rather than its
+    /// twirled approximation.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// `true` when both legs are the identity point mass (ideal channel):
+    /// the backend skips the RNG draws entirely.
+    pub fn is_trivial(&self) -> bool {
+        self.emission.is_trivial() && self.transmit.is_trivial()
+    }
+}
+
+impl fmt::Display for TwirledProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TwirledProgram[{} placements, emission {}, transmit {}, {}]",
+            self.placements.len(),
+            self.emission,
+            self.transmit,
+            if self.exact { "exact" } else { "approximate" },
+        )
+    }
+}
 
 /// A [`QuantumChannel`](crate::quantum::QuantumChannel) with every noise placement precompiled.
 ///
@@ -45,6 +140,9 @@ pub struct CompiledQuantumChannel {
     /// Thermal idling on Bob's stored qubit per gate slot. Present iff the
     /// device is not ideal **and** models partner idling.
     idle_bob: Option<CompiledChannel>,
+    /// The Pauli-twirled lowering of the placements above, for the
+    /// stabilizer backend. Always present (trivial for ideal channels).
+    twirled: TwirledProgram,
 }
 
 impl CompiledQuantumChannel {
@@ -70,14 +168,22 @@ impl CompiledQuantumChannel {
                 }),
             )
         };
-        Self {
+        let mut channel = Self {
             spec,
             source,
             prep_alice,
             prep_bob,
             gate_alice,
             idle_bob,
-        }
+            twirled: TwirledProgram {
+                emission: PauliDistribution::default(),
+                transmit: PauliDistribution::default(),
+                placements: Vec::new(),
+                exact: true,
+            },
+        };
+        channel.twirled = TwirledProgram::new(&channel);
+        channel
     }
 
     /// The channel's spec.
@@ -111,6 +217,32 @@ impl CompiledQuantumChannel {
     /// is noisy and models partner idling.
     pub fn idle_bob(&self) -> Option<&CompiledChannel> {
         self.idle_bob.as_ref()
+    }
+
+    /// The Pauli-twirled lowering of this channel's placements.
+    pub fn twirled(&self) -> &TwirledProgram {
+        &self.twirled
+    }
+
+    /// Emits one pair in the **Pauli-frame representation**: the twirled
+    /// backend's emission path. The pair is reset to a frame-tracked `|Φ+⟩`
+    /// and kicked by one sample of the emission distribution — at most one
+    /// `f64` draw, no density work, no allocation.
+    pub fn emit_twirled_pair_into<R: Rng + ?Sized>(&self, pair: &mut EprPair, rng: &mut R) {
+        pair.reset_frame_ideal();
+        if !self.twirled.emission.is_trivial() {
+            pair.apply_alice_pauli(self.twirled.emission.sample(rng));
+        }
+    }
+
+    /// Transmits Alice's half under the twirled channel: one sample of the
+    /// precomputed whole-chain distribution, whatever the chain length.
+    /// Works on pairs in either representation (the frame kick and the
+    /// density Pauli are the same logical map).
+    pub fn transmit_twirled<R: Rng + ?Sized>(&self, pair: &mut EprPair, rng: &mut R) {
+        if !self.twirled.transmit.is_trivial() {
+            pair.apply_alice_pauli(self.twirled.transmit.sample(rng));
+        }
     }
 
     /// Emits one pair from the (noisy) source — bit-identical to
@@ -255,6 +387,91 @@ mod tests {
             pair_bits(&compiled.emit_noisy_pair()),
             pair_bits(&EprPair::from_noisy_source(&device))
         );
+    }
+
+    #[test]
+    fn ideal_channel_twirls_to_the_trivial_program() {
+        let compiled = QuantumChannel::default().compile();
+        let program = compiled.twirled();
+        assert!(program.is_trivial());
+        assert!(program.is_exact());
+        assert!(program.placements().is_empty());
+        // Emission still produces a frame-tracked Φ+ pair.
+        let mut pair = EprPair::ideal();
+        let mut r = rng();
+        compiled.emit_twirled_pair_into(&mut pair, &mut r);
+        compiled.transmit_twirled(&mut pair, &mut r);
+        assert!(pair.is_frame_tracked());
+        assert_eq!(
+            pair.frame().unwrap().state(),
+            qsim::bell::BellState::PhiPlus
+        );
+    }
+
+    #[test]
+    fn noisy_chain_twirls_to_a_nontrivial_program() {
+        let compiled = QuantumChannel::new(ChannelSpec::noisy_identity_chain(
+            25,
+            DeviceModel::ibm_brisbane_like(),
+        ))
+        .compile();
+        let program = compiled.twirled();
+        assert!(!program.is_trivial());
+        // Thermal relaxation (amplitude damping) is not Pauli-diagonal, so
+        // the brisbane chain twirls approximately.
+        assert!(!program.is_exact());
+        // source + prep×2 + gate (+ idle when partner idling is modelled).
+        let expected = if compiled.idle_bob().is_some() { 5 } else { 4 };
+        assert_eq!(program.placements().len(), expected);
+        assert!(program.to_string().contains("approximate"));
+    }
+
+    #[test]
+    fn twirled_sampling_matches_the_analytic_convolution() {
+        use qsim::pauli::Pauli;
+        use qsim::pauli_frame::PauliFrame;
+        let compiled = QuantumChannel::new(ChannelSpec::noisy_identity_chain(
+            25,
+            DeviceModel::ibm_brisbane_like(),
+        ))
+        .compile();
+        let program = compiled.twirled();
+        // Analytic label distribution: emission ⊛ transmit pushed onto the
+        // Bell labels of a kicked Φ+.
+        let full = program.emission().convolve(program.transmit());
+        let mut expect = [0.0f64; 4];
+        for (pauli, p) in Pauli::ALL.into_iter().zip(full.probabilities()) {
+            let mut frame = PauliFrame::ideal();
+            frame.apply_pauli(pauli);
+            expect[frame.state().to_index()] += p;
+        }
+        let mut r = rng();
+        let trials = 20_000;
+        let mut counts = [0usize; 4];
+        let mut pair = EprPair::ideal();
+        for _ in 0..trials {
+            compiled.emit_twirled_pair_into(&mut pair, &mut r);
+            compiled.transmit_twirled(&mut pair, &mut r);
+            counts[pair.frame().unwrap().state().to_index()] += 1;
+        }
+        for (label, (&count, want)) in counts.iter().zip(expect).enumerate() {
+            let got = count as f64 / trials as f64;
+            assert!(
+                (got - want).abs() < 0.01,
+                "label {label}: sampled {got} vs analytic {want}"
+            );
+        }
+        // And for weak noise the twirled program stays close to the exact
+        // channel's Bell diagonal.
+        let mut dense = compiled.emit_noisy_pair();
+        compiled.transmit(&mut dense, &mut r);
+        let exact = qsim::bell::bell_diagonal_probabilities(dense.density());
+        for (want, got) in exact.into_iter().zip(expect) {
+            assert!(
+                (got - want).abs() < 0.02,
+                "twirl must stay near the exact Bell diagonal ({got} vs {want})"
+            );
+        }
     }
 
     #[test]

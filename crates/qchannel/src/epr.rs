@@ -7,10 +7,11 @@
 //! DI check, Bell-state measurement for decoding, and fidelity bookkeeping.
 
 use noise::DeviceModel;
-use qsim::bell::{bell_measure_density, BellOutcome, BellState};
+use qsim::bell::{bell_diagonal_probabilities, bell_measure_density, BellOutcome, BellState};
 use qsim::density::DensityMatrix;
 use qsim::measurement::MeasurementOutcome;
 use qsim::pauli::Pauli;
+use qsim::pauli_frame::PauliFrame;
 use qsim::statevector::StateVector;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -37,15 +38,42 @@ pub const BOB_QUBIT: usize = 1;
 /// let outcome = pair.bell_measure(&mut rng);
 /// assert_eq!(outcome.state, BellState::PsiPlus);
 /// ```
-#[derive(Debug, PartialEq, Serialize, Deserialize)]
+/// The pair carries **two representations**:
+///
+/// - the exact density matrix `rho` (always allocated), and
+/// - an optional Pauli **frame** — when `frame` is `Some`, the logical
+///   state is the (pure) Bell state of the frame and `rho` is a *stale*
+///   buffer kept around so re-materialising is allocation-free.
+///
+/// The exact backends never set a frame, so their behaviour is unchanged.
+/// The Pauli-twirled backend keeps pairs frame-tracked through the honest
+/// data path (integer-only updates) and drops back to the density
+/// representation only when an active eavesdropper tap needs the full
+/// state, re-projecting afterwards with [`EprPair::twirl_to_frame`].
+#[derive(Debug)]
 pub struct EprPair {
     rho: DensityMatrix,
+    frame: Option<PauliFrame>,
+}
+
+impl Serialize for EprPair {
+    /// Serializes the **logical state** in the legacy `{rho: …}` wire
+    /// shape: frame-tracked pairs materialise their Bell state, so readers
+    /// never see the representation split.
+    fn to_value(&self) -> serde::Value {
+        let rho_value = match self.frame {
+            Some(f) => f.state().density_ref().to_value(),
+            None => self.rho.to_value(),
+        };
+        serde::Value::Map(vec![("rho".to_string(), rho_value)])
+    }
 }
 
 impl Clone for EprPair {
     fn clone(&self) -> Self {
         Self {
             rho: self.rho.clone(),
+            frame: self.frame,
         }
     }
 
@@ -54,6 +82,28 @@ impl Clone for EprPair {
     /// engine's per-trial pair pool.
     fn clone_from(&mut self, source: &Self) {
         self.rho.clone_from(&source.rho);
+        self.frame = source.frame;
+    }
+}
+
+impl PartialEq for EprPair {
+    /// Compares the **logical state**, independent of representation: a
+    /// frame-tracked pair equals a density-backed pair holding the same
+    /// pure Bell state.
+    fn eq(&self, other: &Self) -> bool {
+        match (self.frame, other.frame) {
+            (Some(a), Some(b)) => a == b,
+            (None, None) => self.rho == other.rho,
+            (Some(a), None) => a.state().density_ref() == &other.rho,
+            (None, Some(b)) => &self.rho == b.state().density_ref(),
+        }
+    }
+}
+
+impl Deserialize for EprPair {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let rho = DensityMatrix::from_value(value.get_field("rho")?)?;
+        Ok(Self { rho, frame: None })
     }
 }
 
@@ -70,6 +120,7 @@ impl EprPair {
     pub fn ideal() -> Self {
         Self {
             rho: ideal_rho().clone(),
+            frame: None,
         }
     }
 
@@ -78,6 +129,56 @@ impl EprPair {
     /// without the allocation — the emission hot path for pooled pairs.
     pub fn reset_ideal(&mut self) {
         self.rho.clone_from(ideal_rho());
+        self.frame = None;
+    }
+
+    /// Resets this pair to the perfect `|Φ+⟩` state in the **Pauli-frame
+    /// representation**: the emission hot path of the twirled backend. No
+    /// density work at all — the stale buffer is left untouched until (if
+    /// ever) an active tap forces materialisation.
+    pub fn reset_frame_ideal(&mut self) {
+        match &mut self.frame {
+            Some(f) => f.reset(),
+            None => self.frame = Some(PauliFrame::ideal()),
+        }
+    }
+
+    /// The pair's Pauli frame, when it is frame-tracked.
+    pub fn frame(&self) -> Option<PauliFrame> {
+        self.frame
+    }
+
+    /// `true` while the pair lives in the Pauli-frame representation.
+    pub fn is_frame_tracked(&self) -> bool {
+        self.frame.is_some()
+    }
+
+    /// Projects the pair onto the Bell-diagonal channel and samples one
+    /// Bell label — the **re-twirl** step that returns a density-backed
+    /// pair to the frame representation after an active eavesdropper tap
+    /// acted on the full state. One `f64` draw; a no-op on pairs that are
+    /// already frame-tracked.
+    ///
+    /// The sampled distribution is exactly
+    /// [`bell_diagonal_probabilities`], i.e. the Pauli twirl of whatever
+    /// the tap left behind.
+    pub fn twirl_to_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.frame.is_some() {
+            return;
+        }
+        let probs = bell_diagonal_probabilities(&self.rho);
+        let total: f64 = probs.iter().sum();
+        let draw = rng.gen::<f64>() * total;
+        let mut acc = 0.0;
+        let mut index = 3;
+        for (i, &p) in probs.iter().enumerate() {
+            acc += p;
+            if draw < acc {
+                index = i;
+                break;
+            }
+        }
+        self.frame = Some(PauliFrame::new(BellState::from_index(index)));
     }
 
     /// Creates a pair emitted by a noisy source: a perfect `|Φ+⟩` degraded by the device's
@@ -103,7 +204,7 @@ impl EprPair {
     /// Panics if the density matrix is not exactly two qubits.
     pub fn from_density(rho: DensityMatrix) -> Self {
         assert_eq!(rho.num_qubits(), 2, "an EPR pair is exactly two qubits");
-        Self { rho }
+        Self { rho, frame: None }
     }
 
     /// Builds a (separable) pair of fresh single qubits in the state `|a⟩ ⊗ |b⟩` — what a
@@ -118,42 +219,69 @@ impl EprPair {
         }
         Self {
             rho: DensityMatrix::from_statevector(&state),
+            frame: None,
         }
     }
 
     /// Immutable view of the underlying density matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on frame-tracked pairs: the density buffer is stale there.
+    /// Call [`EprPair::density_mut`] first (or keep using the frame API).
     pub fn density(&self) -> &DensityMatrix {
+        assert!(
+            self.frame.is_none(),
+            "the density buffer of a frame-tracked EprPair is stale; materialise with density_mut() first"
+        );
         &self.rho
     }
 
     /// Mutable view of the underlying density matrix (used by eavesdropper taps).
+    ///
+    /// Frame-tracked pairs **materialise** here: the frame's Bell state is
+    /// copied into the existing density buffer (no allocation) and the
+    /// frame is dropped, so the caller always sees the logical state.
     pub fn density_mut(&mut self) -> &mut DensityMatrix {
+        if let Some(f) = self.frame.take() {
+            self.rho.clone_from(f.state().density_ref());
+        }
         &mut self.rho
     }
 
     /// Consumes the pair and returns the density matrix.
-    pub fn into_density(self) -> DensityMatrix {
+    pub fn into_density(mut self) -> DensityMatrix {
+        self.density_mut();
         self.rho
     }
 
     /// Applies a Pauli encoding operator to Alice's qubit (message / identity encoding).
     pub fn apply_alice_pauli(&mut self, pauli: Pauli) {
-        pauli.apply_to_density(&mut self.rho, ALICE_QUBIT);
+        match &mut self.frame {
+            Some(f) => f.apply_pauli(pauli),
+            None => pauli.apply_to_density(&mut self.rho, ALICE_QUBIT),
+        }
     }
 
     /// Applies a Pauli encoding operator to Bob's qubit (Bob encoding `id_B` on `D_B`).
     pub fn apply_bob_pauli(&mut self, pauli: Pauli) {
-        pauli.apply_to_density(&mut self.rho, BOB_QUBIT);
+        match &mut self.frame {
+            // A Pauli on either half of a Bell state moves the label the
+            // same way (the transpose trick — our alphabet is real up to
+            // the global sign of iσy, which no Bell label can see).
+            Some(f) => f.apply_pauli(pauli),
+            None => pauli.apply_to_density(&mut self.rho, BOB_QUBIT),
+        }
     }
 
     /// Applies an arbitrary single-qubit unitary to Alice's qubit.
     pub fn apply_alice_unitary(&mut self, gate: &mathkit::CMatrix) {
-        self.rho.apply_single(gate, ALICE_QUBIT);
+        self.density_mut().apply_single(gate, ALICE_QUBIT);
     }
 
     /// Applies an arbitrary single-qubit unitary to Bob's qubit.
     pub fn apply_bob_unitary(&mut self, gate: &mathkit::CMatrix) {
-        self.rho.apply_single(gate, BOB_QUBIT);
+        self.density_mut().apply_single(gate, BOB_QUBIT);
     }
 
     /// Measures Alice's qubit in the basis `B(θ)` (DI-check measurement), collapsing the pair.
@@ -162,7 +290,7 @@ impl EprPair {
         theta: f64,
         rng: &mut R,
     ) -> MeasurementOutcome {
-        self.rho.measure_in_basis(ALICE_QUBIT, theta, rng)
+        self.density_mut().measure_in_basis(ALICE_QUBIT, theta, rng)
     }
 
     /// Measures Bob's qubit in the basis `B(θ)` (DI-check measurement), collapsing the pair.
@@ -171,7 +299,7 @@ impl EprPair {
         theta: f64,
         rng: &mut R,
     ) -> MeasurementOutcome {
-        self.rho.measure_in_basis(BOB_QUBIT, theta, rng)
+        self.density_mut().measure_in_basis(BOB_QUBIT, theta, rng)
     }
 
     /// Measures Alice's half in `B(θ_a)` and then Bob's half in `B(θ_b)` —
@@ -186,40 +314,68 @@ impl EprPair {
         theta_b: f64,
         rng: &mut R,
     ) -> (MeasurementOutcome, MeasurementOutcome) {
-        self.rho
-            .measure_two_in_bases(ALICE_QUBIT, theta_a, BOB_QUBIT, theta_b, rng)
+        match self.frame {
+            Some(f) => f.measure_in_bases(theta_a, theta_b, rng),
+            None => self
+                .rho
+                .measure_two_in_bases(ALICE_QUBIT, theta_a, BOB_QUBIT, theta_b, rng),
+        }
     }
 
     /// Performs a Bell-state measurement across the two halves (Bob's decoding measurement).
     pub fn bell_measure<R: Rng + ?Sized>(&mut self, rng: &mut R) -> BellOutcome {
-        bell_measure_density(&mut self.rho, ALICE_QUBIT, BOB_QUBIT, rng)
+        match self.frame {
+            // Frame-tracked pairs are in a definite Bell state: the BSM is
+            // deterministic and needs no RNG draw and no density work.
+            Some(f) => f.bell_outcome(),
+            None => bell_measure_density(&mut self.rho, ALICE_QUBIT, BOB_QUBIT, rng),
+        }
     }
 
     /// Measures both halves in the computational basis (used by some attack strategies).
     pub fn measure_computational<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (u8, u8) {
-        self.rho
-            .measure_two_computational(ALICE_QUBIT, BOB_QUBIT, rng)
+        match self.frame {
+            Some(f) => f.measure_computational(rng),
+            None => self
+                .rho
+                .measure_two_computational(ALICE_QUBIT, BOB_QUBIT, rng),
+        }
     }
 
     /// Fidelity of the pair with the ideal `|Φ+⟩` state.
     pub fn fidelity_phi_plus(&self) -> f64 {
-        self.rho
-            .fidelity_with_pure(&BellState::PhiPlus.statevector())
+        self.fidelity_with(BellState::PhiPlus)
     }
 
     /// Fidelity of the pair with an arbitrary Bell state.
     pub fn fidelity_with(&self, bell: BellState) -> f64 {
-        self.rho.fidelity_with_pure(&bell.statevector())
+        match self.frame {
+            Some(f) => {
+                if f.state() == bell {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            None => self.rho.fidelity_with_pure(&bell.statevector()),
+        }
     }
 
     /// Purity of the two-qubit state.
     pub fn purity(&self) -> f64 {
-        self.rho.purity()
+        match self.frame {
+            Some(_) => 1.0,
+            None => self.rho.purity(),
+        }
     }
 
     /// Returns `true` when the reduced state of either half is (close to) maximally mixed —
     /// a quick entanglement sanity check for tests.
     pub fn halves_look_maximally_mixed(&self, tol: f64) -> bool {
+        if self.frame.is_some() {
+            // Every Bell state has maximally mixed halves.
+            return true;
+        }
         let a = self.rho.partial_trace(&[ALICE_QUBIT]);
         let b = self.rho.partial_trace(&[BOB_QUBIT]);
         (a.purity() - 0.5).abs() <= tol && (b.purity() - 0.5).abs() <= tol
@@ -333,6 +489,134 @@ mod tests {
     #[should_panic(expected = "exactly two qubits")]
     fn from_density_rejects_wrong_size() {
         let _ = EprPair::from_density(DensityMatrix::new(3));
+    }
+
+    #[test]
+    fn frame_tracked_pairs_match_density_semantics() {
+        let mut r = rng();
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let mut framed = EprPair::ideal();
+                framed.reset_frame_ideal();
+                assert!(framed.is_frame_tracked());
+                framed.apply_alice_pauli(a);
+                framed.apply_bob_pauli(b);
+
+                let mut dense = EprPair::ideal();
+                dense.apply_alice_pauli(a);
+                dense.apply_bob_pauli(b);
+
+                // Logical-state equality across representations.
+                assert_eq!(framed, dense);
+                assert_eq!(dense, framed);
+                let outcome = framed.bell_measure(&mut r);
+                assert_eq!(outcome.state.encoding_pauli(), a.compose(b));
+                assert_eq!(outcome, dense.bell_measure(&mut r));
+                assert_eq!(framed.fidelity_with(outcome.state), 1.0);
+                assert!((framed.purity() - 1.0).abs() < 1e-12);
+                assert!(framed.halves_look_maximally_mixed(1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn materialisation_recovers_the_bell_density() {
+        let mut pair = EprPair::ideal();
+        pair.reset_frame_ideal();
+        pair.apply_alice_pauli(Pauli::X);
+        // density_mut materialises Ψ+ into the stale buffer and drops the frame.
+        let rho = pair.density_mut().clone();
+        assert!(!pair.is_frame_tracked());
+        assert_eq!(&rho, BellState::PsiPlus.density_ref());
+        assert!((pair.fidelity_with(BellState::PsiPlus) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn density_view_of_frame_tracked_pair_panics() {
+        let mut pair = EprPair::ideal();
+        pair.reset_frame_ideal();
+        let _ = pair.density();
+    }
+
+    #[test]
+    fn twirl_to_frame_projects_onto_the_bell_diagonal() {
+        let mut r = rng();
+        // A pure Bell state twirls to itself, deterministically.
+        for bell in [
+            BellState::PhiPlus,
+            BellState::PhiMinus,
+            BellState::PsiPlus,
+            BellState::PsiMinus,
+        ] {
+            let mut pair = EprPair::from_density(bell.density_ref().clone());
+            pair.twirl_to_frame(&mut r);
+            assert_eq!(pair.frame().unwrap().state(), bell);
+            // Idempotent on frame-tracked pairs.
+            pair.twirl_to_frame(&mut r);
+            assert_eq!(pair.frame().unwrap().state(), bell);
+        }
+        // A separable |00⟩⊗⟨00| state has Bell diagonal (1/2, 1/2, 0, 0):
+        // the twirl never lands on a Ψ label.
+        let mut phi = 0usize;
+        for _ in 0..200 {
+            let mut pair = EprPair::separable(0, 0);
+            pair.twirl_to_frame(&mut r);
+            match pair.frame().unwrap().state() {
+                BellState::PhiPlus | BellState::PhiMinus => phi += 1,
+                other => panic!("|00⟩ must twirl to a Φ label, got {other:?}"),
+            }
+        }
+        assert_eq!(phi, 200);
+    }
+
+    #[test]
+    fn serde_round_trip_materialises_the_frame() {
+        use serde::{Deserialize as _, Serialize as _};
+        let mut pair = EprPair::ideal();
+        pair.reset_frame_ideal();
+        pair.apply_alice_pauli(Pauli::Z);
+        let value = pair.to_value();
+        let back = EprPair::from_value(&value).unwrap();
+        assert!(!back.is_frame_tracked());
+        assert_eq!(back, pair, "wire shape carries the logical state");
+    }
+
+    #[test]
+    fn reset_ideal_clears_the_frame() {
+        let mut pair = EprPair::ideal();
+        pair.reset_frame_ideal();
+        pair.apply_alice_pauli(Pauli::X);
+        pair.reset_ideal();
+        assert!(!pair.is_frame_tracked());
+        assert!((pair.fidelity_phi_plus() - 1.0).abs() < 1e-12);
+        // And reset_frame_ideal reuses an existing frame in place.
+        pair.reset_frame_ideal();
+        pair.apply_bob_pauli(Pauli::IY);
+        pair.reset_frame_ideal();
+        assert_eq!(pair.frame().unwrap().state(), BellState::PhiPlus);
+    }
+
+    #[test]
+    fn frame_measurements_are_statistically_faithful() {
+        // CHSH-style correlator check: frame-tracked measurement at angles
+        // (θa, θb) must reproduce the analytic cos(θa + θb) correlation.
+        let mut r = rng();
+        let (ta, tb) = (0.3, -0.9);
+        let trials = 4000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let mut pair = EprPair::ideal();
+            pair.reset_frame_ideal();
+            let (a, b) = pair.measure_both_in_bases(ta, tb, &mut r);
+            sum += a.value() * b.value();
+        }
+        let expect = (ta + tb).cos();
+        let got = sum / trials as f64;
+        assert!(
+            (got - expect).abs() < 0.05,
+            "frame correlator {got} vs analytic {expect}"
+        );
     }
 
     #[test]

@@ -104,6 +104,27 @@ pub trait ChannelTap {
     /// Called once per pair while Alice's qubit is in flight to Bob.
     fn on_transmit(&mut self, _pair: &mut EprPair, _rng: &mut dyn RngCore) {}
 
+    /// Whether [`ChannelTap::on_pair_emitted`] does anything. Defaults to
+    /// `true` (conservative: an unknown tap is assumed active); taps that
+    /// only act in flight override this so substrates with a cheaper state
+    /// representation (the engine's Pauli-frame backend) can skip
+    /// materialising the full density matrix at emission time.
+    fn acts_on_emission(&self) -> bool {
+        true
+    }
+
+    /// Whether [`ChannelTap::on_transmit`] does anything. Same contract as
+    /// [`ChannelTap::acts_on_emission`], for the in-flight hook.
+    fn acts_on_transmit(&self) -> bool {
+        true
+    }
+
+    /// `true` when the tap never touches the quantum state at all — no
+    /// hook does anything — so every tap invocation can be skipped.
+    fn is_passive(&self) -> bool {
+        !self.acts_on_emission() && !self.acts_on_transmit()
+    }
+
     /// Human-readable name of the attack (for reports).
     fn name(&self) -> &str {
         "passive"
@@ -115,6 +136,14 @@ pub trait ChannelTap {
 pub struct NoTap;
 
 impl ChannelTap for NoTap {
+    fn acts_on_emission(&self) -> bool {
+        false
+    }
+
+    fn acts_on_transmit(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &str {
         "none"
     }

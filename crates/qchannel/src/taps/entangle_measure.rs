@@ -101,6 +101,10 @@ impl ChannelTap for EntangleMeasureAttack {
         *pair = EprPair::from_density(reduced);
     }
 
+    fn acts_on_emission(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &str {
         "entangle-and-measure"
     }

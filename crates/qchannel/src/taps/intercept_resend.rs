@@ -131,6 +131,10 @@ impl ChannelTap for InterceptResendAttack {
         self.captured_bits.push(bit);
     }
 
+    fn acts_on_emission(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &str {
         "intercept-and-resend"
     }

@@ -139,6 +139,10 @@ impl ChannelTap for ManInTheMiddleAttack {
         *pair = EprPair::from_density(substitute.tensor(&bob_half));
     }
 
+    fn acts_on_emission(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &str {
         "man-in-the-middle"
     }

@@ -136,6 +136,37 @@ impl BellState {
         }
     }
 
+    /// The position of this state in [`BellState::ALL`].
+    pub fn to_index(self) -> usize {
+        let (flip, phase) = self.flip_phase_bits();
+        (usize::from(flip) << 1) | usize::from(phase)
+    }
+
+    /// Inverse of [`BellState::to_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 3`.
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < 4, "Bell-state index {index} out of range (0..=3)");
+        Self::from_flip_phase_bits(index & 0b10 != 0, index & 0b01 != 0)
+    }
+
+    /// The (pure) density matrix of this Bell state, built once per process.
+    ///
+    /// This is the materialisation target when a Pauli-frame-tracked pair
+    /// has to re-enter the exact density substrate (e.g. when an active
+    /// eavesdropper tap needs the full state): cloning from the static
+    /// reference into an existing buffer is allocation-free.
+    pub fn density_ref(self) -> &'static crate::density::DensityMatrix {
+        static DENSITIES: std::sync::OnceLock<[crate::density::DensityMatrix; 4]> =
+            std::sync::OnceLock::new();
+        &DENSITIES.get_or_init(|| {
+            BellState::ALL
+                .map(|b| crate::density::DensityMatrix::from_statevector(&b.statevector()))
+        })[self.to_index()]
+    }
+
     /// Conventional ket notation.
     pub fn symbol(self) -> &'static str {
         match self {
@@ -306,6 +337,35 @@ fn bell_measure_density_pair<R: Rng + ?Sized>(
     (bit_a, bit_b)
 }
 
+/// The Bell-diagonal of a two-qubit density matrix: the four fidelities
+/// `⟨B|ρ|B⟩` in [`BellState::ALL`] order, each read off four matrix entries
+/// via the same quadratic forms as the BSM fast path. They sum to `Tr ρ`.
+///
+/// This is the "re-twirl" primitive of the Pauli-frame substrate: projecting
+/// a state back onto the Bell-diagonal channel after a non-Pauli operation
+/// (an eavesdropper's measurement, say) means sampling a Bell label from
+/// exactly this distribution.
+///
+/// # Panics
+///
+/// Panics if `rho` is not a two-qubit state.
+pub fn bell_diagonal_probabilities(rho: &crate::density::DensityMatrix) -> [f64; 4] {
+    assert_eq!(
+        rho.num_qubits(),
+        2,
+        "the Bell diagonal is defined for two-qubit states"
+    );
+    let m = rho.matrix().as_slice();
+    let quad = |u: usize, v: usize| -> (f64, f64) {
+        let base = 0.5 * (m[u * 4 + u].re + m[v * 4 + v].re);
+        let cross = m[u * 4 + v].re;
+        (base + cross, base - cross)
+    };
+    let (phi_plus, phi_minus) = quad(0b00, 0b11);
+    let (psi_plus, psi_minus) = quad(0b01, 0b10);
+    [phi_plus, phi_minus, psi_plus, psi_minus]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +488,50 @@ mod tests {
         s.apply_single(&Pauli::X.matrix(), 1);
         let outcome = bell_measure(&mut s, 1, 3, &mut r);
         assert_eq!(outcome.state, BellState::PsiPlus);
+    }
+
+    #[test]
+    fn index_round_trips_and_density_refs_are_the_pure_states() {
+        for (i, bell) in BellState::ALL.into_iter().enumerate() {
+            assert_eq!(bell.to_index(), i);
+            assert_eq!(BellState::from_index(i), bell);
+            let rho = bell.density_ref();
+            assert!((rho.fidelity_with_pure(&bell.statevector()) - 1.0).abs() < 1e-12);
+            assert!((rho.purity() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_out_of_range() {
+        let _ = BellState::from_index(4);
+    }
+
+    #[test]
+    fn bell_diagonal_of_pure_states_and_mixtures() {
+        for (i, bell) in BellState::ALL.into_iter().enumerate() {
+            let probs =
+                bell_diagonal_probabilities(&DensityMatrix::from_statevector(&bell.statevector()));
+            for (j, p) in probs.into_iter().enumerate() {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((p - expected).abs() < 1e-12, "{bell}: p[{j}] = {p}");
+            }
+        }
+        // The maximally mixed state is the uniform Bell mixture.
+        let probs = bell_diagonal_probabilities(&DensityMatrix::maximally_mixed(2));
+        for p in probs {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+        // A separable |00⟩⟨00| splits evenly across the two Φ states.
+        let probs = bell_diagonal_probabilities(&DensityMatrix::new(2));
+        assert!((probs[0] - 0.5).abs() < 1e-12 && (probs[1] - 0.5).abs() < 1e-12);
+        assert!(probs[2].abs() < 1e-12 && probs[3].abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-qubit")]
+    fn bell_diagonal_rejects_wrong_register_size() {
+        let _ = bell_diagonal_probabilities(&DensityMatrix::new(3));
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod gates;
 pub mod kernel;
 pub mod measurement;
 pub mod pauli;
+pub mod pauli_frame;
 pub mod statevector;
 
 pub use bell::{BellOutcome, BellState};
@@ -62,6 +63,7 @@ pub use density::DensityMatrix;
 pub use error::QsimError;
 pub use kernel::CompiledKraus;
 pub use pauli::Pauli;
+pub use pauli_frame::PauliFrame;
 pub use statevector::StateVector;
 
 /// Convenience re-exports for downstream crates.
@@ -75,5 +77,6 @@ pub mod prelude {
     pub use crate::gates;
     pub use crate::measurement::{MeasurementBasis, MeasurementOutcome};
     pub use crate::pauli::Pauli;
+    pub use crate::pauli_frame::PauliFrame;
     pub use crate::statevector::StateVector;
 }

@@ -174,11 +174,12 @@
 //!         Axis::Backend(BackendKind::ALL.to_vec()),
 //!     ]),
 //! };
-//! assert_eq!(campaign.expand()?.len(), 4); // grid product, last axis fastest
+//! // Grid product, last axis fastest: 2 adversaries × every backend.
+//! assert_eq!(campaign.expand()?.len(), 2 * BackendKind::ALL.len());
 //!
 //! let report = campaign.run_direct(Parallelism::Serial, &NoSampler)?;
 //! let honest = report.points[0].false_alarm.as_ref().unwrap();
-//! let attacked = report.points[2].detection.as_ref().unwrap();
+//! let attacked = report.points[BackendKind::ALL.len()].detection.as_ref().unwrap();
 //! assert!(attacked.rate > honest.rate);
 //! assert!(attacked.lower <= attacked.rate && attacked.rate <= attacked.upper);
 //! # Ok(())
@@ -188,9 +189,9 @@
 //! A [`prelude::CampaignRun`] lowers the same campaign onto per-point `ShardQueue`s in a
 //! shared directory, so a fleet drains it resumably — kill any worker, `resume`, and the
 //! report is byte-identical. The `shardctl campaign plan/run/resume/status/report`
-//! subcommands drive that directory between processes, and the `fig2`, `fig3` and
-//! `ablation_backend` binaries are formatters over checked-in campaign definitions
-//! (`crates/bench/campaigns/*.json`):
+//! subcommands drive that directory between processes, and the `fig2`, `fig3`,
+//! `ablation_backend`, `table1` and `attack_*` binaries are formatters over checked-in
+//! campaign definitions (`crates/bench/campaigns/*.json`):
 //!
 //! ```text
 //! shardctl campaign run --dir campaign/ --stored demo     # or --campaign mysweep.json
@@ -199,25 +200,32 @@
 //!
 //! ## Simulation backends
 //!
-//! Every scenario declares its simulation substrate via [`prelude::BackendKind`]: the default
-//! `density-matrix` backend reproduces the paper's exact emulation, while `statevector` runs
-//! the same sessions as sampled pure-state trajectories (one Born-sampled Kraus branch per
-//! noise application — cheaper, and approximate rather than exact). The kind is part of the
-//! scenario fingerprint, so the two substrates draw disjoint RNG streams, a shipped
-//! `ShardPlan` reproduces on the right substrate anywhere, and the merger refuses to fold
-//! results from different backends into one run. Select it with
+//! Every scenario declares its simulation substrate via [`prelude::BackendKind`] (see
+//! `docs/backends.md` for the full comparison): the default `density-matrix` backend
+//! reproduces the paper's exact emulation, `statevector` runs the same sessions as sampled
+//! pure-state trajectories (one Born-sampled Kraus branch per noise application — cheaper,
+//! and approximate rather than exact), and `pauli-twirled` lowers every noise placement to
+//! its Pauli twirl at compile time and tracks each EPR pair as a two-bit Pauli frame —
+//! integer-only trial loops, two to three orders of magnitude faster on noisy-channel
+//! sweeps. The kind is part of the scenario fingerprint, so the substrates draw disjoint RNG
+//! streams, a shipped `ShardPlan` reproduces on the right substrate anywhere, and the merger
+//! refuses to fold results from different backends into one run. Select it with
 //! [`with_backend`](prelude::Scenario::with_backend) in code, or `--backend` on `shardctl`
 //! and the attack sweep binaries; the `ablation_backend` binary sweeps detection-rate curves
-//! on both substrates and reports where they diverge:
+//! on every substrate and reports where (and at what speedup) they diverge from the exact
+//! emulation:
 //!
 //! ```rust
 //! use ua_di_qsdc::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let identities = IdentityPair::generate(4, &mut rng_from_seed(7));
-//! let config = SessionConfig::builder().message_bits(8).check_bits(2).di_check_pairs(24).build()?;
-//! let sampled = Scenario::new(config, identities).with_backend(BackendKind::Statevector);
+//! let config = SessionConfig::builder().message_bits(8).check_bits(2).di_check_pairs(64).build()?;
+//! let sampled = Scenario::new(config.clone(), identities.clone())
+//!     .with_backend(BackendKind::Statevector);
 //! assert!(SessionEngine::new(42).run(&sampled)?.is_delivered());
+//! let twirled = Scenario::new(config, identities).with_backend(BackendKind::PauliTwirled);
+//! assert!(SessionEngine::new(42).run(&twirled)?.is_delivered());
 //! # Ok(())
 //! # }
 //! ```

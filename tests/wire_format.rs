@@ -119,11 +119,19 @@ fn campaign_wire_format_is_stable() {
     // (grid product, last axis fastest) under the same fingerprint.
     assert_eq!(parsed.fingerprint(), campaign.fingerprint());
     let points = parsed.expand().expect("fixture campaign expands");
-    assert_eq!(points.len(), 4);
+    assert_eq!(points.len(), 2 * BackendKind::ALL.len());
     assert_eq!(
         points[1].coords[1],
         AxisValue::Backend(BackendKind::Statevector)
     );
+    // The fixture bytes pin every backend's canonical serde name — including
+    // the twirled substrate.
+    for kind in BackendKind::ALL {
+        assert!(
+            text.contains(&format!("\"{kind}\"")),
+            "fixture must spell out {kind}"
+        );
+    }
 }
 
 #[test]
@@ -134,7 +142,7 @@ fn campaign_report_wire_format_is_stable() {
     let text = check_bytes("campaign_report.json", &serde::json::to_string(&report));
     let parsed: CampaignReport = serde::json::from_str(&text).expect("fixture still parses");
     assert_eq!(parsed, report);
-    assert_eq!(parsed.points.len(), 4);
+    assert_eq!(parsed.points.len(), 2 * BackendKind::ALL.len());
     for point in &parsed.points {
         let summary = point.summary.as_ref().expect("session points summarize");
         assert_eq!(summary.trials, 2);
