@@ -428,7 +428,7 @@ fn queue_work_cmd(mut args: Args) {
     let parallelism = bench::announce_parallelism();
     let engine = SessionEngine::new(0).with_parallelism(parallelism);
     let output = queue.checkpoint().unwrap_or_else(|e| fail(e)).output;
-    let throttle_ms: u64 = std::env::var("UA_DI_QSDC_QUEUE_THROTTLE_MS")
+    let throttle_ms: u64 = std::env::var(protocol::env_keys::QUEUE_THROTTLE_MS)
         .ok()
         .and_then(|raw| raw.parse().ok())
         .unwrap_or(0);
@@ -521,7 +521,7 @@ fn campaign_options(args: &mut Args) -> CampaignRunOptions {
     }
     // The same chaos hook as `queue work`: stall between claim and execute so
     // a test can SIGKILL this process while it provably holds work.
-    options.throttle_ms = std::env::var("UA_DI_QSDC_QUEUE_THROTTLE_MS")
+    options.throttle_ms = std::env::var(protocol::env_keys::QUEUE_THROTTLE_MS)
         .ok()
         .and_then(|raw| raw.parse().ok())
         .unwrap_or(0);

@@ -598,7 +598,7 @@ mod tests {
 
     #[test]
     fn stored_campaigns_match_their_builders() {
-        let update = std::env::var_os("UA_DI_QSDC_UPDATE_FIXTURES").is_some();
+        let update = std::env::var_os(protocol::env_keys::UPDATE_FIXTURES).is_some();
         for (name, campaign) in stored_definitions() {
             let generated = serde::json::to_string(&campaign);
             if update {
@@ -611,9 +611,11 @@ mod tests {
             }
             let stored = stored_campaign(name).expect("stored campaign parses");
             assert_eq!(
-                campaign, stored,
+                campaign,
+                stored,
                 "campaigns/{name}.json has drifted from its builder \
-                 (rerun with UA_DI_QSDC_UPDATE_FIXTURES=1 to regenerate)"
+                 (rerun with {}=1 to regenerate)",
+                protocol::env_keys::UPDATE_FIXTURES
             );
             assert_eq!(
                 generated,

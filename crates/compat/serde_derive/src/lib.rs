@@ -5,6 +5,8 @@
 //! The generated code targets the sibling `serde` shim's value-tree model:
 //! `Serialize::to_value` / `Deserialize::from_value`.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize)]

@@ -1,0 +1,78 @@
+//! Diagnostics and the lint report: the tool's output surface.
+//!
+//! Both shapes derive the workspace serde shim's `Serialize`/`Deserialize`,
+//! so `detlint --format json` emits machine-readable findings that
+//! round-trip through `serde::json` — the same wire discipline every other
+//! artifact in this repository follows.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One finding: a rule violated at a source position.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The rule's identifier (e.g. `wall-clock`), valid in a waiver.
+    pub rule: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A waived finding: the diagnostic plus the reason its waiver recorded.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WaivedDiagnostic {
+    /// The finding that the waiver suppressed.
+    pub diagnostic: Diagnostic,
+    /// The reason given in the `// detlint: allow(rule): reason` comment.
+    pub reason: String,
+}
+
+/// The whole run's result. The process exits non-zero exactly when
+/// `diagnostics` is non-empty, so CI can gate on the exit code and archive
+/// the JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: u32,
+    /// Unwaived findings, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by a reasoned inline waiver, same order.
+    pub waived: Vec<WaivedDiagnostic>,
+}
+
+impl LintReport {
+    /// True when the run found nothing unwaived.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for diag in &self.diagnostics {
+            writeln!(f, "{diag}")?;
+        }
+        writeln!(
+            f,
+            "detlint: {} file(s) scanned, {} finding(s), {} waived",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.waived.len()
+        )
+    }
+}

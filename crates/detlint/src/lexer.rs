@@ -1,0 +1,548 @@
+//! A hand-rolled Rust lexer: just enough tokenization for rule matching.
+//!
+//! The lexer's one job is to never confuse *code* with *text*: a
+//! `"SystemTime::now"` inside a string literal, a `vec![]` inside a doc
+//! comment, or a `HashMap` inside a nested block comment must not trip a
+//! rule. It therefore handles, precisely, the Rust constructs that embed
+//! arbitrary text:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, including doc forms),
+//! - string literals with escapes (`"\""`), byte strings (`b".."`) and
+//!   C strings (`c".."`),
+//! - raw strings with any hash depth (`r"..."`, `r#"..."#`, `br##".."##`),
+//! - char and byte-char literals (`'\''`, `b'x'`) versus lifetimes
+//!   (`'static`) and loop labels (`'outer:`),
+//! - numeric literals including separators, exponents and suffixes
+//!   (`1_700_000_000_000`, `1.0e-9`, `0xFFu64`).
+//!
+//! Everything else becomes a flat stream of identifier, literal and
+//! single-character punctuation tokens carrying 1-based line/column
+//! positions. Comments are captured on a side channel (with positions) so
+//! the waiver parser can read them without the rule engine ever seeing
+//! their text as code.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unsafe_code`).
+    Ident,
+    /// A string-like literal (`"…"`, `r#"…"#`, `b"…"`, `c"…"`). The token
+    /// text is the literal's *content* (quotes and hashes stripped, escapes
+    /// left as written).
+    Str,
+    /// A char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime or loop label (`'static`, `'outer`), text without the `'`.
+    Lifetime,
+    /// A numeric literal, text as written.
+    Number,
+    /// A single punctuation character (`:`, `!`, `{`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's classification.
+    pub kind: TokenKind,
+    /// The token's text (see [`TokenKind`] for what is stored per kind).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// True when this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == ch.len_utf8() && {
+            let mut chars = self.text.chars();
+            chars.next() == Some(ch)
+        }
+    }
+}
+
+/// A comment captured during lexing (waivers live here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    /// The comment's text without its delimiters (`//`, `/*`, `*/`).
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// 1-based column where the comment starts.
+    pub col: u32,
+    /// True for `/* … */` comments, false for `// …`.
+    pub block: bool,
+}
+
+/// The lexer's output: code tokens plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All non-comment tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::str::Chars<'a>,
+    /// Lookahead buffer (peeked characters not yet consumed).
+    peeked: Vec<char>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            chars: text.chars(),
+            peeked: Vec::new(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Peeks `n` characters ahead (0 = next character) without consuming.
+    fn peek(&mut self, n: usize) -> Option<char> {
+        while self.peeked.len() <= n {
+            self.peeked.push(self.chars.next()?);
+        }
+        self.peeked.get(n).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = if self.peeked.is_empty() {
+            self.chars.next()?
+        } else {
+            self.peeked.remove(0)
+        };
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes `source` into tokens and comments. Unterminated constructs (a
+/// string or comment running to EOF) terminate their token at EOF rather
+/// than erroring: a linter must degrade gracefully on torn input.
+pub fn lex(source: &str) -> LexOutput {
+    let mut cur = Cursor::new(source);
+    let mut out = LexOutput::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            out.comments.push(line_comment(&mut cur, line, col));
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            out.comments.push(block_comment(&mut cur, line, col));
+            continue;
+        }
+        if c == '"' {
+            out.tokens.push(quoted_string(&mut cur, line, col));
+            continue;
+        }
+        if c == '\'' {
+            out.tokens.push(char_or_lifetime(&mut cur, line, col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.tokens.push(number(&mut cur, line, col));
+            continue;
+        }
+        if c == '_' || c.is_alphabetic() {
+            if let Some(token) = prefixed_literal(&mut cur, line, col) {
+                out.tokens.push(token);
+            } else {
+                out.tokens.push(ident(&mut cur, line, col));
+            }
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn line_comment(cur: &mut Cursor, line: u32, col: u32) -> Comment {
+    cur.bump();
+    cur.bump(); // the two slashes
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Comment {
+        text,
+        line,
+        col,
+        block: false,
+    }
+}
+
+fn block_comment(cur: &mut Cursor, line: u32, col: u32) -> Comment {
+    cur.bump();
+    cur.bump(); // the `/*`
+    let mut depth = 1usize;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            text.push_str("*/");
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    Comment {
+        text,
+        line,
+        col,
+        block: true,
+    }
+}
+
+/// Lexes a `"…"` string (cursor on the opening quote), honoring `\` escapes.
+fn quoted_string(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                text.push('\\');
+                if let Some(escaped) = cur.bump() {
+                    text.push(escaped);
+                }
+            }
+            _ => text.push(c),
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Lexes a raw string (cursor on the `r`): counts `#`s after the prefix and
+/// scans for the matching `"##…#` terminator — `#` inside the content never
+/// closes a deeper-hashed literal.
+fn raw_string(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    while cur.peek(0) != Some('#') && cur.peek(0) != Some('"') {
+        cur.bump(); // the r / br / cr prefix
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    'scan: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for n in 0..hashes {
+                if cur.peek(n) != Some('#') {
+                    text.push('"');
+                    text.extend(std::iter::repeat_n('#', n));
+                    for _ in 0..n {
+                        cur.bump();
+                    }
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        text.push(c);
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Disambiguates `'a'` / `'\n'` (char literals) from `'static` / `'outer`
+/// (lifetimes and labels). Cursor sits on the `'`.
+fn char_or_lifetime(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    // A backslash or a non-identifier character right after the quote can
+    // only start a char literal; an identifier character starts a char
+    // literal exactly when the character after it is the closing quote.
+    let is_char = match cur.peek(1) {
+        Some('\\') => true,
+        Some(c) if c == '_' || c.is_alphanumeric() => cur.peek(2) == Some('\''),
+        Some('\'') => false, // `''` cannot occur in valid Rust; treat as punct-ish char
+        Some(_) => true,
+        None => false,
+    };
+    cur.bump(); // the quote
+    if !is_char {
+        let mut text = String::new();
+        while let Some(c) = cur.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token {
+            kind: TokenKind::Lifetime,
+            text,
+            line,
+            col,
+        };
+    }
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\'' => break,
+            '\\' => {
+                text.push('\\');
+                if let Some(escaped) = cur.bump() {
+                    text.push(escaped);
+                }
+            }
+            _ => text.push(c),
+        }
+    }
+    Token {
+        kind: TokenKind::Char,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Lexes a numeric literal: digits, `_` separators, hex/bin/octal bodies,
+/// one fractional point, exponents with signs, and type suffixes.
+fn number(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    let mut seen_dot = false;
+    while let Some(c) = cur.peek(0) {
+        if c == '_' || c.is_ascii_alphanumeric() {
+            let at_exponent = (c == 'e' || c == 'E')
+                && !text.starts_with("0x")
+                && !text.starts_with("0b")
+                && !text.starts_with("0o");
+            text.push(c);
+            cur.bump();
+            if at_exponent && matches!(cur.peek(0), Some('+') | Some('-')) {
+                text.push(cur.bump().unwrap());
+            }
+        } else if c == '.' && !seen_dot && matches!(cur.peek(1), Some(d) if d.is_ascii_digit()) {
+            seen_dot = true;
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Number,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Detects the string-literal prefixes `r` `b` `c` `br` `cr` (cursor on the
+/// first letter) and dispatches to the right literal lexer; `None` means the
+/// letters are an ordinary identifier.
+fn prefixed_literal(cur: &mut Cursor, line: u32, col: u32) -> Option<Token> {
+    let first = cur.peek(0)?;
+    match (first, cur.peek(1)) {
+        ('r', _) if raw_opens(cur, 1) => Some(raw_string(cur, line, col)),
+        ('b', Some('"')) | ('c', Some('"')) => {
+            cur.bump(); // the prefix letter
+            Some(quoted_string(cur, line, col))
+        }
+        ('b', Some('\'')) => {
+            cur.bump(); // the b
+            Some(char_or_lifetime(cur, line, col))
+        }
+        ('b', Some('r')) | ('c', Some('r')) if raw_opens(cur, 2) => {
+            Some(raw_string(cur, line, col))
+        }
+        _ => None,
+    }
+}
+
+/// True when, starting `at` characters ahead, the stream reads `#*"` — i.e.
+/// a raw-string body actually opens (so `r#[cfg]`-style uses of `r#` as a
+/// raw identifier prefix don't get eaten).
+fn raw_opens(cur: &mut Cursor, at: usize) -> bool {
+    let mut n = at;
+    while cur.peek(n) == Some('#') {
+        n += 1;
+    }
+    cur.peek(n) == Some('"')
+}
+
+fn ident(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '_' || c.is_alphanumeric() {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_content_from_the_token_stream() {
+        let out = lex(r#"let x = "SystemTime::now()";"#);
+        assert!(!out.tokens.iter().any(|t| t.is_ident("SystemTime")));
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let out = lex(r###"let x = r#"quote " and # inside"# ; let y = 1;"###);
+        let strs: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r#"quote " and # inside"#);
+        assert!(out.tokens.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_comment() {
+        let out = lex("/* outer /* inner */ still outer */ fn x() {}");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("inner"));
+        assert!(out.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let out = lex(r"fn f<'a>(x: &'a str) { let c = 'x'; let q = '\''; let n = '\n'; }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes_lex_as_strings() {
+        for src in [
+            r#"b"bytes""#,
+            r#"c"cstr""#,
+            r##"br#"raw bytes"#"##,
+            r##"cr#"raw c"#"##,
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src}: {toks:?}");
+            assert_eq!(toks[0].0, TokenKind::Str, "{src}");
+        }
+        // … while plain identifiers starting with those letters stay idents.
+        assert_eq!(kinds("break")[0].0, TokenKind::Ident);
+        assert_eq!(kinds("crate")[0].0, TokenKind::Ident);
+        assert_eq!(kinds("rng")[0].0, TokenKind::Ident);
+    }
+
+    #[test]
+    fn numbers_with_separators_exponents_and_suffixes() {
+        for src in [
+            "1_700_000_000_000",
+            "1.0e-9",
+            "0xFFu64",
+            "3.25f32",
+            "0b1010",
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src}: {toks:?}");
+            assert_eq!(toks[0].0, TokenKind::Number, "{src}");
+            assert_eq!(toks[0].1, src);
+        }
+        // A range expression keeps its dots as punctuation.
+        let toks = kinds("0..5");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].0, TokenKind::Number);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let out = lex("fn a() {}\n  let b;");
+        let b = out.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!((b.line, b.col), (2, 7));
+    }
+}

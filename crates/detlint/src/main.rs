@@ -1,0 +1,84 @@
+//! The `detlint` binary: lint the workspace, print diagnostics, gate CI.
+//!
+//! ```text
+//! cargo run -p detlint                    # human-readable diagnostics
+//! cargo run -p detlint -- --format json   # machine-readable LintReport
+//! cargo run -p detlint -- --root DIR      # lint another workspace
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unwaived findings, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use detlint::{workspace, Config, Linter};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: detlint [--format human|json] [--root DIR]";
+
+fn main() -> ExitCode {
+    let mut format = String::from("human");
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "human" || f == "json" => format = f,
+                _ => return usage_error("--format takes `human` or `json`"),
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root takes a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(err) => {
+                    eprintln!("detlint: cannot read current directory: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            match workspace::find_root(&cwd) {
+                Some(found) => found,
+                None => {
+                    eprintln!("detlint: no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match Linter::new(Config::workspace()).lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("detlint: cannot scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        println!("{}", serde::json::to_string(&report));
+    } else {
+        print!("{report}");
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("detlint: {message}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,538 @@
+//! The rule catalog: each rule statically enforces one reproducibility
+//! invariant the workspace otherwise only checks dynamically.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `wall-clock` | replay depends only on (seed, fingerprint, trial index) — no clocks, env reads, or OS entropy in library code |
+//! | `unordered-iter` | fingerprints, serialized artifacts and merge folds never observe `HashMap`/`HashSet` order |
+//! | `unsafe-audit` | every crate root carries `#![forbid(unsafe_code)]`; `unsafe` appears only in the allowlisted allocator shim |
+//! | `hot-path-alloc` | the designated kernel modules stay allocation-free (the budget `alloc_regression.rs` asserts at run time) |
+//! | `internal-deprecated` | workspace-`#[deprecated]` items are not called from live code outside their defining module |
+//! | `wire-fixture` | every `pub` serde type in the engine wire modules is pinned by a golden fixture |
+//! | `env-keys` | `UA_DI_QSDC_*` names are spelled once, in `protocol::env_keys` |
+//! | `waiver-hygiene` | every waiver names a known rule and carries a reason |
+//!
+//! Findings are waivable inline (`// detlint: allow(<rule>): <reason>`)
+//! except `waiver-hygiene` itself — a waiver cannot excuse its own silence.
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, WaivedDiagnostic};
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// `wall-clock`: no `SystemTime::now` / `Instant::now` / `std::env::var` /
+/// OS entropy outside bins, tests and waived sites.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// `unordered-iter`: no `HashMap`/`HashSet` in crates feeding fingerprints,
+/// serialization or merge folds.
+pub const UNORDERED_ITER: &str = "unordered-iter";
+/// `unsafe-audit`: crate roots forbid unsafe; `unsafe` only in the allowlist.
+pub const UNSAFE_AUDIT: &str = "unsafe-audit";
+/// `hot-path-alloc`: no allocating calls in the kernel modules.
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// `internal-deprecated`: no live calls to workspace-deprecated items.
+pub const INTERNAL_DEPRECATED: &str = "internal-deprecated";
+/// `wire-fixture`: pub serde wire types must be golden-fixture covered.
+pub const WIRE_FIXTURE: &str = "wire-fixture";
+/// `env-keys`: workspace env-var names live in `protocol::env_keys` only.
+pub const ENV_KEYS: &str = "env-keys";
+/// `waiver-hygiene`: waivers carry reasons and name real rules.
+pub const WAIVER_HYGIENE: &str = "waiver-hygiene";
+
+/// Every rule identifier, in catalog order.
+pub const ALL_RULES: &[&str] = &[
+    WALL_CLOCK,
+    UNORDERED_ITER,
+    UNSAFE_AUDIT,
+    HOT_PATH_ALLOC,
+    INTERNAL_DEPRECATED,
+    WIRE_FIXTURE,
+    ENV_KEYS,
+    WAIVER_HYGIENE,
+];
+
+/// A token-sequence pattern element.
+enum Pat {
+    /// Exactly this identifier.
+    Id(&'static str),
+    /// Exactly this punctuation character.
+    P(char),
+}
+
+fn seq_at(tokens: &[Token], i: usize, pattern: &[Pat]) -> bool {
+    pattern.iter().enumerate().all(|(k, pat)| {
+        tokens.get(i + k).is_some_and(|t| match pat {
+            Pat::Id(word) => t.is_ident(word),
+            Pat::P(ch) => t.is_punct(*ch),
+        })
+    })
+}
+
+/// Runs every rule over the parsed files and splits the findings into
+/// unwaived diagnostics and reasoned waivers, each sorted.
+pub fn run_all(
+    config: &Config,
+    files: &[SourceFile],
+    fixture_names: &[String],
+) -> (Vec<Diagnostic>, Vec<WaivedDiagnostic>) {
+    let mut findings = Vec::new();
+    for file in files {
+        wall_clock(config, file, &mut findings);
+        unordered_iter(config, file, &mut findings);
+        unsafe_audit(config, file, &mut findings);
+        hot_path_alloc(config, file, &mut findings);
+        env_keys(config, file, &mut findings);
+    }
+    internal_deprecated(files, &mut findings);
+    wire_fixture(config, files, fixture_names, &mut findings);
+
+    let mut diagnostics = Vec::new();
+    let mut waived = Vec::new();
+    for finding in findings {
+        let file = files.iter().find(|f| f.path == finding.path);
+        let waiver = file.and_then(|f| f.waiver_for(&finding.rule, finding.line));
+        match waiver {
+            Some(w) => waived.push(WaivedDiagnostic {
+                diagnostic: finding,
+                reason: w.reason.clone().unwrap_or_default(),
+            }),
+            None => diagnostics.push(finding),
+        }
+    }
+    // Waiver hygiene runs last and is itself unwaivable.
+    for file in files {
+        waiver_hygiene(file, &mut diagnostics);
+    }
+    diagnostics.sort();
+    waived.sort();
+    (diagnostics, waived)
+}
+
+fn push(
+    findings: &mut Vec<Diagnostic>,
+    file: &SourceFile,
+    tok: &Token,
+    rule: &str,
+    message: String,
+) {
+    findings.push(Diagnostic {
+        path: file.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        rule: rule.to_string(),
+        message,
+    });
+}
+
+/// The `wall-clock` rule: nondeterministic inputs in library code.
+fn wall_clock(config: &Config, file: &SourceFile, findings: &mut Vec<Diagnostic>) {
+    if file.is_test_file || !config.wall_clock_applies(&file.path) {
+        return;
+    }
+    const PATTERNS: &[(&[Pat], &str)] = &[
+        (
+            &[
+                Pat::Id("SystemTime"),
+                Pat::P(':'),
+                Pat::P(':'),
+                Pat::Id("now"),
+            ],
+            "`SystemTime::now()` reads the wall clock; results must replay from \
+             (seed, fingerprint, trial index) alone",
+        ),
+        (
+            &[Pat::Id("Instant"), Pat::P(':'), Pat::P(':'), Pat::Id("now")],
+            "`Instant::now()` reads a clock; keep timing out of result-bearing library code",
+        ),
+        (
+            &[Pat::Id("env"), Pat::P(':'), Pat::P(':'), Pat::Id("var")],
+            "`std::env::var` makes behavior depend on ambient process state; \
+             read configuration at entry points and pass it down",
+        ),
+        (
+            &[Pat::Id("env"), Pat::P(':'), Pat::P(':'), Pat::Id("var_os")],
+            "`std::env::var_os` makes behavior depend on ambient process state; \
+             read configuration at entry points and pass it down",
+        ),
+        (
+            &[Pat::Id("thread_rng")],
+            "`thread_rng()` draws OS entropy; derive RNG streams from the master seed",
+        ),
+        (
+            &[Pat::Id("from_entropy")],
+            "`from_entropy()` draws OS entropy; derive RNG streams from the master seed",
+        ),
+    ];
+    for i in 0..file.tokens.len() {
+        let tok = &file.tokens[i];
+        if file.in_test_region(tok.line) {
+            continue;
+        }
+        for (pattern, message) in PATTERNS {
+            if seq_at(&file.tokens, i, pattern) {
+                push(findings, file, tok, WALL_CLOCK, (*message).to_string());
+            }
+        }
+    }
+}
+
+/// The `unordered-iter` rule: `HashMap`/`HashSet` anywhere in the scoped
+/// crates. Iteration order over these types is nondeterministic, and no
+/// static analysis can prove a map is never iterated once it exists — so
+/// the crates that feed fingerprints, serialized artifacts, or merge folds
+/// must not hold one at all. `BTreeMap`/`BTreeSet` are drop-in ordered
+/// replacements; a sorted `Vec` works for build-once tables.
+fn unordered_iter(config: &Config, file: &SourceFile, findings: &mut Vec<Diagnostic>) {
+    if file.is_test_file || !config.unordered_applies(&file.path) {
+        return;
+    }
+    for tok in &file.tokens {
+        if file.in_test_region(tok.line) {
+            continue;
+        }
+        if tok.is_ident("HashMap") || tok.is_ident("HashSet") {
+            push(
+                findings,
+                file,
+                tok,
+                UNORDERED_ITER,
+                format!(
+                    "`{}` iteration order is nondeterministic and this crate feeds \
+                     fingerprints/serialization/merge folds; use `BTree{}` or a sorted Vec",
+                    tok.text,
+                    tok.text.trim_start_matches("Hash")
+                ),
+            );
+        }
+    }
+}
+
+/// The `unsafe-audit` rule: every crate root must `#![forbid(unsafe_code)]`
+/// and `unsafe` may only appear in allowlisted crates.
+fn unsafe_audit(config: &Config, file: &SourceFile, findings: &mut Vec<Diagnostic>) {
+    if config.unsafe_allowed(&file.path) {
+        return;
+    }
+    if config.is_crate_root(&file.path) {
+        let has_forbid = (0..file.tokens.len()).any(|i| {
+            seq_at(
+                &file.tokens,
+                i,
+                &[
+                    Pat::P('#'),
+                    Pat::P('!'),
+                    Pat::P('['),
+                    Pat::Id("forbid"),
+                    Pat::P('('),
+                    Pat::Id("unsafe_code"),
+                    Pat::P(')'),
+                    Pat::P(']'),
+                ],
+            )
+        });
+        if !has_forbid {
+            findings.push(Diagnostic {
+                path: file.path.clone(),
+                line: 1,
+                col: 1,
+                rule: UNSAFE_AUDIT.to_string(),
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+    for tok in &file.tokens {
+        if tok.is_ident("unsafe") {
+            push(
+                findings,
+                file,
+                tok,
+                UNSAFE_AUDIT,
+                "`unsafe` outside the allowlisted allocator shim".to_string(),
+            );
+        }
+    }
+}
+
+/// The `hot-path-alloc` rule: allocating calls inside the designated
+/// allocation-free kernel modules. Compile-time constructors waive
+/// themselves with one function-level annotation.
+fn hot_path_alloc(config: &Config, file: &SourceFile, findings: &mut Vec<Diagnostic>) {
+    if !config.is_hot_module(&file.path) {
+        return;
+    }
+    const PATTERNS: &[(&[Pat], &str)] = &[
+        (
+            &[Pat::Id("Vec"), Pat::P(':'), Pat::P(':'), Pat::Id("new")],
+            "Vec::new",
+        ),
+        (
+            &[
+                Pat::Id("Vec"),
+                Pat::P(':'),
+                Pat::P(':'),
+                Pat::Id("with_capacity"),
+            ],
+            "Vec::with_capacity",
+        ),
+        (&[Pat::Id("vec"), Pat::P('!')], "vec![]"),
+        (
+            &[Pat::Id("Box"), Pat::P(':'), Pat::P(':'), Pat::Id("new")],
+            "Box::new",
+        ),
+        (
+            &[Pat::Id("String"), Pat::P(':'), Pat::P(':'), Pat::Id("new")],
+            "String::new",
+        ),
+        (
+            &[Pat::Id("String"), Pat::P(':'), Pat::P(':'), Pat::Id("from")],
+            "String::from",
+        ),
+        (&[Pat::Id("format"), Pat::P('!')], "format!"),
+        (&[Pat::P('.'), Pat::Id("to_vec")], ".to_vec()"),
+        (&[Pat::P('.'), Pat::Id("to_string")], ".to_string()"),
+        (&[Pat::P('.'), Pat::Id("to_owned")], ".to_owned()"),
+        (&[Pat::P('.'), Pat::Id("clone")], ".clone()"),
+        (&[Pat::P('.'), Pat::Id("collect")], ".collect()"),
+    ];
+    for i in 0..file.tokens.len() {
+        let tok = &file.tokens[i];
+        if file.in_test_region(tok.line) {
+            continue;
+        }
+        for (pattern, name) in PATTERNS {
+            if seq_at(&file.tokens, i, pattern) {
+                push(
+                    findings,
+                    file,
+                    tok,
+                    HOT_PATH_ALLOC,
+                    format!(
+                        "`{name}` allocates inside a designated allocation-free kernel module \
+                         (budgeted by alloc_regression.rs); reuse scratch buffers, or waive \
+                         the enclosing compile-time constructor"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The `env-keys` rule: a string literal that *is* a workspace env-var name
+/// outside the `env_keys` module that owns them.
+fn env_keys(config: &Config, file: &SourceFile, findings: &mut Vec<Diagnostic>) {
+    if file.path == config.env_keys_home {
+        return;
+    }
+    for tok in &file.tokens {
+        if tok.kind == TokenKind::Str && tok.text.starts_with(&config.env_key_prefix) {
+            push(
+                findings,
+                file,
+                tok,
+                ENV_KEYS,
+                format!(
+                    "env-var name `{}` spelled as a literal; use the constant in \
+                     `protocol::env_keys` so typos cannot fork the configuration surface",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+/// The `internal-deprecated` rule: calls to workspace-`#[deprecated]` items
+/// from live (non-test) code outside the defining file.
+fn internal_deprecated(files: &[SourceFile], findings: &mut Vec<Diagnostic>) {
+    // Pass 1: collect the names of deprecated items and where they live.
+    let mut deprecated: Vec<(String, String)> = Vec::new();
+    for file in files {
+        let mut i = 0;
+        while i < file.tokens.len() {
+            if !seq_at(&file.tokens, i, &[Pat::P('#'), Pat::P('[')])
+                || !file.tokens[i + 2..]
+                    .first()
+                    .is_some_and(|t| t.is_ident("deprecated"))
+            {
+                i += 1;
+                continue;
+            }
+            // Find the deprecated item's name: the identifier after the next
+            // item keyword following this attribute.
+            const ITEM_KEYWORDS: &[&str] = &["fn", "struct", "enum", "const", "type", "trait"];
+            let mut j = i + 3;
+            while j < file.tokens.len() {
+                let tok = &file.tokens[j];
+                if ITEM_KEYWORDS.iter().any(|k| tok.is_ident(k)) {
+                    if let Some(name) = file.tokens.get(j + 1) {
+                        if name.kind == TokenKind::Ident {
+                            deprecated.push((name.text.clone(), file.path.clone()));
+                        }
+                    }
+                    break;
+                }
+                j += 1;
+            }
+            i += 3;
+        }
+    }
+    // Pass 2: flag call-shaped uses elsewhere.
+    for file in files {
+        if file.is_test_file {
+            continue;
+        }
+        for i in 0..file.tokens.len() {
+            let tok = &file.tokens[i];
+            if tok.kind != TokenKind::Ident || file.in_test_region(tok.line) {
+                continue;
+            }
+            if !file.tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            for (name, home) in &deprecated {
+                if &tok.text == name && &file.path != home {
+                    push(
+                        findings,
+                        file,
+                        tok,
+                        INTERNAL_DEPRECATED,
+                        format!(
+                            "call to workspace-deprecated `{name}` (defined in {home}) from \
+                             live code; migrate to its replacement"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The `wire-fixture` rule: every `pub` serde-derived type in the engine
+/// wire modules must be named by the golden-fixture witness test.
+fn wire_fixture(
+    config: &Config,
+    files: &[SourceFile],
+    fixture_names: &[String],
+    findings: &mut Vec<Diagnostic>,
+) {
+    let witness_idents: Vec<String> = files
+        .iter()
+        .find(|f| f.path == config.wire_witness)
+        .map(|f| f.ident_set().iter().map(|s| s.to_string()).collect())
+        .unwrap_or_default();
+    for file in files {
+        if !config.wire_modules.iter().any(|m| m == &file.path) {
+            continue;
+        }
+        if fixture_names.is_empty() {
+            findings.push(Diagnostic {
+                path: file.path.clone(),
+                line: 1,
+                col: 1,
+                rule: WIRE_FIXTURE.to_string(),
+                message: format!(
+                    "no golden fixtures found under {}; the wire format is unlocked",
+                    config.fixtures_dir
+                ),
+            });
+            continue;
+        }
+        for (name, tok) in pub_serde_types(file) {
+            if !witness_idents.iter().any(|w| w == &name) {
+                push(
+                    findings,
+                    file,
+                    tok,
+                    WIRE_FIXTURE,
+                    format!(
+                        "pub serde type `{name}` is not named by {}; add a golden fixture \
+                         (or typed assertion) so its wire shape cannot drift silently",
+                        config.wire_witness
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Collects `pub struct`/`pub enum` items whose attributes derive
+/// `Serialize` or `Deserialize`. `pub(crate)` and narrower are skipped —
+/// they are not wire surface.
+fn pub_serde_types(file: &SourceFile) -> Vec<(String, &Token)> {
+    let mut result = Vec::new();
+    let tokens = &file.tokens;
+    let mut pending_attr_idents: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some((end, idents)) = crate::source::attribute_span(tokens, i) {
+            pending_attr_idents.extend(idents);
+            i = end + 1;
+            continue;
+        }
+        let tok = &tokens[i];
+        if tok.is_ident("pub") {
+            let mut j = i + 1;
+            let restricted = tokens.get(j).is_some_and(|t| t.is_punct('('));
+            if restricted {
+                while j < tokens.len() && !tokens[j].is_punct(')') {
+                    j += 1;
+                }
+                j += 1;
+            }
+            let is_type = tokens
+                .get(j)
+                .is_some_and(|t| t.is_ident("struct") || t.is_ident("enum"));
+            if is_type && !restricted {
+                let derives_serde = pending_attr_idents
+                    .iter()
+                    .any(|s| s == "Serialize" || s == "Deserialize");
+                if derives_serde {
+                    if let Some(name) = tokens.get(j + 1) {
+                        if name.kind == TokenKind::Ident {
+                            result.push((name.text.clone(), name));
+                        }
+                    }
+                }
+            }
+            pending_attr_idents.clear();
+            i = j + 1;
+            continue;
+        }
+        pending_attr_idents.clear();
+        i += 1;
+    }
+    result
+}
+
+/// The `waiver-hygiene` rule: bare waivers and waivers naming unknown
+/// rules. Unwaivable by design.
+fn waiver_hygiene(file: &SourceFile, findings: &mut Vec<Diagnostic>) {
+    for waiver in &file.waivers {
+        if !waiver.unknown_rules.is_empty() {
+            findings.push(Diagnostic {
+                path: file.path.clone(),
+                line: waiver.line,
+                col: waiver.col,
+                rule: WAIVER_HYGIENE.to_string(),
+                message: format!(
+                    "waiver names unknown rule(s) {:?}; valid rules: {}",
+                    waiver.unknown_rules,
+                    ALL_RULES.join(", ")
+                ),
+            });
+        }
+        if waiver.reason.is_none() && !waiver.rules.is_empty() {
+            findings.push(Diagnostic {
+                path: file.path.clone(),
+                line: waiver.line,
+                col: waiver.col,
+                rule: WAIVER_HYGIENE.to_string(),
+                message: format!(
+                    "bare waiver for {:?} with no reason; write \
+                     `// detlint: allow({}): <why this site is exempt>`",
+                    waiver.rules,
+                    waiver.rules.join(", ")
+                ),
+            });
+        }
+    }
+}

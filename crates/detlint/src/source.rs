@@ -1,0 +1,424 @@
+//! Per-file analysis context: tokens plus the structural facts rules need.
+//!
+//! A [`SourceFile`] owns the lexed token stream and precomputes three maps:
+//!
+//! - **Function spans** — `fn` items with their signature and body line
+//!   ranges, so a waiver attached to a function signature can cover the
+//!   whole body (compile-time constructors in hot-path modules waive all
+//!   their setup allocations with one annotated line).
+//! - **Test regions** — line ranges under `#[cfg(test)]` / `#[test]`, plus
+//!   whole files under a `tests/` or `benches/` directory. Most rules guard
+//!   shipped behavior, not test scaffolding.
+//! - **Waivers** — parsed `// detlint: allow(<rule>): <reason>` comments.
+//!   A waiver covers the line it trails, or the next code line below it
+//!   (skipping attributes); when that line is a function signature it
+//!   covers the function's body too. A waiver with no reason still
+//!   suppresses its target but is itself reported by the `waiver-hygiene`
+//!   rule — silence must be explained.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// A `fn` item's position: signature start, body open, body end (lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnSpan {
+    /// Line of the `fn` keyword.
+    pub sig_line: u32,
+    /// Line of the body's opening `{` (equals `sig_line` for one-liners).
+    pub open_line: u32,
+    /// Line of the body's closing `}`.
+    pub end_line: u32,
+}
+
+/// One parsed waiver comment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waiver {
+    /// The rules this waiver suppresses.
+    pub rules: Vec<String>,
+    /// The reason after the closing paren; `None` for a bare waiver.
+    pub reason: Option<String>,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Column of the comment itself.
+    pub col: u32,
+    /// First line the waiver covers (trailing: its own line; standalone:
+    /// the next code line below, attributes skipped).
+    pub target_line: u32,
+    /// Last line the waiver covers (extends over a function body when the
+    /// target line is a function signature).
+    pub end_line: u32,
+    /// Rule names in the directive that detlint does not know.
+    pub unknown_rules: Vec<String>,
+}
+
+/// A lexed and structurally indexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// The token stream (comments excluded).
+    pub tokens: Vec<Token>,
+    /// The comment side channel.
+    pub comments: Vec<Comment>,
+    /// Parsed waivers, in source order.
+    pub waivers: Vec<Waiver>,
+    /// All `fn` item spans.
+    pub fn_spans: Vec<FnSpan>,
+    /// Inclusive line ranges belonging to `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// True when the whole file is test or bench scaffolding by location.
+    pub is_test_file: bool,
+}
+
+impl SourceFile {
+    /// Lexes and indexes `text` under the given workspace-relative `path`.
+    /// `known_rules` drives waiver validation.
+    pub fn parse(path: &str, text: &str, known_rules: &[&str]) -> SourceFile {
+        let out = lex(text);
+        let tokens = out.tokens;
+        let comments = out.comments;
+        let attr_lines = attribute_lines(&tokens);
+        let fn_spans = fn_spans(&tokens);
+        let test_regions = test_regions(&tokens);
+        let is_test_file = path_is_test(path);
+        let waivers = comments
+            .iter()
+            .filter_map(|c| parse_waiver(c, &tokens, &attr_lines, &fn_spans, known_rules))
+            .collect();
+        SourceFile {
+            path: path.to_string(),
+            tokens,
+            comments,
+            waivers,
+            fn_spans,
+            test_regions,
+            is_test_file,
+        }
+    }
+
+    /// True when `line` lies in test scaffolding.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.is_test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(start, end)| (start..=end).contains(&line))
+    }
+
+    /// The waiver covering `rule` at `line`, if any.
+    pub fn waiver_for(&self, rule: &str, line: u32) -> Option<&Waiver> {
+        self.waivers.iter().find(|w| {
+            (w.target_line..=w.end_line).contains(&line) && w.rules.iter().any(|r| r == rule)
+        })
+    }
+
+    /// All identifier texts in the file (for cross-reference rules).
+    pub fn ident_set(&self) -> BTreeSet<&str> {
+        self.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+}
+
+/// Whether `path` denotes test/bench/example scaffolding by location alone.
+fn path_is_test(path: &str) -> bool {
+    let parts: Vec<&str> = path.split('/').collect();
+    parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples")
+}
+
+/// Lines occupied by outer/inner attributes (`#[…]`, `#![…]`).
+fn attribute_lines(tokens: &[Token]) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some((end, _)) = attribute_span(tokens, i) {
+            for t in &tokens[i..=end] {
+                lines.insert(t.line);
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    lines
+}
+
+/// If an attribute starts at `i`, returns (index of its closing `]`, the
+/// identifiers appearing inside it).
+pub(crate) fn attribute_span(tokens: &[Token], i: usize) -> Option<(usize, Vec<String>)> {
+    if !tokens.get(i)?.is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !tokens.get(j)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    for (k, tok) in tokens.iter().enumerate().skip(j) {
+        if tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((k, idents));
+            }
+        } else if tok.kind == TokenKind::Ident {
+            idents.push(tok.text.clone());
+        }
+    }
+    None
+}
+
+/// Finds every named `fn` item and its line span. The token after `fn` must
+/// be an identifier, so `fn(usize) -> T` pointer types don't register.
+fn fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        if !tokens
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            continue;
+        }
+        // Scan the signature for the body's `{` (or `;` for a bare decl).
+        let mut j = i + 2;
+        while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].is_punct(';') {
+            continue;
+        }
+        if let Some(end) = matching_brace(tokens, j) {
+            spans.push(FnSpan {
+                sig_line: tokens[i].line,
+                open_line: tokens[j].line,
+                end_line: tokens[end].line,
+            });
+        }
+    }
+    spans
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Line ranges of items annotated `#[cfg(test)]` or `#[test]`.
+fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let Some((end, idents)) = attribute_span(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        let start_line = tokens[i].line;
+        i = end + 1;
+        let is_test = idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not");
+        if !is_test {
+            continue;
+        }
+        // Skip any further attributes, then span the annotated item.
+        let mut j = i;
+        while let Some((attr_end, _)) = attribute_span(tokens, j) {
+            j = attr_end + 1;
+        }
+        while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            j += 1;
+        }
+        if j < tokens.len() && tokens[j].is_punct('{') {
+            if let Some(close) = matching_brace(tokens, j) {
+                regions.push((start_line, tokens[close].line));
+                i = close + 1;
+            }
+        }
+    }
+    regions
+}
+
+/// Parses one comment into a waiver, when it carries a `detlint:` directive.
+fn parse_waiver(
+    comment: &Comment,
+    tokens: &[Token],
+    attr_lines: &BTreeSet<u32>,
+    fn_spans: &[FnSpan],
+    known_rules: &[&str],
+) -> Option<Waiver> {
+    // Strip doc-comment sigils so `/// detlint:` and `//! detlint:` parse too.
+    let text = comment
+        .text
+        .trim_start_matches(['/', '!', '*'])
+        .trim_start();
+    let directive = text.strip_prefix("detlint:")?.trim_start();
+    let rest = directive.strip_prefix("allow").unwrap_or("");
+    let rest = rest.trim_start();
+    let (rules_text, after) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+        Some(split) => split,
+        // `detlint:` with anything unparseable is still a waiver attempt —
+        // surface it through `unknown_rules` rather than ignoring it.
+        None => ("", directive),
+    };
+    let mut rules = Vec::new();
+    let mut unknown_rules = Vec::new();
+    for rule in rules_text.split(',') {
+        let rule = rule.trim();
+        if rule.is_empty() {
+            continue;
+        }
+        if known_rules.contains(&rule) {
+            rules.push(rule.to_string());
+        } else {
+            unknown_rules.push(rule.to_string());
+        }
+    }
+    if rules.is_empty() && unknown_rules.is_empty() {
+        unknown_rules.push(after.trim().to_string());
+    }
+    let reason = after
+        .trim_start()
+        .strip_prefix(':')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty());
+
+    let trailing = tokens
+        .iter()
+        .any(|t| t.line == comment.line && t.col < comment.col);
+    let target_line = if trailing {
+        comment.line
+    } else {
+        tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > comment.line && !attr_lines.contains(&l))
+            .unwrap_or(comment.line)
+    };
+    // A waiver attached to a function signature covers the whole body.
+    let end_line = fn_spans
+        .iter()
+        .find(|s| (s.sig_line..=s.open_line).contains(&target_line))
+        .map(|s| s.end_line)
+        .unwrap_or(target_line);
+
+    Some(Waiver {
+        rules,
+        reason,
+        line: comment.line,
+        col: comment.col,
+        target_line,
+        end_line,
+        unknown_rules,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["wall-clock", "hot-path-alloc"];
+
+    #[test]
+    fn trailing_waiver_covers_its_own_line() {
+        let src = "let t = now(); // detlint: allow(wall-clock): lease clock\nlet u = 1;";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src, RULES);
+        assert!(file.waiver_for("wall-clock", 1).is_some());
+        assert!(file.waiver_for("wall-clock", 2).is_none());
+        assert!(file.waiver_for("hot-path-alloc", 1).is_none());
+        assert_eq!(file.waivers[0].reason.as_deref(), Some("lease clock"));
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_code_line_skipping_attributes() {
+        let src = "\
+// detlint: allow(wall-clock): documented exception
+#[inline]
+pub fn read() {}
+";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src, RULES);
+        assert_eq!(file.waivers[0].target_line, 3);
+    }
+
+    #[test]
+    fn waiver_on_fn_signature_covers_the_body() {
+        let src = "\
+// detlint: allow(hot-path-alloc): compile-time constructor
+fn compile(
+    input: usize,
+) -> usize {
+    let v = Vec::new();
+    v.len() + input
+}
+fn apply() {}
+";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src, RULES);
+        assert!(file.waiver_for("hot-path-alloc", 5).is_some());
+        assert!(file.waiver_for("hot-path-alloc", 8).is_none());
+    }
+
+    #[test]
+    fn bare_waiver_has_no_reason_and_unknown_rules_surface() {
+        let src = "let t = now(); // detlint: allow(wall-clock)\n// detlint: allow(wallclock): typo\nlet u = 1;";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src, RULES);
+        assert_eq!(file.waivers.len(), 2);
+        assert!(file.waivers[0].reason.is_none());
+        assert_eq!(file.waivers[1].unknown_rules, vec!["wallclock".to_string()]);
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_test_regions() {
+        let src = "\
+pub fn shipped() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn check() {}
+}
+";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src, RULES);
+        assert!(!file.in_test_region(1));
+        assert!(file.in_test_region(4));
+        assert!(file.in_test_region(5));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod shipped {\n    pub fn f() {}\n}\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src, RULES);
+        assert!(!file.in_test_region(3));
+    }
+
+    #[test]
+    fn files_under_tests_and_benches_are_wholly_test() {
+        for path in [
+            "crates/x/tests/suite.rs",
+            "crates/x/benches/bench.rs",
+            "tests/wire_format.rs",
+            "examples/quickstart.rs",
+        ] {
+            assert!(SourceFile::parse(path, "fn f() {}", RULES).is_test_file);
+        }
+        assert!(!SourceFile::parse("crates/x/src/lib.rs", "fn f() {}", RULES).is_test_file);
+    }
+}

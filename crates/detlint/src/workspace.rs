@@ -1,0 +1,91 @@
+//! Workspace discovery: find the root, walk the tree, load the sources.
+//!
+//! The walk is deterministic — directory entries are sorted by name before
+//! descent — so two runs over the same tree always produce byte-identical
+//! reports (detlint holds itself to the invariants it enforces).
+
+use crate::config::Config;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Loads every non-excluded `.rs` file under `root` as
+/// (workspace-relative path, contents), sorted by path.
+pub fn load_sources(root: &Path, config: &Config) -> io::Result<Vec<(String, String)>> {
+    let mut sources = Vec::new();
+    walk(root, root, config, &mut sources)?;
+    sources.sort();
+    Ok(sources)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    sources: &mut Vec<(String, String)>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = relative(root, &path);
+        if config.is_excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            // Hidden directories (.git, .github) hold no Rust sources.
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            walk(root, &path, config, sources)?;
+        } else if rel.ends_with(".rs") {
+            sources.push((rel, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// Names of the golden fixture files under the configured fixtures dir
+/// (empty when the directory is missing).
+pub fn fixture_names(root: &Path, config: &Config) -> Vec<String> {
+    let dir = root.join(&config.fixtures_dir);
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    names
+}
+
+/// `path` relative to `root`, with forward slashes on every platform.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,208 @@
+//! Golden tests: lint small synthetic inputs (one per rule, plus lexer
+//! torture cases) under controlled paths and pin the **exact JSON** each
+//! run emits. Any change to a rule's trigger, message, position, or to the
+//! report's wire shape turns one of these red.
+//!
+//! The inputs live in `tests/inputs/` and deliberately violate the rules,
+//! so [`detlint::Config::workspace`] excludes that directory from real
+//! workspace scans — they are linted here under synthetic paths instead.
+
+use detlint::{Config, Linter};
+
+/// Lints `files` under the workspace policy and returns the report's JSON,
+/// after asserting it round-trips through the workspace serde shim.
+fn lint(files: &[(&str, &str)], fixtures: &[&str]) -> String {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, t)| (p.to_string(), t.to_string()))
+        .collect();
+    let fixtures: Vec<String> = fixtures.iter().map(|s| s.to_string()).collect();
+    let report = Linter::new(Config::workspace()).lint_sources(&sources, &fixtures);
+    let json = serde::json::to_string(&report);
+    let back: detlint::LintReport = serde::json::from_str(&json).expect("report parses back");
+    assert_eq!(back, report, "JSON round-trip changed the report");
+    json
+}
+
+const FIXTURES: &[&str] = &["shard_plan.json"];
+
+#[test]
+fn wall_clock_flags_clocks_env_reads_and_honors_waivers_and_test_regions() {
+    let json = lint(
+        &[(
+            "crates/protocol/src/engine/fold.rs",
+            include_str!("inputs/wall_clock.rs"),
+        )],
+        FIXTURES,
+    );
+    // Three unwaived findings; the waived `SystemTime::now` keeps its reason;
+    // the `Instant::now` inside `#[cfg(test)]` is not reported at all.
+    assert_eq!(
+        json,
+        r#"{"files_scanned":1,"diagnostics":[{"path":"crates/protocol/src/engine/fold.rs","line":4,"col":5,"rule":"wall-clock","message":"`SystemTime::now()` reads the wall clock; results must replay from (seed, fingerprint, trial index) alone"},{"path":"crates/protocol/src/engine/fold.rs","line":13,"col":13,"rule":"wall-clock","message":"`Instant::now()` reads a clock; keep timing out of result-bearing library code"},{"path":"crates/protocol/src/engine/fold.rs","line":17,"col":10,"rule":"wall-clock","message":"`std::env::var` makes behavior depend on ambient process state; read configuration at entry points and pass it down"}],"waived":[{"diagnostic":{"path":"crates/protocol/src/engine/fold.rs","line":9,"col":5,"rule":"wall-clock","message":"`SystemTime::now()` reads the wall clock; results must replay from (seed, fingerprint, trial index) alone"},"reason":"leases are wall time by design"}]}"#
+    );
+}
+
+#[test]
+fn unordered_iter_flags_every_hash_collection_mention_in_scope() {
+    let json = lint(
+        &[(
+            "crates/protocol/src/engine/merge.rs",
+            include_str!("inputs/unordered.rs"),
+        )],
+        FIXTURES,
+    );
+    assert_eq!(
+        json,
+        r#"{"files_scanned":1,"diagnostics":[{"path":"crates/protocol/src/engine/merge.rs","line":1,"col":24,"rule":"unordered-iter","message":"`HashMap` iteration order is nondeterministic and this crate feeds fingerprints/serialization/merge folds; use `BTreeMap` or a sorted Vec"},{"path":"crates/protocol/src/engine/merge.rs","line":1,"col":33,"rule":"unordered-iter","message":"`HashSet` iteration order is nondeterministic and this crate feeds fingerprints/serialization/merge folds; use `BTreeSet` or a sorted Vec"},{"path":"crates/protocol/src/engine/merge.rs","line":3,"col":33,"rule":"unordered-iter","message":"`HashMap` iteration order is nondeterministic and this crate feeds fingerprints/serialization/merge folds; use `BTreeMap` or a sorted Vec"},{"path":"crates/protocol/src/engine/merge.rs","line":4,"col":19,"rule":"unordered-iter","message":"`HashMap` iteration order is nondeterministic and this crate feeds fingerprints/serialization/merge folds; use `BTreeMap` or a sorted Vec"},{"path":"crates/protocol/src/engine/merge.rs","line":5,"col":20,"rule":"unordered-iter","message":"`HashSet` iteration order is nondeterministic and this crate feeds fingerprints/serialization/merge folds; use `BTreeSet` or a sorted Vec"}],"waived":[]}"#
+    );
+}
+
+#[test]
+fn unsafe_audit_flags_missing_forbid_and_unsafe_blocks() {
+    let json = lint(
+        &[(
+            "crates/demo/src/lib.rs",
+            include_str!("inputs/missing_forbid.rs"),
+        )],
+        FIXTURES,
+    );
+    assert_eq!(
+        json,
+        r#"{"files_scanned":1,"diagnostics":[{"path":"crates/demo/src/lib.rs","line":1,"col":1,"rule":"unsafe-audit","message":"crate root is missing `#![forbid(unsafe_code)]`"},{"path":"crates/demo/src/lib.rs","line":4,"col":5,"rule":"unsafe-audit","message":"`unsafe` outside the allowlisted allocator shim"}],"waived":[]}"#
+    );
+}
+
+#[test]
+fn hot_path_alloc_flags_kernel_allocations_and_honors_fn_scope_waivers() {
+    let json = lint(
+        &[(
+            "crates/qsim/src/kernel.rs",
+            include_str!("inputs/hot_alloc.rs"),
+        )],
+        FIXTURES,
+    );
+    // The `vec![…]` sits inside a constructor carrying a function-level
+    // waiver, so only the `.to_vec()` on the apply path is an error.
+    assert_eq!(
+        json,
+        r#"{"files_scanned":1,"diagnostics":[{"path":"crates/qsim/src/kernel.rs","line":14,"col":12,"rule":"hot-path-alloc","message":"`.to_vec()` allocates inside a designated allocation-free kernel module (budgeted by alloc_regression.rs); reuse scratch buffers, or waive the enclosing compile-time constructor"}],"waived":[{"diagnostic":{"path":"crates/qsim/src/kernel.rs","line":9,"col":22,"rule":"hot-path-alloc","message":"`vec![]` allocates inside a designated allocation-free kernel module (budgeted by alloc_regression.rs); reuse scratch buffers, or waive the enclosing compile-time constructor"},"reason":"compile-time constructor; apply() reuses scratch"}]}"#
+    );
+}
+
+#[test]
+fn internal_deprecated_flags_cross_file_calls_but_not_the_defining_file() {
+    let json = lint(
+        &[
+            (
+                "crates/noise/src/legacy.rs",
+                include_str!("inputs/dep_home.rs"),
+            ),
+            (
+                "crates/noise/src/draw.rs",
+                include_str!("inputs/dep_caller.rs"),
+            ),
+        ],
+        FIXTURES,
+    );
+    assert_eq!(
+        json,
+        r#"{"files_scanned":2,"diagnostics":[{"path":"crates/noise/src/draw.rs","line":2,"col":5,"rule":"internal-deprecated","message":"call to workspace-deprecated `sample_legacy` (defined in crates/noise/src/legacy.rs) from live code; migrate to its replacement"}],"waived":[]}"#
+    );
+}
+
+#[test]
+fn wire_fixture_flags_pub_serde_types_the_witness_does_not_name() {
+    let json = lint(
+        &[
+            (
+                "crates/protocol/src/engine/shard.rs",
+                include_str!("inputs/wire.rs"),
+            ),
+            (
+                "tests/wire_format.rs",
+                include_str!("inputs/wire_witness.rs"),
+            ),
+        ],
+        FIXTURES,
+    );
+    // `ShardPlan` is named by the witness; `NotWire` derives no serde;
+    // `Internal` is pub(crate). Only `ForgottenReceipt` is uncovered.
+    assert_eq!(
+        json,
+        r#"{"files_scanned":2,"diagnostics":[{"path":"crates/protocol/src/engine/shard.rs","line":9,"col":12,"rule":"wire-fixture","message":"pub serde type `ForgottenReceipt` is not named by tests/wire_format.rs; add a golden fixture (or typed assertion) so its wire shape cannot drift silently"}],"waived":[]}"#
+    );
+}
+
+#[test]
+fn wire_fixture_flags_an_empty_fixture_directory() {
+    let json = lint(
+        &[(
+            "crates/protocol/src/engine/shard.rs",
+            include_str!("inputs/wire.rs"),
+        )],
+        &[],
+    );
+    assert_eq!(
+        json,
+        r#"{"files_scanned":1,"diagnostics":[{"path":"crates/protocol/src/engine/shard.rs","line":1,"col":1,"rule":"wire-fixture","message":"no golden fixtures found under tests/fixtures; the wire format is unlocked"}],"waived":[]}"#
+    );
+}
+
+#[test]
+fn env_keys_flags_literals_outside_the_home_module() {
+    let json = lint(
+        &[(
+            "crates/bench/src/campaigns.rs",
+            include_str!("inputs/env_literal.rs"),
+        )],
+        FIXTURES,
+    );
+    // One literal yields two findings: the ambient env read (wall-clock)
+    // and the off-site key spelling (env-keys).
+    assert_eq!(
+        json,
+        r#"{"files_scanned":1,"diagnostics":[{"path":"crates/bench/src/campaigns.rs","line":2,"col":10,"rule":"wall-clock","message":"`std::env::var_os` makes behavior depend on ambient process state; read configuration at entry points and pass it down"},{"path":"crates/bench/src/campaigns.rs","line":2,"col":22,"rule":"env-keys","message":"env-var name `UA_DI_QSDC_UPDATE_FIXTURES` spelled as a literal; use the constant in `protocol::env_keys` so typos cannot fork the configuration surface"}],"waived":[]}"#
+    );
+}
+
+#[test]
+fn waiver_hygiene_flags_bare_and_unknown_rule_waivers() {
+    let json = lint(
+        &[(
+            "crates/protocol/src/engine/w.rs",
+            include_str!("inputs/waivers.rs"),
+        )],
+        FIXTURES,
+    );
+    assert_eq!(
+        json,
+        r#"{"files_scanned":1,"diagnostics":[{"path":"crates/protocol/src/engine/w.rs","line":2,"col":5,"rule":"waiver-hygiene","message":"bare waiver for [\"wall-clock\"] with no reason; write `// detlint: allow(wall-clock): <why this site is exempt>`"},{"path":"crates/protocol/src/engine/w.rs","line":7,"col":5,"rule":"waiver-hygiene","message":"waiver names unknown rule(s) [\"no-such-rule\"]; valid rules: wall-clock, unordered-iter, unsafe-audit, hot-path-alloc, internal-deprecated, wire-fixture, env-keys, waiver-hygiene"}],"waived":[]}"#
+    );
+}
+
+#[test]
+fn lexer_decoys_in_strings_comments_and_lifetimes_stay_inert() {
+    // Nested block comments, plain and raw strings, char literals and
+    // lifetimes all contain decoy "violations" — none may fire.
+    let json = lint(
+        &[(
+            "crates/protocol/src/engine/t.rs",
+            include_str!("inputs/tricky.rs"),
+        )],
+        FIXTURES,
+    );
+    assert_eq!(json, r#"{"files_scanned":1,"diagnostics":[],"waived":[]}"#);
+}
+
+#[test]
+fn a_compliant_file_is_clean() {
+    let json = lint(
+        &[(
+            "crates/protocol/src/engine/c.rs",
+            include_str!("inputs/clean.rs"),
+        )],
+        FIXTURES,
+    );
+    assert_eq!(json, r#"{"files_scanned":1,"diagnostics":[],"waived":[]}"#);
+}

@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub fn fold(keys: &[String]) -> BTreeMap<String, usize> {
+    keys.iter().cloned().zip(0..).collect()
+}

@@ -1,0 +1,3 @@
+pub fn draw(x: u64) -> u64 {
+    sample_legacy(x)
+}

@@ -1,0 +1,8 @@
+#[deprecated(note = "use sample_compiled")]
+pub fn sample_legacy(x: u64) -> u64 {
+    x.wrapping_mul(6364136223846793005)
+}
+
+pub fn still_here(x: u64) -> u64 {
+    sample_legacy(x)
+}

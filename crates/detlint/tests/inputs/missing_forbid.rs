@@ -1,0 +1,5 @@
+//! A crate root that forgot its unsafe policy.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,18 @@
+//! Decoys only: every "violation" below is inert text, never code.
+
+/* outer /* nested SystemTime::now() */ still one comment, HashMap and all */
+pub fn describe() -> &'static str {
+    "SystemTime::now() and HashMap are just words inside a string"
+}
+
+pub fn raw() -> &'static str {
+    r#"std::env::var("UA_DI_QSDC_X") stays inert inside a raw string"#
+}
+
+pub fn tick() -> char {
+    't'
+}
+
+pub fn lifetime_of<'now>(x: &'now u64) -> &'now u64 {
+    x
+}

@@ -1,0 +1,12 @@
+use std::collections::{HashMap, HashSet};
+
+pub fn fold(keys: &[String]) -> HashMap<String, usize> {
+    let mut map = HashMap::new();
+    let mut seen = HashSet::new();
+    for (i, k) in keys.iter().enumerate() {
+        if seen.insert(k.clone()) {
+            map.insert(k.clone(), i);
+        }
+    }
+    map
+}

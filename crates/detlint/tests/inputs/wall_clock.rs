@@ -1,0 +1,26 @@
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn lease_deadline() -> SystemTime {
+    // detlint: allow(wall-clock): leases are wall time by design
+    SystemTime::now()
+}
+
+pub fn elapsed() {
+    let _ = Instant::now();
+}
+
+pub fn knob() -> Option<String> {
+    std::env::var("KNOB").ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,21 @@
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    pub master_seed: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForgottenReceipt {
+    pub trials: u64,
+}
+
+#[derive(Debug, Clone)]
+pub struct NotWire {
+    pub scratch: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Internal {
+    pub x: u64,
+}

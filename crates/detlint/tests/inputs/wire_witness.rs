@@ -1,0 +1,3 @@
+pub fn witness() {
+    let _plan: Option<ShardPlan> = None;
+}

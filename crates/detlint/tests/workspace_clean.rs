@@ -1,0 +1,47 @@
+//! The linter's reason to exist: the real workspace must lint clean.
+//!
+//! This is the same run CI performs with `cargo run -p detlint`, executed
+//! in-process so `cargo test` alone already guards the invariants: zero
+//! unwaived findings, and every waiver carrying a written reason.
+
+use detlint::{Config, Linter};
+use std::path::Path;
+
+#[test]
+fn the_workspace_has_zero_unwaived_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = Linter::new(Config::workspace())
+        .lint_workspace(&root)
+        .expect("workspace scan succeeds");
+
+    // A meaningful scan, not a silently-empty walk.
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "unwaived determinism findings:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Waivers are part of the contract too: each one documents *why* its
+    // site is exempt (waiver-hygiene flags bare ones as findings above,
+    // so this is a belt-and-suspenders check on the report itself).
+    for waiver in &report.waived {
+        assert!(
+            !waiver.reason.trim().is_empty(),
+            "waiver without a reason at {}:{}",
+            waiver.diagnostic.path,
+            waiver.diagnostic.line
+        );
+    }
+}

@@ -57,6 +57,7 @@ pub struct CompiledChannel {
 }
 
 impl CompiledChannel {
+    // detlint: allow(hot-path-alloc): compile-time constructor; the per-trial loop only calls apply/sample
     pub(crate) fn new(channel: &KrausChannel, targets: &[usize], num_qubits: usize) -> Self {
         let kernel = CompiledKraus::compile(channel.operators(), targets, num_qubits)
             .unwrap_or_else(|e| {

@@ -14,7 +14,7 @@ use qsim::error::QsimError;
 use qsim::gates;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The device's noise channels compiled against one register size, built
 /// lazily as gates touch placements. A circuit applies the same few
@@ -37,7 +37,7 @@ struct NoiseCache {
     idle_identity: Vec<Option<CompiledChannel>>,
     idle_two: Vec<Option<CompiledChannel>>,
     /// Two-qubit gate channel per ordered target pair.
-    two_qubit: HashMap<(usize, usize), CompiledChannel>,
+    two_qubit: BTreeMap<(usize, usize), CompiledChannel>,
 }
 
 impl NoiseCache {
@@ -51,7 +51,7 @@ impl NoiseCache {
             idle_single: empty(),
             idle_identity: empty(),
             idle_two: empty(),
-            two_qubit: HashMap::new(),
+            two_qubit: BTreeMap::new(),
         }
     }
 

@@ -109,6 +109,7 @@ pub struct TwirledChannel {
 }
 
 impl TwirledChannel {
+    // detlint: allow(hot-path-alloc): compile-time twirl derivation; trials only index the finished tables
     pub(crate) fn of(channel: &KrausChannel) -> Self {
         let num_qubits = channel.num_qubits();
         let dim = channel.dim();

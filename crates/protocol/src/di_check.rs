@@ -116,7 +116,7 @@ pub fn run_di_check_at<R: Rng + ?Sized>(
 ) -> (DiCheckReport, Vec<MeasurementRecord>) {
     debug_assert!(
         {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             positions.iter().all(|&p| seen.insert(p))
         },
         "DI-check positions must be distinct"

@@ -59,7 +59,7 @@ use super::{fnv1a64, Adversary, BackendKind, Parallelism, Scenario, SessionEngin
 use crate::config::SessionConfig;
 use crate::error::ProtocolError;
 use serde::{Deserialize, Serialize, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -320,7 +320,7 @@ impl Campaign {
         };
 
         let mut points = Vec::with_capacity(coord_lists.len());
-        let mut seen: HashMap<String, usize> = HashMap::new();
+        let mut seen: BTreeMap<String, usize> = BTreeMap::new();
         for (index, coords) in coord_lists.into_iter().enumerate() {
             let point = self.expand_point(index, coords)?;
             let key = point.identity_key();

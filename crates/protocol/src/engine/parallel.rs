@@ -73,7 +73,7 @@ pub enum Parallelism {
 
 impl Parallelism {
     /// The environment variable [`Parallelism::from_env`] reads.
-    pub const ENV_VAR: &'static str = "UA_DI_QSDC_PARALLELISM";
+    pub const ENV_VAR: &'static str = crate::env_keys::PARALLELISM;
 
     /// The number of worker threads this policy resolves to on the current
     /// machine (always at least 1).
@@ -95,6 +95,7 @@ impl Parallelism {
     /// Panics when the variable is set to something unparsable — a
     /// misconfigured run must fail loudly, not silently fall back to serial.
     pub fn from_env() -> Option<Parallelism> {
+        // detlint: allow(wall-clock): the designated policy read site — bins call this once at startup
         let raw = std::env::var(Self::ENV_VAR).ok()?;
         match raw.parse() {
             Ok(parallelism) => Some(parallelism),
@@ -267,6 +268,7 @@ where
     F: Fn(usize) -> T + Sync,
     V: FnMut(usize, T) -> ControlFlow<()>,
 {
+    // detlint: allow(wall-clock): ExecutorStats wall-time telemetry; results never read it
     let started = Instant::now();
     let workers = parallelism.worker_count().min(tasks.max(1));
     if workers <= 1 {

@@ -100,6 +100,7 @@ pub fn content_fingerprint(bytes: &[u8]) -> u64 {
 /// in. The `*_at` method variants accept an explicit clock for deterministic
 /// tests.
 pub fn now_ms() -> u64 {
+    // detlint: allow(wall-clock): lease expiry is wall time by design; results use *_at variants
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis() as u64)

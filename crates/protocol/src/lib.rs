@@ -137,6 +137,7 @@ pub mod config;
 pub mod descriptor;
 pub mod di_check;
 pub mod engine;
+pub mod env_keys;
 pub mod error;
 pub mod identity;
 pub mod message;

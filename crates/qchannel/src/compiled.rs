@@ -47,6 +47,7 @@ pub struct TwirledProgram {
 }
 
 impl TwirledProgram {
+    // detlint: allow(hot-path-alloc): compile-time constructor; transmit paths never re-enter it
     fn new(channel: &CompiledQuantumChannel) -> Self {
         let mut placements = Vec::new();
         let mut emission = PauliDistribution::default();
@@ -146,6 +147,7 @@ pub struct CompiledQuantumChannel {
 }
 
 impl CompiledQuantumChannel {
+    // detlint: allow(hot-path-alloc): compile-time constructor; transmit paths never re-enter it
     pub(crate) fn new(spec: ChannelSpec) -> Self {
         let device = spec.device();
         let (source, prep_alice, prep_bob, gate_alice, idle_bob) = if device.is_ideal() {

@@ -210,6 +210,7 @@ impl CompiledKraus {
     ///
     /// Panics if `operators` is empty (a channel needs at least one Kraus
     /// operator) or `num_qubits` is 0 or above the density-matrix cap (12).
+    // detlint: allow(hot-path-alloc): one-time kernel compilation; apply_*/sample_* stay allocation-free
     pub fn compile(
         operators: &[CMatrix],
         targets: &[usize],

@@ -229,6 +229,13 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Determinism
+//!
+//! The reproducibility invariants the workspace lives by — and the `detlint` tool that
+//! statically enforces them — are documented in `docs/determinism.md`.
+
+#![forbid(unsafe_code)]
 
 pub use analysis;
 pub use attacks;

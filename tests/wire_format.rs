@@ -31,7 +31,7 @@ fn fixture_path(name: &str) -> PathBuf {
 /// bytes equal today's serialization of the same value.
 fn check_bytes(name: &str, generated: &str) -> String {
     let path = fixture_path(name);
-    if std::env::var_os("UA_DI_QSDC_UPDATE_FIXTURES").is_some() {
+    if std::env::var_os(ua_di_qsdc::protocol::env_keys::UPDATE_FIXTURES).is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, generated).unwrap();
         return generated.to_string();
@@ -87,8 +87,9 @@ fn shard_result_wire_formats_are_stable() {
         let text = check_bytes(name, &serde::json::to_string(&result));
         let parsed: ShardResult = serde::json::from_str(&text).expect("fixture still parses");
         assert_eq!(parsed, result, "{name}");
-        assert_eq!(parsed.payload.kind(), output.as_str());
-        assert_eq!(parsed.payload.trials(), 2);
+        let payload: &ShardPayload = &parsed.payload;
+        assert_eq!(payload.kind(), output.as_str());
+        assert_eq!(payload.trials(), 2);
     }
 }
 
@@ -144,12 +145,47 @@ fn campaign_report_wire_format_is_stable() {
     assert_eq!(parsed, report);
     assert_eq!(parsed.points.len(), 2 * BackendKind::ALL.len());
     for point in &parsed.points {
+        let point: &CampaignPointReport = point;
         let summary = point.summary.as_ref().expect("session points summarize");
         assert_eq!(summary.trials, 2);
         // The demo scenario is adversarial, so the interval lands in the
-        // detection column.
-        assert!(point.detection.is_some() || point.false_alarm.is_some());
+        // detection column — and a Wilson interval always brackets its rate.
+        let interval: RateInterval = point
+            .detection
+            .or(point.false_alarm)
+            .expect("abort rate is classified");
+        assert!(interval.lower <= interval.rate && interval.rate <= interval.upper);
     }
+}
+
+/// `shardctl queue status` / `shardctl campaign status` print these over
+/// JSON pipes, so fleet tooling parses them; their shapes are wire format
+/// just like the checkpoints they summarize.
+#[test]
+fn status_wire_formats_are_stable() {
+    let queue = QueueStatus {
+        total_shards: 3,
+        pending: 1,
+        leased: 1,
+        done: 1,
+        trials_done: 2,
+        trials_total: 6,
+    };
+    let text = check_bytes("queue_status.json", &serde::json::to_string(&queue));
+    let parsed: QueueStatus = serde::json::from_str(&text).expect("fixture still parses");
+    assert_eq!(parsed, queue);
+    assert!(!parsed.complete());
+
+    let campaign = CampaignStatus {
+        points_total: 8,
+        points_done: 8,
+        trials_done: 16,
+        trials_total: 16,
+    };
+    let text = check_bytes("campaign_status.json", &serde::json::to_string(&campaign));
+    let parsed: CampaignStatus = serde::json::from_str(&text).expect("fixture still parses");
+    assert_eq!(parsed, campaign);
+    assert!(parsed.complete());
 }
 
 #[test]
