@@ -1,0 +1,484 @@
+//! Load generator for `qsdc-serve`: hundreds of concurrent clients against
+//! an in-process server, reporting submit→done latency percentiles and
+//! aggregate trial throughput into the committed benchmark report.
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve_load -- \
+//!     [--clients N] [--jobs N] [--seed N] [--out FILE] [--check FILE]
+//! ```
+//!
+//! Every client thread opens its own connection, submits its jobs one at a
+//! time (retrying on [`Busy`](Response::Busy) backpressure — a `Busy` is
+//! flow control, not a drop), and waits for each `Done`. A job counts as
+//! **dropped** only if the server answers with an error or the terminal
+//! response never arrives; the run fails loudly if that count is not zero,
+//! because the service contract is explicit backpressure, never silent
+//! loss.
+//!
+//! The job mix cycles three shapes — a small and a medium session sweep on
+//! a lean scenario plus a session on the larger shardctl demo scenario —
+//! so the scheduler sees heterogeneous job sizes, not a uniform batch.
+//!
+//! Results merge into the `serve` section of the throughput report (the
+//! rest of the file — `bench_throughput`'s lanes — is preserved
+//! byte-for-byte in field order). `--check FILE` compares against a
+//! committed report: the section must exist, the committed and fresh runs
+//! must both have zero dropped jobs, and fresh throughput must be at least
+//! [`THROUGHPUT_SLACK`]× the committed figure (generous, because latency
+//! is machine- and load-dependent in a way kernel throughput is not). CI
+//! runs this as the `serve-smoke` lane of the `bench-trend` step.
+
+use protocol::engine::{Parallelism, Scenario};
+use protocol::identity::IdentityPair;
+use protocol::wire::{JobSpec, Request, Response};
+use protocol::SessionConfig;
+use rand::SeedableRng;
+use serde::{Serialize, Value};
+use serve::{Client, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Fresh throughput must be at least this fraction of the committed
+/// throughput for `--check` to pass.
+const THROUGHPUT_SLACK: f64 = 0.25;
+
+/// Snapshot cadence (= shard granularity) the load server runs at. Larger
+/// than any job in the mix, so each job is a single shard and the measured
+/// cost is scheduling + spool + protocol, not repeated shard bookkeeping.
+const SNAPSHOT_TRIALS: usize = 64;
+
+/// Per-client unfinished-job quota on the load server. Deliberately small
+/// so the run actually exercises `Busy` backpressure under load.
+const QUOTA: usize = 2;
+
+/// The `serve` section of the throughput report.
+#[derive(Debug, Clone, Serialize)]
+struct ServeReport {
+    /// Section schema version.
+    version: u32,
+    /// Concurrent client connections.
+    clients: usize,
+    /// Jobs submitted per client.
+    jobs_per_client: usize,
+    /// Worker threads the server ran.
+    workers: usize,
+    /// Per-client unfinished-job quota.
+    quota: usize,
+    /// Trials executed across every finished job.
+    trials: u64,
+    /// Wall-clock seconds from first connect to last `Done`.
+    seconds: f64,
+    /// Aggregate trials per second across the whole fleet.
+    trials_per_sec: f64,
+    /// Median submit→done latency, milliseconds.
+    p50_ms: f64,
+    /// 99th-percentile submit→done latency, milliseconds.
+    p99_ms: f64,
+    /// Worst submit→done latency, milliseconds.
+    max_ms: f64,
+    /// `Busy` responses absorbed by retrying (backpressure working).
+    busy_retries: u64,
+    /// Jobs that did not finish. The contract is zero.
+    dropped: usize,
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("serve_load: {message}");
+    std::process::exit(2)
+}
+
+struct Args {
+    clients: usize,
+    jobs: usize,
+    seed: u64,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        clients: 200,
+        jobs: 3,
+        seed: 7,
+        out: "BENCH_throughput.json".to_string(),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(format_args!("{flag} requires a value")))
+        };
+        match flag.as_str() {
+            "--clients" => {
+                parsed.clients = value("--clients")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("invalid --clients: {e}")));
+                if parsed.clients == 0 {
+                    fail("--clients must be at least 1");
+                }
+            }
+            "--jobs" => {
+                parsed.jobs = value("--jobs")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("invalid --jobs: {e}")));
+                if parsed.jobs == 0 {
+                    fail("--jobs must be at least 1");
+                }
+            }
+            "--seed" => {
+                parsed.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|e| fail(format_args!("invalid --seed: {e}")));
+            }
+            "--out" => parsed.out = value("--out"),
+            "--check" => parsed.check = Some(value("--check")),
+            other => fail(format_args!("unknown option `{other}`")),
+        }
+    }
+    parsed
+}
+
+/// A lean session scenario: small message, small DI budget, ideal channel.
+fn lean_scenario(seed: u64, di_check_pairs: usize, label: &str) -> Scenario {
+    let config = SessionConfig::builder()
+        .message_bits(8)
+        .check_bits(2)
+        .di_check_pairs(di_check_pairs)
+        .build()
+        .unwrap_or_else(|e| fail(format_args!("lean scenario config: {e}")));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let identities = IdentityPair::generate(2, &mut rng);
+    Scenario::new(config, identities).with_label(label.to_string())
+}
+
+/// The job shape for global job index `index`: the mix cycles small,
+/// medium, and demo-scenario sessions so concurrent jobs differ in size.
+fn job_spec(index: u64, seed: u64) -> JobSpec {
+    let (scenario, trials) = match index % 3 {
+        0 => (lean_scenario(seed, 16, "serve-load-small"), 4),
+        1 => (lean_scenario(seed, 16, "serve-load-medium"), 12),
+        _ => (
+            bench::shard_io::demo_scenario("honest", seed, Default::default())
+                .unwrap_or_else(|e| fail(e)),
+            8,
+        ),
+    };
+    JobSpec::Session {
+        scenario,
+        trials,
+        seed: seed ^ index,
+    }
+}
+
+/// Trials a job spec will execute (for the aggregate throughput figure).
+fn spec_trials(spec: &JobSpec) -> u64 {
+    match spec {
+        JobSpec::Session { trials, .. } => *trials as u64,
+        JobSpec::Campaign { .. } => 0,
+    }
+}
+
+/// What one client thread brings home.
+struct ClientOutcome {
+    latencies_ms: Vec<f64>,
+    trials: u64,
+    busy_retries: u64,
+    dropped: usize,
+}
+
+/// Connects with retry: two hundred simultaneous SYNs can overflow the
+/// accept backlog, which is congestion, not failure.
+fn connect_with_retry(addr: SocketAddr) -> Client {
+    let mut last = None;
+    for _ in 0..200 {
+        match Client::connect(addr) {
+            Ok(client) => return client,
+            Err(error) => {
+                last = Some(error);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    fail(format_args!(
+        "client could not connect after 200 attempts: {}",
+        last.expect("at least one attempt failed")
+    ))
+}
+
+/// One pending job: accepted id, submit-time clock, expected trials.
+struct Pending {
+    job: u64,
+    start: Instant,
+    trials: u64,
+}
+
+/// One client's session, pipelined: every job is submitted before any
+/// completion is waited for, so a client with more jobs than the server's
+/// quota genuinely runs into `Busy` and must absorb it by retrying. The
+/// server interleaves `Done` notifications with submit replies on the one
+/// connection, so the loop folds both streams.
+fn run_client(addr: SocketAddr, specs: Vec<JobSpec>) -> ClientOutcome {
+    let mut client = connect_with_retry(addr);
+    let mut outcome = ClientOutcome {
+        latencies_ms: Vec::with_capacity(specs.len()),
+        trials: 0,
+        busy_retries: 0,
+        dropped: 0,
+    };
+    let mut pending: Vec<Pending> = Vec::with_capacity(specs.len());
+    let finish = |pending: &mut Vec<Pending>, outcome: &mut ClientOutcome, job: u64, lost: bool| {
+        if let Some(index) = pending.iter().position(|p| p.job == job) {
+            let entry = pending.swap_remove(index);
+            if lost {
+                outcome.dropped += 1;
+            } else {
+                outcome
+                    .latencies_ms
+                    .push(entry.start.elapsed().as_secs_f64() * 1e3);
+                outcome.trials += entry.trials;
+            }
+        }
+    };
+    for spec in specs {
+        let trials = spec_trials(&spec);
+        let start = Instant::now();
+        let mut backoff_ms = 2;
+        loop {
+            if client.send(&Request::Submit { job: spec.clone() }).is_err() {
+                outcome.dropped += 1;
+                break;
+            }
+            // Read until this submit's direct answer, folding completions
+            // of earlier jobs along the way.
+            let answer = loop {
+                match client.recv() {
+                    Ok(Response::Done { job, .. }) => {
+                        finish(&mut pending, &mut outcome, job, false);
+                    }
+                    Ok(Response::Cancelled { job }) => {
+                        finish(&mut pending, &mut outcome, job, true);
+                    }
+                    Ok(Response::Snapshot { .. }) | Ok(Response::Status { .. }) => {}
+                    Ok(direct) => break Ok(direct),
+                    Err(error) => break Err(error),
+                }
+            };
+            match answer {
+                Ok(Response::Accepted { job }) => {
+                    pending.push(Pending { job, start, trials });
+                    break;
+                }
+                Ok(Response::Busy { .. }) => {
+                    outcome.busy_retries += 1;
+                    std::thread::sleep(Duration::from_millis(backoff_ms));
+                    backoff_ms = (backoff_ms * 2).min(50);
+                }
+                Ok(other) => {
+                    eprintln!("serve_load: job rejected: {other:?}");
+                    outcome.dropped += 1;
+                    break;
+                }
+                Err(error) => {
+                    eprintln!("serve_load: submit failed: {error}");
+                    outcome.dropped += 1;
+                    break;
+                }
+            }
+        }
+    }
+    // Drain the completions still in flight.
+    while !pending.is_empty() {
+        match client.recv() {
+            Ok(Response::Done { job, .. }) => finish(&mut pending, &mut outcome, job, false),
+            Ok(Response::Cancelled { job }) => finish(&mut pending, &mut outcome, job, true),
+            Ok(Response::Error { kind, message }) => {
+                eprintln!("serve_load: server error while draining: {kind:?}: {message}");
+                outcome.dropped += pending.len();
+                break;
+            }
+            Ok(_) => {}
+            Err(error) => {
+                eprintln!("serve_load: connection lost while draining: {error}");
+                outcome.dropped += pending.len();
+                break;
+            }
+        }
+    }
+    outcome
+}
+
+/// The `pct`-th percentile of an ascending-sorted latency list.
+fn percentile(sorted_ms: &[f64], pct: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let index = ((sorted_ms.len() - 1) as f64 * pct / 100.0).round() as usize;
+    sorted_ms[index.min(sorted_ms.len() - 1)]
+}
+
+/// Merges `section` into the `serve` key of the report at `path`,
+/// preserving every other field (notably `bench_throughput`'s lanes) in
+/// order. A missing file starts a fresh report holding only the section.
+fn merge_into_report(path: &str, section: Value) {
+    let mut root = match std::fs::read_to_string(path) {
+        Ok(text) => serde::json::parse(&text)
+            .unwrap_or_else(|e| fail(format_args!("cannot parse {path}: {e}"))),
+        Err(_) => Value::Map(Vec::new()),
+    };
+    match &mut root {
+        Value::Map(entries) => {
+            if let Some(entry) = entries.iter_mut().find(|(key, _)| key == "serve") {
+                entry.1 = section;
+            } else {
+                entries.push(("serve".to_string(), section));
+            }
+        }
+        other => fail(format_args!(
+            "{path} is not a JSON object (got {}), refusing to overwrite",
+            other.kind()
+        )),
+    }
+    let json = serde::json::to_string(&root);
+    std::fs::write(path, &json).unwrap_or_else(|e| fail(format_args!("cannot write {path}: {e}")));
+    eprintln!("merged serve section into {path}");
+}
+
+/// Compares the fresh run against the committed report's `serve` section:
+/// it must exist, both runs must have zero dropped jobs, and fresh
+/// throughput must be at least [`THROUGHPUT_SLACK`]× the committed figure.
+fn check_against(fresh: &ServeReport, path: &str) {
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+    let committed = serde::json::parse(&committed)
+        .unwrap_or_else(|e| fail(format_args!("cannot parse {path}: {e}")));
+    let section = committed
+        .get_field("serve")
+        .unwrap_or_else(|e| fail(format_args!("{path}: {e}")));
+    if matches!(section, Value::Null) {
+        fail(format_args!(
+            "{path} has no serve section — regenerate it with this binary"
+        ));
+    }
+    let field_u64 = |name: &str| {
+        section
+            .get_field(name)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|e| fail(format_args!("{path}: serve.{name}: {e}")))
+    };
+    let committed_dropped = field_u64("dropped");
+    if committed_dropped != 0 {
+        fail(format_args!(
+            "{path}: committed serve section records {committed_dropped} dropped jobs — \
+             the committed baseline itself violates the zero-drop contract"
+        ));
+    }
+    let committed_tps = section
+        .get_field("trials_per_sec")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|e| fail(format_args!("{path}: serve.trials_per_sec: {e}")));
+    let floor = committed_tps * THROUGHPUT_SLACK;
+    if fresh.trials_per_sec < floor {
+        fail(format_args!(
+            "serve throughput regressed more than {}x: committed {committed_tps:.2} \
+             trials/s vs fresh {:.2} trials/s",
+            (1.0 / THROUGHPUT_SLACK),
+            fresh.trials_per_sec
+        ));
+    }
+    eprintln!(
+        "check ok vs {path}: zero dropped jobs on both sides, fresh {:.2} trials/s >= \
+         committed {committed_tps:.2} * {THROUGHPUT_SLACK}",
+        fresh.trials_per_sec
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let spool = std::env::temp_dir().join(format!("serve-load-{}", std::process::id()));
+    let workers = Parallelism::Auto.worker_count().max(2);
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        spool_dir: spool.clone(),
+        workers,
+        quota: QUOTA,
+        snapshot_trials: SNAPSHOT_TRIALS,
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| fail(format_args!("server start: {e}")));
+    let addr = server.local_addr();
+    eprintln!(
+        "driving {} clients x {} jobs against {addr} ({workers} workers, quota {QUOTA})",
+        args.clients, args.jobs
+    );
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|client| {
+            let specs: Vec<JobSpec> = (0..args.jobs)
+                .map(|j| job_spec((client * args.jobs + j) as u64, args.seed))
+                .collect();
+            std::thread::Builder::new()
+                .name(format!("serve-load-{client}"))
+                .spawn(move || run_client(addr, specs))
+                .unwrap_or_else(|e| fail(format_args!("spawn client thread: {e}")))
+        })
+        .collect();
+
+    let mut latencies_ms = Vec::with_capacity(args.clients * args.jobs);
+    let mut trials = 0;
+    let mut busy_retries = 0;
+    let mut dropped = 0;
+    for handle in handles {
+        let outcome = handle
+            .join()
+            .unwrap_or_else(|_| fail("client thread panicked"));
+        latencies_ms.extend(outcome.latencies_ms);
+        trials += outcome.trials;
+        busy_retries += outcome.busy_retries;
+        dropped += outcome.dropped;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&spool);
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let report = ServeReport {
+        version: 1,
+        clients: args.clients,
+        jobs_per_client: args.jobs,
+        workers,
+        quota: QUOTA,
+        trials,
+        seconds,
+        trials_per_sec: if seconds > 0.0 {
+            trials as f64 / seconds
+        } else {
+            f64::INFINITY
+        },
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+        max_ms: percentile(&latencies_ms, 100.0),
+        busy_retries,
+        dropped,
+    };
+    eprintln!(
+        "{} jobs done in {seconds:.2}s: {:.2} trials/s, p50 {:.1}ms, p99 {:.1}ms, \
+         max {:.1}ms, {busy_retries} busy retries, {dropped} dropped",
+        latencies_ms.len(),
+        report.trials_per_sec,
+        report.p50_ms,
+        report.p99_ms,
+        report.max_ms,
+    );
+    if report.dropped != 0 {
+        fail(format_args!(
+            "{} job(s) dropped — the service must answer Busy or finish, never lose work",
+            report.dropped
+        ));
+    }
+    if let Some(path) = &args.check {
+        check_against(&report, path);
+    }
+    merge_into_report(&args.out, report.to_value());
+    println!("{}", serde::json::to_string(&report.to_value()));
+}

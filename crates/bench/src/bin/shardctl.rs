@@ -436,6 +436,9 @@ fn queue_work_cmd(mut args: Args) {
     loop {
         match queue.claim(&worker, lease_ms).unwrap_or_else(|e| fail(e)) {
             ClaimOutcome::Claimed(plan) => {
+                // Heartbeat for the whole claim→submit window: a shard whose
+                // execution outlives the lease is extended, not stolen.
+                let _beat = queue.heartbeat(&worker, &plan, lease_ms);
                 if throttle_ms > 0 {
                     // Chaos hook: hold the lease without submitting, so a
                     // test can SIGKILL this worker in the claim→submit window.

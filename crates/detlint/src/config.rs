@@ -11,8 +11,9 @@ pub struct Config {
     /// Path prefixes never scanned at all (fixture inputs, generated code).
     pub exclude: Vec<String>,
     /// Path prefixes exempt from the `wall-clock` rule (vendored compat
-    /// shims). Binary entry points (`/bin/`), tests, benches and examples
-    /// are exempt structurally, not by this list.
+    /// shims). Binary entry points (`/bin/` and crate `src/main.rs`),
+    /// tests, benches and examples are exempt structurally, not by this
+    /// list.
     pub wall_clock_exempt: Vec<String>,
     /// Path prefixes where `unordered-iter` applies: the crates that feed
     /// fingerprints, serialized artifacts, or merge folds.
@@ -55,6 +56,7 @@ impl Config {
                 "crates/analysis/src/".into(),
                 "crates/attacks/src/".into(),
                 "crates/bench/src/".into(),
+                "crates/serve/src/".into(),
                 "src/".into(),
             ],
             hot_modules: vec![
@@ -73,6 +75,7 @@ impl Config {
                 "crates/protocol/src/engine/shard.rs".into(),
                 "crates/protocol/src/engine/queue.rs".into(),
                 "crates/protocol/src/engine/campaign.rs".into(),
+                "crates/protocol/src/wire.rs".into(),
             ],
             wire_witness: "tests/wire_format.rs".into(),
             fixtures_dir: "tests/fixtures".into(),
@@ -87,9 +90,13 @@ impl Config {
         self.exclude.iter().any(|p| path.starts_with(p))
     }
 
-    /// True when the `wall-clock` rule patrols `path`.
+    /// True when the `wall-clock` rule patrols `path`. Binary entry
+    /// points — `/bin/` files and a crate's `src/main.rs` — are where
+    /// configuration is read and passed down, so the rule skips them.
     pub fn wall_clock_applies(&self, path: &str) -> bool {
-        !path.contains("/bin/") && !self.wall_clock_exempt.iter().any(|p| path.starts_with(p))
+        !path.contains("/bin/")
+            && !path.ends_with("/src/main.rs")
+            && !self.wall_clock_exempt.iter().any(|p| path.starts_with(p))
     }
 
     /// True when the `unordered-iter` rule patrols `path`.
@@ -117,5 +124,24 @@ impl Config {
 impl Default for Config {
     fn default() -> Self {
         Config::workspace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_entry_points_are_exempt_from_wall_clock() {
+        let config = Config::workspace();
+        // Both binary forms: `src/bin/*.rs` and a crate's `src/main.rs`.
+        assert!(!config.wall_clock_applies("crates/bench/src/bin/shardctl.rs"));
+        assert!(!config.wall_clock_applies("crates/serve/src/main.rs"));
+        // Exempt-by-prefix (vendored shims).
+        assert!(!config.wall_clock_applies("crates/compat/rand/src/lib.rs"));
+        // Library code stays patrolled — including a module merely named
+        // like an entry point outside `src/`.
+        assert!(config.wall_clock_applies("crates/serve/src/server.rs"));
+        assert!(config.wall_clock_applies("crates/protocol/src/engine.rs"));
     }
 }

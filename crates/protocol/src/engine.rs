@@ -71,8 +71,8 @@ pub use campaign::{
 };
 pub use parallel::{ExecutorStats, Parallelism};
 pub use queue::{
-    ClaimOutcome, MergeCheckpoint, QueueError, QueueStatus, ShardQueue, ShardSlot, SlotState,
-    SubmitOutcome,
+    ClaimOutcome, LeaseHeartbeat, MergeCheckpoint, QueueError, QueueStatus, ShardQueue, ShardSlot,
+    SlotState, SubmitOutcome, MIN_LEASE_MS,
 };
 pub use shard::{
     merge_shard_results, MergeError, MergedRun, ShardMerger, ShardOutput, ShardPayload, ShardPlan,

@@ -77,7 +77,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::path::{Path, PathBuf};
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// The on-disk checkpoint format version this build reads and writes.
 pub const CHECKPOINT_VERSION: u32 = 1;
@@ -87,6 +90,14 @@ pub const CHECKPOINT_FILE: &str = "checkpoint.json";
 pub const LOCK_FILE: &str = "queue.lock";
 /// Name of the results subdirectory inside a queue directory.
 pub const RESULTS_DIR: &str = "results";
+/// The shortest lease [`ShardQueue::claim`] will grant, in milliseconds.
+///
+/// A zero-length lease expires the instant it is granted (`expires_at_ms ==
+/// now_ms`, which the claimable predicate already treats as expired), so the
+/// same shard is immediately re-claimable and gets executed twice. Leases
+/// below this floor are rejected with [`QueueError::LeaseTooShort`] rather
+/// than silently granted as instant-steal tokens.
+pub const MIN_LEASE_MS: u64 = 10;
 
 /// Stable 64-bit FNV-1a content fingerprint of a result file's bytes, as
 /// recorded in [`SlotState::Done`]. Any later corruption of the file —
@@ -96,15 +107,45 @@ pub fn content_fingerprint(bytes: &[u8]) -> u64 {
     super::fnv1a64(bytes)
 }
 
+/// The latest wall-clock reading [`now_ms`] has handed out, shared across
+/// the process so a backwards-stepping system clock can never time-travel
+/// lease arithmetic (see [`monotonic_ms`]).
+static LAST_WALL_MS: AtomicU64 = AtomicU64::new(0);
+
 /// Milliseconds since the UNIX epoch — the wall clock leases are expressed
 /// in. The `*_at` method variants accept an explicit clock for deterministic
 /// tests.
-pub fn now_ms() -> u64 {
+///
+/// Readings are clamped to be non-decreasing across the process: a system
+/// clock stepped backwards (NTP slew, VM migration) returns the last
+/// observed time instead of a smaller one, because a backwards jump would
+/// make every live lease look expired and trigger fleet-wide duplicate
+/// re-execution.
+///
+/// # Errors
+///
+/// [`QueueError::Clock`] when the system clock reads before the UNIX epoch —
+/// previously this was swallowed as `t = 0`, which mass-expired every live
+/// lease; now the caller fails loudly instead.
+pub fn now_ms() -> Result<u64, QueueError> {
     // detlint: allow(wall-clock): lease expiry is wall time by design; results use *_at variants
-    SystemTime::now()
+    let raw = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
+        .map_err(|e| QueueError::Clock {
+            message: e.to_string(),
+        })?;
+    Ok(monotonic_ms(raw, &LAST_WALL_MS))
+}
+
+/// Clamps `candidate` against the largest reading recorded in `last`,
+/// recording `candidate` when it is the new maximum. The returned sequence
+/// is non-decreasing no matter how the underlying clock jumps. Factored out
+/// of [`now_ms`] (which feeds it the process-wide cell) so the saturation
+/// behaviour is unit-testable with an injected clock.
+fn monotonic_ms(candidate: u64, last: &AtomicU64) -> u64 {
+    let previous = last.fetch_max(candidate, Ordering::Relaxed);
+    candidate.max(previous)
 }
 
 // -------------------------------------------------------------- checkpoint --
@@ -318,6 +359,38 @@ pub enum QueueError {
         /// The alien result's trial count.
         trial_count: usize,
     },
+    /// A claim (or lease extension) asked for a lease shorter than
+    /// [`MIN_LEASE_MS`]. A zero-length lease is an instant-steal token — the
+    /// shard would be re-claimable the moment it was granted and executed
+    /// twice — so too-short leases are refused instead of granted.
+    LeaseTooShort {
+        /// The lease the caller asked for, in milliseconds.
+        lease_ms: u64,
+        /// The smallest lease this queue grants ([`MIN_LEASE_MS`]).
+        min_ms: u64,
+    },
+    /// A heartbeat tried to extend a lease the worker does not currently
+    /// hold: the slot is pending (the lease expired and was reclaimed),
+    /// already done, or leased to another worker. The caller must treat its
+    /// shard as lost — another worker may already be re-executing it.
+    LeaseNotHeld {
+        /// First trial of the shard whose lease was refused.
+        trial_start: u64,
+        /// Trial count of the shard whose lease was refused.
+        trial_count: usize,
+        /// The worker whose heartbeat was refused.
+        worker: String,
+        /// The slot's actual state: `pending`, `done`, or `leased to <w>`.
+        state: String,
+    },
+    /// The system wall clock read before the UNIX epoch, so lease expiry
+    /// times cannot be computed. Previously this was swallowed as `t = 0`,
+    /// which made every live lease look expired and triggered fleet-wide
+    /// duplicate re-execution; now it fails loudly.
+    Clock {
+        /// The underlying [`std::time::SystemTimeError`] rendering.
+        message: String,
+    },
     /// A completed result file's bytes no longer hash to the fingerprint the
     /// checkpoint recorded at submit time.
     Corrupt {
@@ -394,6 +467,27 @@ impl fmt::Display for QueueError {
                 f,
                 "result for trials {trial_start}..{} matches no shard of this queue",
                 trial_start + *trial_count as u64
+            ),
+            QueueError::LeaseTooShort { lease_ms, min_ms } => write!(
+                f,
+                "lease of {lease_ms} ms is below the {min_ms} ms minimum: it would expire the \
+                 instant it was granted and the shard would be executed twice"
+            ),
+            QueueError::LeaseNotHeld {
+                trial_start,
+                trial_count,
+                worker,
+                state,
+            } => write!(
+                f,
+                "worker {worker} no longer holds the lease on trials {trial_start}..{} \
+                 (slot is {state}); treat the shard as lost",
+                trial_start.saturating_add(*trial_count as u64)
+            ),
+            QueueError::Clock { message } => write!(
+                f,
+                "system wall clock reads before the UNIX epoch ({message}); refusing to \
+                 compute lease expiries from it"
             ),
             QueueError::Corrupt {
                 path,
@@ -543,9 +637,11 @@ impl ShardQueue {
     ///
     /// # Errors
     ///
-    /// Checkpoint load/store failures.
+    /// Checkpoint load/store failures, [`QueueError::LeaseTooShort`] for
+    /// leases under [`MIN_LEASE_MS`], or [`QueueError::Clock`] when the
+    /// system clock is unusable.
     pub fn claim(&self, worker: &str, lease_ms: u64) -> Result<ClaimOutcome, QueueError> {
-        self.claim_at(worker, lease_ms, now_ms())
+        self.claim_at(worker, lease_ms, now_ms()?)
     }
 
     /// [`claim`](Self::claim) with an explicit clock (milliseconds since the
@@ -553,13 +649,20 @@ impl ShardQueue {
     ///
     /// # Errors
     ///
-    /// Checkpoint load/store failures.
+    /// Checkpoint load/store failures, or [`QueueError::LeaseTooShort`] for
+    /// leases under [`MIN_LEASE_MS`].
     pub fn claim_at(
         &self,
         worker: &str,
         lease_ms: u64,
         now_ms: u64,
     ) -> Result<ClaimOutcome, QueueError> {
+        if lease_ms < MIN_LEASE_MS {
+            return Err(QueueError::LeaseTooShort {
+                lease_ms,
+                min_ms: MIN_LEASE_MS,
+            });
+        }
         let _lock = self.lock()?;
         let mut checkpoint = self.load()?;
         let claimable = checkpoint.shards.iter_mut().find(|slot| match &slot.state {
@@ -582,6 +685,117 @@ impl ShardQueue {
         let plan = subplan(&checkpoint.plan, slot.trial_start, slot.trial_count);
         self.save(&checkpoint)?;
         Ok(ClaimOutcome::Claimed(Box::new(plan)))
+    }
+
+    /// Extends `worker`'s lease on the shard covering `plan`'s trial range
+    /// to `lease_ms` milliseconds from now — the heartbeat a slow-but-alive
+    /// worker sends so its shard is not stolen mid-run and computed twice.
+    ///
+    /// Worker-identity-checked: only the current leaseholder may extend. A
+    /// lease that has nominally expired but not yet been stolen is still
+    /// re-assertable by its holder (the extension happens under the queue
+    /// lock, so it races cleanly with a would-be thief's claim: whichever
+    /// lands first wins and the other sees the slot's new state). A
+    /// heartbeat never shortens a lease. Returns the new expiry time.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::LeaseNotHeld`] when the slot is pending, done, or
+    /// leased to someone else; [`QueueError::UnknownShard`] when the range
+    /// matches no slot; [`QueueError::LeaseTooShort`] for extensions under
+    /// [`MIN_LEASE_MS`]; [`QueueError::Clock`] when the system clock is
+    /// unusable; or checkpoint load/store failures.
+    pub fn extend_lease(
+        &self,
+        worker: &str,
+        plan: &ShardPlan,
+        lease_ms: u64,
+    ) -> Result<u64, QueueError> {
+        self.extend_lease_at(worker, plan, lease_ms, now_ms()?)
+    }
+
+    /// [`extend_lease`](Self::extend_lease) with an explicit clock for
+    /// deterministic tests.
+    ///
+    /// # Errors
+    ///
+    /// As for [`extend_lease`](Self::extend_lease).
+    pub fn extend_lease_at(
+        &self,
+        worker: &str,
+        plan: &ShardPlan,
+        lease_ms: u64,
+        now_ms: u64,
+    ) -> Result<u64, QueueError> {
+        if lease_ms < MIN_LEASE_MS {
+            return Err(QueueError::LeaseTooShort {
+                lease_ms,
+                min_ms: MIN_LEASE_MS,
+            });
+        }
+        let _lock = self.lock()?;
+        let mut checkpoint = self.load()?;
+        let Some(slot) = checkpoint
+            .shards
+            .iter_mut()
+            .find(|s| s.trial_start == plan.trial_start && s.trial_count == plan.trial_count)
+        else {
+            return Err(QueueError::UnknownShard {
+                trial_start: plan.trial_start,
+                trial_count: plan.trial_count,
+            });
+        };
+        let refused = |state: String| QueueError::LeaseNotHeld {
+            trial_start: plan.trial_start,
+            trial_count: plan.trial_count,
+            worker: worker.to_string(),
+            state,
+        };
+        match &mut slot.state {
+            SlotState::Leased {
+                worker: holder,
+                expires_at_ms,
+            } if holder == worker => {
+                *expires_at_ms = (*expires_at_ms).max(now_ms.saturating_add(lease_ms));
+                let extended = *expires_at_ms;
+                self.save(&checkpoint)?;
+                Ok(extended)
+            }
+            SlotState::Leased { worker: holder, .. } => Err(refused(format!("leased to {holder}"))),
+            SlotState::Pending => Err(refused("pending".to_string())),
+            SlotState::Done { .. } => Err(refused("done".to_string())),
+        }
+    }
+
+    /// Spawns a heartbeat thread that re-extends `worker`'s lease on `plan`
+    /// every `lease_ms / 3` milliseconds until the returned guard is
+    /// dropped, so a shard whose execution legitimately outlives its lease
+    /// is never stolen from a live worker. The thread stops on its own the
+    /// moment an extension is refused (the lease was lost — the executor's
+    /// submit path handles the resulting benign duplicate).
+    ///
+    /// Drop the guard right after [`submit`](Self::submit); dropping joins
+    /// the thread.
+    pub fn heartbeat(&self, worker: &str, plan: &ShardPlan, lease_ms: u64) -> LeaseHeartbeat {
+        let queue = self.clone();
+        let worker = worker.to_string();
+        let plan = plan.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let period = Duration::from_millis((lease_ms / 3).max(1));
+        let handle = thread::spawn(move || loop {
+            thread::park_timeout(period);
+            if flag.load(Ordering::Relaxed) {
+                break;
+            }
+            if queue.extend_lease(&worker, &plan, lease_ms).is_err() {
+                break;
+            }
+        });
+        LeaseHeartbeat {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Persists a completed shard result and marks its slot done. Accepts a
@@ -647,9 +861,10 @@ impl ShardQueue {
     ///
     /// [`QueueError::Missing`] / [`QueueError::Corrupt`] /
     /// [`QueueError::Parse`] / [`QueueError::Merge`] naming the offending
-    /// result file, or checkpoint load/store failures.
+    /// result file, checkpoint load/store failures, or
+    /// [`QueueError::Clock`] when the system clock is unusable.
     pub fn recover(&self) -> Result<QueueStatus, QueueError> {
-        self.recover_at(now_ms())
+        self.recover_at(now_ms()?)
     }
 
     /// [`recover`](Self::recover) with an explicit clock for deterministic
@@ -679,7 +894,7 @@ impl ShardQueue {
     ///
     /// As for [`recover`](Self::recover) and [`merge`](Self::merge).
     pub fn resume(&self) -> Result<(QueueStatus, Option<MergedRun>), QueueError> {
-        self.resume_at(now_ms())
+        self.resume_at(now_ms()?)
     }
 
     /// [`resume`](Self::resume) with an explicit clock for deterministic
@@ -876,6 +1091,26 @@ impl ShardQueue {
             &self.checkpoint_path(),
             serde::json::to_string(checkpoint).as_bytes(),
         )
+    }
+}
+
+/// The guard of a running [`ShardQueue::heartbeat`] thread. Dropping it
+/// stops the heartbeat and joins the thread; the lease is then left to
+/// expire naturally (a completed shard's slot is `Done` anyway, so expiry
+/// is moot).
+#[derive(Debug)]
+pub struct LeaseHeartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Drop for LeaseHeartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
     }
 }
 
@@ -1400,6 +1635,175 @@ mod tests {
         drain(&queue, &engine, ShardOutput::Summary, 0);
         let merged = queue.merge().unwrap().into_summary().unwrap();
         assert_eq!(merged.trials, 0);
+    }
+
+    #[test]
+    fn zero_and_too_short_leases_are_rejected() {
+        let tmp = TempQueueDir::new("minlease");
+        let scenario = scenario(20);
+        let engine = SessionEngine::new(60);
+        let queue =
+            ShardQueue::init(&tmp.0, &engine.plan(&scenario, 4), 2, ShardOutput::Summary).unwrap();
+        // The regression: lease_ms == 0 made expires_at_ms == now_ms, which
+        // the claimable predicate treats as already expired — the same shard
+        // was instantly re-claimable and executed twice. Now it is refused.
+        for lease_ms in [0, MIN_LEASE_MS - 1] {
+            let err = queue.claim_at("a", lease_ms, 100).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    QueueError::LeaseTooShort {
+                        lease_ms: l,
+                        min_ms: MIN_LEASE_MS
+                    } if l == lease_ms
+                ),
+                "{err}"
+            );
+        }
+        // Nothing was leased by the refused claims, and the floor itself is
+        // grantable: the same worker's immediate re-claim gets the *other*
+        // shard, not a stolen copy of the first.
+        let ClaimOutcome::Claimed(first) = queue.claim_at("a", MIN_LEASE_MS, 100).unwrap() else {
+            panic!("floor-length lease is grantable");
+        };
+        let ClaimOutcome::Claimed(second) = queue.claim_at("a", MIN_LEASE_MS, 100).unwrap() else {
+            panic!("second shard is claimable");
+        };
+        assert_ne!(first.trial_start, second.trial_start);
+        // Extensions are floored identically.
+        assert!(matches!(
+            queue.extend_lease_at("a", &first, 0, 100),
+            Err(QueueError::LeaseTooShort { lease_ms: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn wall_clock_readings_never_step_backwards() {
+        // The injected-clock seam of now_ms(): a candidate below the last
+        // observed reading saturates to it instead of time-travelling (a
+        // backwards-stepped clock mass-expires every live lease otherwise).
+        let cell = AtomicU64::new(0);
+        assert_eq!(monotonic_ms(100, &cell), 100);
+        assert_eq!(monotonic_ms(40, &cell), 100, "backwards step saturates");
+        assert_eq!(monotonic_ms(100, &cell), 100);
+        assert_eq!(monotonic_ms(250, &cell), 250, "forward steps pass through");
+        assert_eq!(cell.load(Ordering::Relaxed), 250);
+        // The live clock is usable and non-decreasing across calls.
+        let first = now_ms().expect("post-epoch clock reads");
+        let second = now_ms().expect("post-epoch clock reads");
+        assert!(second >= first);
+    }
+
+    #[test]
+    fn lease_extension_is_identity_checked() {
+        let tmp = TempQueueDir::new("extend");
+        let scenario = scenario(21);
+        let engine = SessionEngine::new(61);
+        let queue =
+            ShardQueue::init(&tmp.0, &engine.plan(&scenario, 4), 2, ShardOutput::Summary).unwrap();
+        let ClaimOutcome::Claimed(plan) = queue.claim_at("a", 1_000, 0).unwrap() else {
+            panic!("claim");
+        };
+
+        // The holder extends; the lease moves out and never shrinks.
+        assert_eq!(
+            queue.extend_lease_at("a", &plan, 1_000, 500).unwrap(),
+            1_500
+        );
+        assert_eq!(
+            queue.extend_lease_at("a", &plan, 1_000, 100).unwrap(),
+            1_500,
+            "a heartbeat never shortens a lease"
+        );
+
+        // A non-holder's extension is refused by name.
+        let err = queue.extend_lease_at("b", &plan, 1_000, 600).unwrap_err();
+        assert!(
+            matches!(&err, QueueError::LeaseNotHeld { worker, state, .. }
+                if worker == "b" && state == "leased to a"),
+            "{err}"
+        );
+
+        // "b" takes the other shard; after that, the heartbeat is what keeps
+        // "a"'s shard from being stolen at its original t=1000 expiry.
+        let ClaimOutcome::Claimed(other) = queue.claim_at("b", 10_000, 600).unwrap() else {
+            panic!("second shard is claimable");
+        };
+        assert_ne!(other.trial_start, plan.trial_start);
+        assert_eq!(
+            queue.claim_at("b", 1_000, 1_200).unwrap(),
+            ClaimOutcome::Wait { leased: 2 }
+        );
+
+        // Once the extended lease lapses and "b" steals the shard, the old
+        // holder's heartbeat is refused — it must treat the shard as lost.
+        let ClaimOutcome::Claimed(stolen) = queue.claim_at("b", 1_000, 2_000).unwrap() else {
+            panic!("steal after expiry");
+        };
+        assert_eq!(stolen.trial_start, plan.trial_start);
+        let err = queue.extend_lease_at("a", &plan, 1_000, 2_100).unwrap_err();
+        assert!(
+            matches!(&err, QueueError::LeaseNotHeld { worker, state, .. }
+                if worker == "a" && state == "leased to b"),
+            "{err}"
+        );
+
+        // Done slots refuse extensions too.
+        queue
+            .submit(&engine.execute_shard(&stolen, ShardOutput::Summary).unwrap())
+            .unwrap();
+        let err = queue
+            .extend_lease_at("b", &stolen, 1_000, 2_200)
+            .unwrap_err();
+        assert!(
+            matches!(&err, QueueError::LeaseNotHeld { state, .. } if state == "done"),
+            "{err}"
+        );
+        // ...and so does a slot recovered back to pending after its holder
+        // stopped beating.
+        queue.recover_at(20_000).unwrap();
+        let err = queue
+            .extend_lease_at("b", &other, 1_000, 20_100)
+            .unwrap_err();
+        assert!(
+            matches!(&err, QueueError::LeaseNotHeld { state, .. } if state == "pending"),
+            "{err}"
+        );
+
+        // A range matching no slot is an UnknownShard, not a panic.
+        let alien = engine.plan(&scenario, 4).subrange(1, 1);
+        assert!(matches!(
+            queue.extend_lease_at("a", &alien, 1_000, 2_400),
+            Err(QueueError::UnknownShard { .. })
+        ));
+    }
+
+    #[test]
+    fn heartbeat_guard_keeps_a_slow_worker_alive() {
+        let tmp = TempQueueDir::new("heartbeat");
+        let scenario = scenario(22);
+        let engine = SessionEngine::new(62);
+        let queue =
+            ShardQueue::init(&tmp.0, &engine.plan(&scenario, 2), 2, ShardOutput::Summary).unwrap();
+        let ClaimOutcome::Claimed(plan) = queue.claim("slow", 30).unwrap() else {
+            panic!("claim");
+        };
+        {
+            let _beat = queue.heartbeat("slow", &plan, 30);
+            // Simulated slow execution: several lease lengths long. The
+            // heartbeat (period 10 ms) must keep the lease live throughout.
+            thread::sleep(Duration::from_millis(150));
+            assert_eq!(
+                queue.claim("thief", 1_000).unwrap(),
+                ClaimOutcome::Wait { leased: 1 },
+                "a heartbeating worker is never stolen from"
+            );
+            queue
+                .submit(&engine.execute_shard(&plan, ShardOutput::Summary).unwrap())
+                .unwrap();
+        }
+        let status = queue.status().unwrap();
+        assert_eq!(status.done, 1);
     }
 
     #[test]

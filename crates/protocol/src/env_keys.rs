@@ -26,6 +26,30 @@ pub const QUEUE_THROTTLE_MS: &str = "UA_DI_QSDC_QUEUE_THROTTLE_MS";
 /// of asserting against them.
 pub const UPDATE_FIXTURES: &str = "UA_DI_QSDC_UPDATE_FIXTURES";
 
+/// The `host:port` the `qsdc-serve` binary listens on (default
+/// `127.0.0.1:7878`; `:0` picks an ephemeral port and prints it). Read by
+/// the `qsdc-serve` binary only.
+pub const SERVE_ADDR: &str = "UA_DI_QSDC_SERVE_ADDR";
+
+/// The `qsdc-serve` spool directory: every accepted job is lowered onto a
+/// shard queue under it, which is what makes a SIGKILLed server resumable.
+/// Read by the `qsdc-serve` binary only.
+pub const SERVE_SPOOL: &str = "UA_DI_QSDC_SERVE_SPOOL";
+
+/// Worker-pool size of the `qsdc-serve` binary (default: one per available
+/// CPU). Read by the `qsdc-serve` binary only.
+pub const SERVE_WORKERS: &str = "UA_DI_QSDC_SERVE_WORKERS";
+
+/// Per-client in-flight job quota of the `qsdc-serve` binary; submissions
+/// past it are answered with a `Busy` response. Read by the `qsdc-serve`
+/// binary only.
+pub const SERVE_QUOTA: &str = "UA_DI_QSDC_SERVE_QUOTA";
+
+/// Shard granularity (and therefore snapshot-streaming interval, in trials)
+/// the `qsdc-serve` binary lowers session jobs with. Read by the
+/// `qsdc-serve` binary only.
+pub const SERVE_SNAPSHOT_TRIALS: &str = "UA_DI_QSDC_SERVE_SNAPSHOT_TRIALS";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -34,6 +58,11 @@ mod tests {
             super::PARALLELISM,
             super::QUEUE_THROTTLE_MS,
             super::UPDATE_FIXTURES,
+            super::SERVE_ADDR,
+            super::SERVE_SPOOL,
+            super::SERVE_WORKERS,
+            super::SERVE_QUOTA,
+            super::SERVE_SNAPSHOT_TRIALS,
         ] {
             assert!(key.starts_with("UA_DI_QSDC_"), "{key}");
         }

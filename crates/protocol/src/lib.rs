@@ -33,6 +33,12 @@
 //! byte-identical to the unsharded run, whether the shards ran on one machine or twenty (see
 //! the `shardctl` binary in the `bench` crate for the multi-process form).
 //!
+//! [`wire`] is the serde vocabulary of the session service: job specs, requests, responses,
+//! and the spooled job manifest, all golden-fixture-locked so the newline-delimited JSON
+//! protocol `qsdc-serve` (the `serve` crate) speaks cannot drift silently. The service lowers
+//! every accepted job onto an [`engine::queue::ShardQueue`] before acknowledging it, which is
+//! what makes a SIGKILLed server resume byte-identically (see `docs/service.md`).
+//!
 //! [`baselines`] adds a runnable DI-QSDC without authentication (the Zhou et al. 2020 shape)
 //! and [`descriptor`] carries the feature/cost rows of the paper's Table I. [`session`] keeps
 //! the observable vocabulary of a run ([`SessionOutcome`], [`SessionStatus`], …).
@@ -142,6 +148,7 @@ pub mod error;
 pub mod identity;
 pub mod message;
 pub mod session;
+pub mod wire;
 
 pub use config::{SessionConfig, SessionConfigBuilder};
 pub use engine::{

@@ -129,6 +129,110 @@ fn drain_with_kill(
 }
 
 proptest! {
+    /// The heartbeat contract, under a synthetic clock: a slow-but-alive
+    /// worker that extends its lease before every expiry is **never** stolen
+    /// from, no matter how the heartbeat gaps and thief probes interleave —
+    /// while a dead worker (same lease, no heartbeats) still expires and its
+    /// shard is stolen exactly when the clock passes its lease.
+    #[test]
+    fn heartbeats_protect_live_workers_while_dead_leases_expire(
+        lease_ms in 10u64..5_000,
+        gap_fracs in proptest::collection::vec(0u64..100, 1..16),
+        identity_seed in 0u64..1_000_000,
+        master_seed in 0u64..1_000_000,
+    ) {
+        let scenario = scenario(0, 0, identity_seed);
+        let engine = SessionEngine::new(master_seed);
+        let tmp = TempQueueDir::new();
+        // Two shards: trials 0..2 (the live worker's) and 2..4 (the dead
+        // worker's) — claims hand out slots in trial order.
+        let queue = ShardQueue::init(
+            &tmp.0,
+            &engine.plan(&scenario, 4),
+            2,
+            ShardOutput::Summary,
+        )
+        .expect("queue initializes");
+
+        let ClaimOutcome::Claimed(alive_plan) = queue.claim_at("alive", lease_ms, 0).expect("claim") else {
+            panic!("alive worker claims the first shard");
+        };
+        let ClaimOutcome::Claimed(dead_plan) = queue.claim_at("dead", lease_ms, 0).expect("claim") else {
+            panic!("dead worker claims the second shard");
+        };
+        prop_assert_eq!(alive_plan.trial_start, 0);
+        prop_assert_eq!(dead_plan.trial_start, 2);
+
+        // The live worker heartbeats with arbitrary gaps, each strictly
+        // shorter than its lease (that is what "alive" means); the dead one
+        // never extends. A thief probes for claimable work after every beat.
+        let mut now: u64 = 0;
+        let mut dead_stolen_at: Option<u64> = None;
+        for frac in &gap_fracs {
+            let gap = 1 + frac * (lease_ms - 1) / 100; // 1..lease_ms
+            now += gap;
+            queue
+                .extend_lease_at("alive", &alive_plan, lease_ms, now)
+                .expect("a worker that beats before expiry always extends");
+            match queue.claim_at("thief", 10_000, now).expect("probe") {
+                ClaimOutcome::Claimed(stolen) => {
+                    prop_assert_eq!(
+                        stolen.trial_start, 2,
+                        "only the dead worker's shard is ever stolen"
+                    );
+                    prop_assert!(
+                        now >= lease_ms,
+                        "theft happens only after the dead lease expired"
+                    );
+                    prop_assert!(dead_stolen_at.is_none(), "stolen exactly once");
+                    dead_stolen_at = Some(now);
+                    // The thief completes the stolen shard.
+                    let result = engine
+                        .execute_shard(&stolen, ShardOutput::Summary)
+                        .expect("executes");
+                    queue.submit(&result).expect("submits");
+                }
+                ClaimOutcome::Wait { .. } => {
+                    // Nothing stealable: the dead lease is still live, or
+                    // the thief already took it and holds its own lease.
+                }
+                ClaimOutcome::Drained => prop_assert!(false, "queue cannot drain early"),
+            }
+        }
+
+        // However the probes fell, pushing the clock past the dead lease
+        // (but within the freshly-extended live one) must expire exactly
+        // the dead worker's shard and no other.
+        if dead_stolen_at.is_none() {
+            let past_dead = now.max(lease_ms);
+            let ClaimOutcome::Claimed(stolen) =
+                queue.claim_at("thief", 10_000, past_dead).expect("steal") else {
+                panic!("the dead worker's expired shard is claimable");
+            };
+            prop_assert_eq!(stolen.trial_start, 2);
+            let result = engine
+                .execute_shard(&stolen, ShardOutput::Summary)
+                .expect("executes");
+            queue.submit(&result).expect("submits");
+        }
+
+        // The slow-but-alive worker was never stolen from: its submission
+        // is the one that lands, not a duplicate of somebody else's.
+        let result = engine
+            .execute_shard(&alive_plan, ShardOutput::Summary)
+            .expect("executes");
+        prop_assert_eq!(
+            queue.submit(&result).expect("submits"),
+            SubmitOutcome::Recorded,
+            "a heartbeating worker's shard is never re-executed elsewhere"
+        );
+        prop_assert!(queue.status().expect("status").complete());
+        prop_assert_eq!(
+            serde::json::to_string(&queue.merge().expect("merge").into_summary().unwrap()),
+            serde::json::to_string(&engine.run_trials(&scenario, 4).expect("whole run"))
+        );
+    }
+
     #[test]
     fn killed_and_resumed_drains_merge_bit_identically(
         trials in 0usize..5,

@@ -1,0 +1,56 @@
+//! Shared fixtures for the serve integration suites.
+
+use protocol::engine::{Axis, Campaign, CampaignSpace, CampaignWorkload, Scenario};
+use protocol::identity::IdentityPair;
+use protocol::SessionConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory, removed on drop (also on assertion panics).
+pub struct TempDir(pub PathBuf);
+
+impl TempDir {
+    pub fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        TempDir(std::env::temp_dir().join(format!(
+            "ua-di-qsdc-serve-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A small honest-session scenario; `identity_seed` varies the identity
+/// material so different jobs carry genuinely different work.
+pub fn scenario(identity_seed: u64) -> Scenario {
+    let config = SessionConfig::builder()
+        .message_bits(8)
+        .check_bits(2)
+        .di_check_pairs(16)
+        .build()
+        .expect("test config is valid");
+    let mut rng = StdRng::seed_from_u64(identity_seed);
+    let identities = IdentityPair::generate(2, &mut rng);
+    Scenario::new(config, identities)
+}
+
+/// A two-point session campaign over channel length.
+pub fn campaign(identity_seed: u64, trials: usize) -> Campaign {
+    Campaign {
+        label: "serve-test".to_string(),
+        master_seed: 41,
+        trials,
+        workload: CampaignWorkload::Session {
+            base: scenario(identity_seed),
+        },
+        space: CampaignSpace::Grid(vec![Axis::Eta(vec![0, 10])]),
+    }
+}

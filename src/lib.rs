@@ -198,6 +198,52 @@
 //! kill -9 %1 && shardctl campaign resume --dir campaign/  # == uninterrupted, byte for byte
 //! ```
 //!
+//! ## The session service
+//!
+//! For many tenants sharing one long-lived process, `qsdc-serve` (the `serve` crate) serves
+//! the same jobs over the wire: clients submit serde `Scenario`/`Campaign` jobs as
+//! newline-delimited JSON (`protocol::wire`, golden-fixture-locked), and the server
+//! multiplexes them onto a shared worker pool with fair round-robin scheduling across
+//! clients, per-client quotas answered with explicit `Busy` backpressure (work is never
+//! silently dropped), streaming incremental `TrialSummary` snapshots, and cancellation.
+//! Every accepted job is lowered onto a spooled [`prelude::ShardQueue`] *before* it is
+//! acknowledged, so a SIGKILLed server restarted on the same spool finishes every job —
+//! byte-identical to an uninterrupted run, and to the same job run locally
+//! (see `docs/service.md`):
+//!
+//! ```rust
+//! use ua_di_qsdc::prelude::*;
+//! use protocol::wire::{JobSpec, Response};
+//! use serve::{Client, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let identities = IdentityPair::generate(2, &mut rng_from_seed(7));
+//! let config = SessionConfig::builder().message_bits(8).check_bits(2).di_check_pairs(16).build()?;
+//! let scenario = Scenario::new(config, identities);
+//!
+//! let dir = std::env::temp_dir().join(format!("ua-qsdc-serve-quickstart-{}", std::process::id()));
+//! let server = Server::start(ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port; real deployments pass --addr
+//!     spool_dir: dir.clone(),
+//!     ..ServerConfig::default()
+//! })?;
+//!
+//! let mut client = Client::connect(server.local_addr())?;
+//! let Response::Accepted { job } =
+//!     client.submit(JobSpec::Session { scenario: scenario.clone(), trials: 4, seed: 42 })?
+//! else { panic!("under quota, so the job is accepted") };
+//! let (done, _snapshots) = client.wait_done(job)?;
+//! let Response::Done { summary: Some(summary), .. } = done else { panic!("session jobs end in Done") };
+//! assert_eq!(summary, SessionEngine::new(42).run_trials(&scenario, 4)?); // == the local run
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The `serve_load` binary (`bench` crate) is the matching load generator — hundreds of
+//! concurrent clients, mixed job sizes, p50/p99 latency and aggregate trials/sec reported
+//! into `BENCH_throughput.json`'s `serve` section.
+//!
 //! ## Simulation backends
 //!
 //! Every scenario declares its simulation substrate via [`prelude::BackendKind`] (see

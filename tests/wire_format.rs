@@ -188,6 +188,118 @@ fn status_wire_formats_are_stable() {
     assert!(parsed.complete());
 }
 
+/// The `qsdc-serve` protocol: every request, every response, and the spool
+/// job manifest. One fixture per direction locks the full enum surface —
+/// a deployed client survives a server upgrade exactly as long as these
+/// bytes do not move.
+#[test]
+fn serve_wire_formats_are_stable() {
+    use ua_di_qsdc::protocol::wire::{
+        ErrorKind, JobManifest, JobSpec, JobState, Request, Response, MANIFEST_VERSION,
+        WIRE_VERSION,
+    };
+    let (scenario, _, _) = artifacts();
+    let engine = SessionEngine::new(99);
+    let summary = engine
+        .run_trials(&scenario, 2)
+        .expect("fixture summary runs");
+
+    let requests = vec![
+        Request::Submit {
+            job: JobSpec::Session {
+                scenario: scenario.clone(),
+                trials: 6,
+                seed: 99,
+            },
+        },
+        Request::Submit {
+            job: JobSpec::Campaign {
+                campaign: fixture_campaign(),
+            },
+        },
+        Request::Cancel { job: 1 },
+        Request::Status { job: 1 },
+        Request::Ping,
+    ];
+    let text = check_bytes("serve_requests.json", &serde::json::to_string(&requests));
+    let parsed: Vec<Request> = serde::json::from_str(&text).expect("fixture still parses");
+    assert_eq!(parsed, requests);
+
+    let responses = vec![
+        Response::Hello {
+            server: "qsdc-serve fixture".to_string(),
+            wire_version: WIRE_VERSION,
+            quota: 4,
+            snapshot_trials: 8,
+        },
+        Response::Accepted { job: 1 },
+        Response::Busy {
+            in_flight: 4,
+            quota: 4,
+        },
+        Response::Snapshot {
+            job: 1,
+            trials_done: 2,
+            trials_total: 6,
+            summary: summary.clone(),
+        },
+        Response::Done {
+            job: 1,
+            summary: Some(summary),
+            report: None,
+        },
+        Response::Cancelled { job: 2 },
+        Response::Status {
+            job: 1,
+            state: JobState::Running,
+            trials_done: 2,
+            trials_total: 6,
+        },
+        Response::Pong,
+        Response::Error {
+            kind: ErrorKind::Malformed,
+            message: "not a request".to_string(),
+        },
+    ];
+    let text = check_bytes("serve_responses.json", &serde::json::to_string(&responses));
+    let parsed: Vec<Response> = serde::json::from_str(&text).expect("fixture still parses");
+    assert_eq!(parsed, responses);
+    // Every named error kind and job state keeps its canonical spelling.
+    for kind in [
+        ErrorKind::Malformed,
+        ErrorKind::Oversized,
+        ErrorKind::UnknownJob,
+        ErrorKind::Unsupported,
+        ErrorKind::Internal,
+    ] {
+        let json = serde::json::to_string(&kind);
+        assert_eq!(serde::json::from_str::<ErrorKind>(&json).unwrap(), kind);
+    }
+    for state in [JobState::Running, JobState::Done, JobState::Cancelled] {
+        let json = serde::json::to_string(&state);
+        assert_eq!(serde::json::from_str::<JobState>(&json).unwrap(), state);
+    }
+
+    let manifest = JobManifest {
+        version: MANIFEST_VERSION,
+        job: 1,
+        client: "client-127.0.0.1:40000".to_string(),
+        spec: JobSpec::Session {
+            scenario,
+            trials: 6,
+            seed: 99,
+        },
+        shard_trials: 2,
+    };
+    let text = check_bytes(
+        "serve_job_manifest.json",
+        &serde::json::to_string(&manifest),
+    );
+    let parsed: JobManifest = serde::json::from_str(&text).expect("fixture still parses");
+    assert_eq!(parsed, manifest);
+    assert_eq!(parsed.version, MANIFEST_VERSION);
+}
+
 #[test]
 fn merge_checkpoint_wire_format_is_stable() {
     let (_, whole, sub) = artifacts();
